@@ -1,0 +1,79 @@
+"""E3 — §5.4: the systematic Pearlite → Gilsonite encoding.
+
+Regenerates the paper's worked example: the Creusot specification of
+``pop_front`` (Fig. 3 right / §5.4) is parsed from its textual form
+and elaborated into the Gilsonite specification shown at the end of
+§5.4 — ownership of each argument with a representation value, the
+contract moved into prophecy observations. We check the structure and
+benchmark the encoder itself (it must be cheap: it runs per function).
+"""
+
+from conftest import run_once
+from repro.gilsonite.ast import (
+    AliveLft,
+    Exists,
+    Observation,
+    Pred,
+    iter_parts,
+)
+from repro.pearlite.encode import PearliteEncoder
+
+POP_FRONT_SPEC = {
+    "ensures": [
+        "match result { None => (^self)@ == Seq::EMPTY, "
+        "Some(x) => self@ == Seq::cons(x@, (^self)@) }"
+    ],
+}
+
+
+def test_e3_encode_pop_front(benchmark, program_env, capsys):
+    program, ownables = program_env
+    encoder = PearliteEncoder(ownables)
+    body = program.bodies["LinkedList::pop_front_node"]
+
+    def encode():
+        return encoder.encode_contract(body, POP_FRONT_SPEC)
+
+    spec = benchmark(encode)
+    with capsys.disabled():
+        print("\nE3 — §5.4 encoding of the pop_front Pearlite spec:")
+        print(f"  {spec}")
+    # The §5.4 schema: pre = token * own(self, m_self); no observation
+    # (no requires clause).
+    pre = list(iter_parts(spec.pre))
+    assert sum(isinstance(p, AliveLft) for p in pre) == 1
+    owns = [p for p in pre if isinstance(p, Pred)]
+    assert len(owns) == 1 and owns[0].name.startswith("own:&")
+    assert not any(isinstance(p, Observation) for p in pre)
+    # Post: token * ∃m_ret. own(ret, m_ret) * ⟨Q⟩.
+    post = list(iter_parts(spec.post))
+    assert sum(isinstance(p, AliveLft) for p in post) == 1
+    ex = [p for p in post if isinstance(p, Exists)]
+    assert len(ex) == 1
+    inner = list(iter_parts(ex[0].body))
+    assert any(isinstance(p, Pred) for p in inner)
+    assert any(isinstance(p, Observation) for p in inner)
+    # The forall row: q plus one repr value per parameter.
+    assert len(spec.forall) == 1 + len(body.params)
+
+
+def test_e3_encoding_is_fast(benchmark, program_env):
+    """Encoding must be negligible next to verification."""
+    program, ownables = program_env
+    encoder = PearliteEncoder(ownables)
+    bodies = [
+        (program.bodies["LinkedList::pop_front_node"], POP_FRONT_SPEC),
+        (
+            program.bodies["LinkedList::push_front_node"],
+            {
+                "requires": ["self@.len() < usize::MAX"],
+                "ensures": ["(^self)@ == Seq::cons(node@, self@)"],
+            },
+        ),
+    ]
+
+    def encode_all():
+        return [encoder.encode_contract(b, c) for b, c in bodies]
+
+    specs = benchmark(encode_all)
+    assert len(specs) == 2

@@ -1,0 +1,87 @@
+"""E5 — Fig. 5: laid-out node destruction/reassembly (the vec-push
+pattern).
+
+Writes one element at a symbolic offset ``k`` into a region
+``[0,k) ↦ values | [k,n) ↦ uninit``, measuring the split-and-overwrite
+pipeline, and sweeps the number of consecutive pushes to show node
+count and time grow linearly (no quadratic re-splitting)."""
+
+import pytest
+
+from repro.core.address import ptr_offset
+from repro.core.heap.heap import SymbolicHeap
+from repro.core.heap.laidout import Entry, LaidOutNode, SeqContent, UninitContent
+from repro.core.heap.structural import HeapCtx
+from repro.lang.types import U64, TypeRegistry
+from repro.solver import Solver
+from repro.solver.sorts import INT, LOC, SeqSort
+from repro.solver.terms import Var, add, eq, intlit, le, lt, seq_len
+
+
+def _vec(k, n):
+    values = Var("values", SeqSort(INT))
+    node = LaidOutNode(
+        U64,
+        (Entry(intlit(0), k, SeqContent(U64, values)), Entry(k, n, UninitContent())),
+    )
+    return node, values
+
+
+def test_e5_single_symbolic_push(benchmark):
+    registry = TypeRegistry()
+    k = Var("k", INT)
+    n = Var("n", INT)
+    node, values = _vec(k, n)
+    base = Var("buf", LOC)
+
+    def push():
+        solver = Solver()
+        pc = (le(intlit(0), k), lt(k, n), eq(seq_len(values), k))
+        ctx = HeapCtx(registry, solver, pc)
+        heap = SymbolicHeap({base: node}, SymbolicHeap().types)
+        outs = [
+            o
+            for o in heap.store(ptr_offset(base, U64, k), U64, intlit(7), ctx)
+            if o.error is None
+        ]
+        assert outs
+        return outs[0]
+
+    out = benchmark(push)
+    # Fig. 5 right: three pieces — values, the written cell, uninit.
+    assert len(out.heap.allocs[base].entries) == 3
+
+
+@pytest.mark.parametrize("pushes", [1, 2, 4, 8])
+def test_e5_push_sweep(benchmark, pushes, capsys):
+    """Parameter sweep: consecutive pushes at k, k+1, ... — entry
+    count must grow linearly in the number of pushes."""
+    registry = TypeRegistry()
+    k = Var("k", INT)
+    n = Var("n", INT)
+    node, values = _vec(k, n)
+    base = Var("buf", LOC)
+
+    def run():
+        solver = Solver()
+        pc = (
+            le(intlit(0), k),
+            lt(add(k, intlit(pushes - 1)), n),
+            eq(seq_len(values), k),
+        )
+        ctx = HeapCtx(registry, solver, pc)
+        heap = SymbolicHeap({base: node}, SymbolicHeap().types)
+        for i in range(pushes):
+            p = ptr_offset(base, U64, add(k, intlit(i)))
+            outs = [o for o in heap.store(p, U64, intlit(i), ctx) if o.error is None]
+            assert outs, f"push {i} failed"
+            heap = outs[0].heap
+            ctx = ctx.with_facts(outs[0].facts)
+        return heap
+
+    heap = benchmark(run)
+    entries = len(heap.allocs[base].entries)
+    benchmark.extra_info["pushes"] = pushes
+    benchmark.extra_info["entries"] = entries
+    # Linear, not quadratic: initial 2 entries + one per push.
+    assert entries <= 2 + pushes

@@ -1,0 +1,82 @@
+"""E6 — Fig. 6: lifetime-token consumer/producer automation.
+
+Micro-benchmarks the ξ context under the churn a proof produces
+(fraction splits, open/close cycles) and property-checks the three
+RustBelt rules the paper automates: LftL-tok-fract,
+LftL-not-own-end and LftL-end-persist."""
+
+from fractions import Fraction
+
+from repro.core.lifetimes import LifetimeCtx
+from repro.solver import Solver
+from repro.solver.sorts import LFT
+from repro.solver.terms import Var, eq, reallit
+
+
+def test_e6_open_close_churn(benchmark):
+    """gunfold/gfold churn: consume half / produce back, 100 times."""
+    solver = Solver()
+    kappa = Var("κ", LFT)
+
+    def churn():
+        ctx = LifetimeCtx().new_lifetime(kappa)
+        for _ in range(100):
+            out = ctx.consume_alive_any(kappa, solver, ())
+            ctx = out.ctx
+            back = ctx.produce_alive(kappa, out.fraction, solver, ())
+            ctx = back.ctx
+        return ctx
+
+    ctx = benchmark(churn)
+    held = ctx.held_fraction(kappa, solver, ())
+    assert solver.entails([], eq(held, reallit(1)))
+
+
+def test_e6_fraction_split_merge(benchmark):
+    """LftL-tok-fract: [κ]_{q+q'} ⇔ [κ]_q * [κ]_q'."""
+    solver = Solver()
+    kappa = Var("κ", LFT)
+
+    def split_merge():
+        ctx = LifetimeCtx().new_lifetime(kappa)
+        for d in range(2, 12):
+            q = reallit(Fraction(1, d))
+            ctx = ctx.consume_alive(kappa, q, solver, ()).ctx
+            ctx = ctx.produce_alive(kappa, q, solver, ()).ctx
+        return ctx
+
+    ctx = benchmark(split_merge)
+    assert solver.entails(
+        [], eq(ctx.held_fraction(kappa, solver, ()), reallit(1))
+    )
+
+
+def test_e6_not_own_end(benchmark):
+    """LftL-not-own-end: [κ]_q * [†κ] ⇒ False — production vanishes."""
+    solver = Solver()
+    kappa = Var("κ", LFT)
+
+    def check():
+        ctx = LifetimeCtx().produce_dead(kappa, solver, ()).ctx
+        return ctx.produce_alive(kappa, reallit(Fraction(1, 2)), solver, ())
+
+    out = benchmark(check)
+    assert out.inconsistent
+
+
+def test_e6_end_persist(benchmark):
+    """LftL-end-persist: the dead token is duplicable/persistent."""
+    solver = Solver()
+    kappa = Var("κ", LFT)
+
+    def check():
+        ctx = LifetimeCtx().produce_dead(kappa, solver, ()).ctx
+        for _ in range(50):
+            out = ctx.consume_dead(kappa, solver, ())
+            assert out.ctx is not None
+            dup = ctx.produce_dead(kappa, solver, ())
+            assert dup.ctx is not None
+            ctx = dup.ctx
+        return ctx
+
+    benchmark(check)

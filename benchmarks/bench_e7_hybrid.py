@@ -1,0 +1,88 @@
+"""E7 — §2.1: the hybrid pipeline end-to-end.
+
+A safe client (Creusot half, over the Pearlite API axioms) plus the
+unsafe implementation (Gillian-Rust half, discharging those axioms).
+Reports the per-half split the paper's architecture predicts: the safe
+half is orders of magnitude cheaper because it never touches the real
+representation."""
+
+from conftest import run_once
+import repro.rustlib.linked_list as ll
+from repro.hybrid.pipeline import HybridVerifier
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import UNIT, option_ty
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS, MANUAL_PURE_PRECONDITIONS
+from repro.rustlib.linked_list import LIST, MUT_LIST, T
+from repro.solver import Solver
+
+
+def _client(program):
+    if "client::bench" in program.bodies:
+        return
+    fn = BodyBuilder(
+        "client::bench", params=[("x", T), ("y", T)], ret=option_ty(T),
+        generics=("T",), is_safe=True,
+    )
+    bbs = [fn.block() if i == 0 else fn.block(f"bb{i}") for i in range(5)]
+    l = fn.local("l", LIST)
+    bbs[0].call(l, "LinkedList::new", [], bbs[1])
+    for i, arg in ((1, "x"), (2, "y")):
+        r = fn.local(f"r{i}", MUT_LIST)
+        bbs[i].assign(r, fn.ref("l", mutable=True))
+        u = fn.local(f"u{i}", UNIT)
+        bbs[i].call(u, "LinkedList::push_front", [fn.move(r), fn.copy(arg)], bbs[i + 1])
+    r3 = fn.local("r3", MUT_LIST)
+    bbs[3].assign(r3, fn.ref("l", mutable=True))
+    o = fn.local("o", option_ty(T))
+    bbs[3].call(o, "LinkedList::pop_front", [fn.move(r3)], bbs[4])
+    bbs[4].ghost_assert("match o { None => false, Some(v) => v == y }")
+    bbs[4].assign(fn.ret_place, fn.copy("o"))
+    bbs[4].ret()
+    program.add_body(fn.finish())
+
+
+def test_e7_hybrid_pipeline(benchmark, program_env, capsys):
+    program, ownables = program_env
+    _client(program)
+
+    def run():
+        hv = HybridVerifier(
+            program, ownables, LINKED_LIST_CONTRACTS,
+            solver=Solver(), manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+        )
+        return hv.run(
+            [
+                "client::bench",
+                "LinkedList::new",
+                "LinkedList::push_front_node",
+                "LinkedList::pop_front_node",
+            ]
+        )
+
+    report = run_once(benchmark, run)
+    assert report.ok, report.render()
+    with capsys.disabled():
+        print("\nE7 — hybrid end-to-end:")
+        print(report.render())
+    # The architecture's prediction: the safe half is far cheaper.
+    creusot_time = sum(
+        e.detail.elapsed for e in report.entries if e.half == "creusot"
+    )
+    gillian_time = sum(
+        e.detail.elapsed for e in report.entries if e.half == "gillian-rust"
+    )
+    assert creusot_time < gillian_time / 5
+
+
+def test_e7_safe_half_alone(benchmark, program_env):
+    """The Creusot half in isolation: milliseconds per client."""
+    program, ownables = program_env
+    _client(program)
+    from repro.creusot.vcgen import CreusotVerifier
+
+    def verify():
+        v = CreusotVerifier(program, ownables, LINKED_LIST_CONTRACTS, Solver())
+        return v.verify(program.bodies["client::bench"])
+
+    r = benchmark(verify)
+    assert r.ok

@@ -1,0 +1,69 @@
+"""E8 — §7.3 ablation: extracting knowledge from observations.
+
+``push_front_node`` needs ``self@.len() < usize::MAX`` to discharge
+its overflow obligation. The §5.4 encoding puts the requires-clause
+inside an *observation*, where (per the paper) Gillian-Rust cannot use
+it. Three modes:
+
+1. ``observation-only``  — the paper's reported failure mode: ✗;
+2. ``manual-extraction`` — the pure copy added by hand (what the
+   paper's artefact effectively does): ✓;
+3. ``auto-extraction``   — the §7.3 future-work rule implemented:
+   prophecy-independent requires-clauses are extracted
+   automatically: ✓ with zero annotations.
+"""
+
+from conftest import run_once
+from repro.gillian.verifier import verify_function
+from repro.pearlite.encode import PearliteEncoder
+from repro.pearlite.parser import parse_pearlite
+from repro.solver import Solver
+
+CONTRACT = {
+    "requires": ["self@.len() < usize::MAX"],
+    "ensures": ["(^self)@ == Seq::cons(node@, self@)"],
+}
+
+
+def _verify(program, ownables, auto_extract, manual):
+    encoder = PearliteEncoder(ownables)
+    body = program.bodies["LinkedList::push_front_node"]
+    spec = encoder.encode_contract(
+        body,
+        CONTRACT,
+        auto_extract=auto_extract,
+        manual_pure_pre=[parse_pearlite(s) for s in manual],
+    )
+    return verify_function(program, body, spec, Solver())
+
+
+def test_e8_observation_only_fails(benchmark, program_env, capsys):
+    """Mode 1: the §7.3 failure mode reproduces."""
+    program, ownables = program_env
+    result = run_once(
+        benchmark, lambda: _verify(program, ownables, False, [])
+    )
+    assert not result.ok
+    assert any("panic" in str(i) for i in result.issues)
+    with capsys.disabled():
+        print("\nE8 mode 1 (observation only): ✗ as the paper reports —")
+        print(f"   {result.issues[0]}")
+
+
+def test_e8_manual_extraction_succeeds(benchmark, program_env):
+    """Mode 2: manually-extracted pure precondition."""
+    program, ownables = program_env
+    result = run_once(
+        benchmark,
+        lambda: _verify(program, ownables, False, ["self@.len() < usize::MAX"]),
+    )
+    assert result.ok, [str(i) for i in result.issues]
+
+
+def test_e8_auto_extraction_succeeds(benchmark, program_env, capsys):
+    """Mode 3: the automated rule (future work in the paper)."""
+    program, ownables = program_env
+    result = run_once(benchmark, lambda: _verify(program, ownables, True, []))
+    assert result.ok, [str(i) for i in result.issues]
+    with capsys.disabled():
+        print("E8 mode 3 (auto extraction): ✓ — the §7.3 rule automated")

@@ -1,0 +1,87 @@
+"""Extension bench (beyond the paper's §6): the user-facing API on two
+further unsafe data structures — RawStack<T> (generic, singly-linked,
+raw pointers) and RawVec (allocator API + laid-out nodes). Regenerates
+the table in EXPERIMENTS.md §Extensions."""
+
+import pytest
+
+from conftest import run_once
+from repro.gillian.verifier import verify_function
+from repro.gilsonite.specs import show_safety_spec
+from repro.pearlite.encode import PearliteEncoder
+from repro.pearlite.parser import parse_pearlite
+from repro.rustlib import raw_stack, raw_vec
+from repro.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def stack_env():
+    return raw_stack.build_program()
+
+
+@pytest.fixture(scope="module")
+def vec_env():
+    return raw_vec.build_program()
+
+
+def _verify_both(program, ownables, name, contracts):
+    solver = Solver()
+    body = program.bodies[name]
+    rs = verify_function(program, body, show_safety_spec(ownables, body), solver)
+    contract = contracts[name]
+    manual = [parse_pearlite(s) for s in contract.get("requires", [])]
+    spec = PearliteEncoder(ownables).encode_contract(
+        body, contract, manual_pure_pre=manual
+    )
+    rf = verify_function(program, body, spec, solver)
+    return rs, rf
+
+
+@pytest.mark.parametrize(
+    "name", ["RawStack::new", "RawStack::push", "RawStack::pop"]
+)
+def test_ext_raw_stack(benchmark, stack_env, name):
+    program, ownables = stack_env
+
+    def verify():
+        return _verify_both(
+            program, ownables, name, raw_stack.RAW_STACK_CONTRACTS
+        )
+
+    rs, rf = run_once(benchmark, verify)
+    assert rs.ok, [str(i) for i in rs.issues]
+    assert rf.ok, [str(i) for i in rf.issues]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["RawVec::with_capacity", "RawVec::push_within_capacity", "RawVec::pop"],
+)
+def test_ext_raw_vec(benchmark, vec_env, name):
+    program, ownables = vec_env
+
+    def verify():
+        return _verify_both(program, ownables, name, raw_vec.RAW_VEC_CONTRACTS)
+
+    rs, rf = run_once(benchmark, verify)
+    assert rs.ok, [str(i) for i in rs.issues]
+    assert rf.ok, [str(i) for i in rf.issues]
+
+
+def test_ext_table(stack_env, vec_env, capsys):
+    rows = []
+    for (program, ownables), contracts, names in (
+        (stack_env, raw_stack.RAW_STACK_CONTRACTS,
+         ["RawStack::new", "RawStack::push", "RawStack::pop"]),
+        (vec_env, raw_vec.RAW_VEC_CONTRACTS,
+         ["RawVec::with_capacity", "RawVec::push_within_capacity", "RawVec::pop"]),
+    ):
+        for name in names:
+            rs, rf = _verify_both(program, ownables, name, contracts)
+            assert rs.ok and rf.ok
+            rows.append((name, rs.elapsed, rf.elapsed))
+    with capsys.disabled():
+        print("\nExtension — user-defined unsafe data structures:")
+        print(f"{'function':34s} {'safety':>9s} {'functional':>11s}")
+        for name, ts, tf in rows:
+            print(f"{name:34s} {ts * 1000:7.1f}ms {tf * 1000:9.1f}ms")

@@ -1,0 +1,21 @@
+"""Shared fixtures for the experiment benchmarks (see DESIGN.md §4)."""
+
+import pytest
+
+from repro.rustlib.linked_list import build_program
+from repro.rustlib.specs import install_callee_specs
+
+
+@pytest.fixture(scope="session")
+def program_env():
+    """One program instance shared across benches (predicates and
+    specs are immutable once built)."""
+    program, ownables = build_program()
+    install_callee_specs(program, ownables)
+    return program, ownables
+
+
+def run_once(benchmark, fn):
+    """Time a heavyweight verification once per round (full
+    verification runs take ~1s; statistical rounds are pointless)."""
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=0)

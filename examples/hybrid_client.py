@@ -1,0 +1,85 @@
+"""Hybrid verification end-to-end (§2.1).
+
+A *safe* client program uses ``LinkedList`` as a stack. The Creusot
+half verifies the client against the Pearlite contracts of the API —
+treating the unsafe implementation as axiomatised. The Gillian-Rust
+half then discharges exactly those axioms against the real
+pointer-manipulating implementation. Both halves interpret the same
+specifications, which is the keystone of the hybrid approach.
+
+Run with ``python examples/hybrid_client.py``.
+"""
+
+import repro.rustlib.linked_list as ll
+from repro.hybrid.pipeline import HybridVerifier
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import UNIT, option_ty
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS, MANUAL_PURE_PRECONDITIONS
+from repro.rustlib.linked_list import LIST, MUT_LIST, T, build_program
+from repro.rustlib.specs import install_callee_specs
+
+
+def build_stack_client():
+    """fn client(x: T, y: T) -> Option<T> {
+        let mut l = LinkedList::new();
+        l.push_front(x);
+        l.push_front(y);
+        let top = l.pop_front();
+        proof_assert!(top == Some(y));     // LIFO order
+        top
+    }"""
+    fn = BodyBuilder(
+        "client::stack_lifo",
+        params=[("x", T), ("y", T)],
+        ret=option_ty(T),
+        generics=("T",),
+        is_safe=True,
+    )
+    blocks = [fn.block() if i == 0 else fn.block(f"bb{i}") for i in range(5)]
+    l = fn.local("l", LIST)
+    blocks[0].call(l, "LinkedList::new", [], blocks[1])
+    for i, arg in ((1, "x"), (2, "y")):
+        r = fn.local(f"r{i}", MUT_LIST)
+        blocks[i].assign(r, fn.ref("l", mutable=True))
+        u = fn.local(f"u{i}", UNIT)
+        blocks[i].call(
+            u, "LinkedList::push_front", [fn.move(r), fn.copy(arg)], blocks[i + 1]
+        )
+    r3 = fn.local("r3", MUT_LIST)
+    blocks[3].assign(r3, fn.ref("l", mutable=True))
+    top = fn.local("top", option_ty(T))
+    blocks[3].call(top, "LinkedList::pop_front", [fn.move(r3)], blocks[4])
+    blocks[4].ghost_assert("match top { None => false, Some(v) => v == y }")
+    blocks[4].assign(fn.ret_place, fn.copy("top"))
+    blocks[4].ret()
+    return fn.finish()
+
+
+def main() -> int:
+    program, ownables = build_program()
+    install_callee_specs(program, ownables)
+    program.add_body(build_stack_client())
+
+    hybrid = HybridVerifier(
+        program,
+        ownables,
+        LINKED_LIST_CONTRACTS,
+        manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+    )
+    report = hybrid.run(
+        [
+            # The safe half: Creusot over pure models + API axioms.
+            "client::stack_lifo",
+            # The unsafe half: Gillian-Rust discharges the axioms.
+            "LinkedList::new",
+            "LinkedList::push_front_node",
+            "LinkedList::pop_front_node",
+            "LinkedList::front_mut",
+        ]
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Safe loops over unsafe APIs (the Creusot half with invariants).
+
+A safe client pushes ``n`` elements into the (unsafe) ``LinkedList``
+inside a loop. The Creusot half verifies it over pure models using
+the loop invariant ``i <= n && l@.len() == i`` — while the list
+implementation that justifies the axioms was verified by Gillian-Rust
+(see examples/quickstart.py). End-to-end, with a loop in the middle.
+
+Run with ``python examples/safe_loops.py``.
+"""
+
+from repro.creusot.vcgen import CreusotVerifier
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import BOOL, U64, UNIT
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS
+from repro.rustlib.linked_list import MUT_LIST, T, build_program
+from repro.solver import Solver
+
+
+def build_push_n():
+    """fn push_n(l: &mut LinkedList<T>, x: T, n: u64)
+        requires(l@.len() == 0 && n < 1000)
+        ensures((^l)@.len() == n)
+    {
+        let mut i = 0;
+        #[invariant(i <= n && l@.len() == i)]
+        while i != n {
+            l.push_front(x);
+            i += 1;
+        }
+    }"""
+    fn = BodyBuilder(
+        "client::push_n",
+        params=[("l", MUT_LIST), ("x", T), ("n", U64)],
+        ret=UNIT,
+        generics=("T",),
+        is_safe=True,
+    )
+    bb0 = fn.block()
+    head = fn.block("head")
+    loop_body = fn.block("body")
+    cont = fn.block("cont")
+    done = fn.block("done")
+    i = fn.local("i", U64)
+    bb0.assign(i, fn.const_int(0, U64))
+    bb0.goto(head)
+    head.invariant("i <= n && l@.len() == i", modifies=["i", "l"])
+    t = fn.local("t", BOOL)
+    head.assign(t, fn.binop("eq", fn.copy(i), fn.copy("n")))
+    head.if_else(fn.copy(t), done, loop_body)
+    r = fn.local("r", MUT_LIST)
+    loop_body.assign(r, fn.ref(fn.place("l").deref(), mutable=True))
+    u = fn.local("u", UNIT)
+    loop_body.call(u, "LinkedList::push_front", [fn.move(r), fn.copy("x")], cont)
+    cont.assign(i, fn.binop("add", fn.copy(i), fn.const_int(1, U64)))
+    cont.goto(head)
+    done.ghost_assert("l@.len() == n")
+    done.mutref_auto_resolve("l")
+    done.assign(fn.ret_place, fn.const_unit())
+    done.ret()
+    return fn.finish()
+
+
+def main() -> int:
+    program, ownables = build_program()
+    body = build_push_n()
+    program.add_body(body)
+    contracts = dict(LINKED_LIST_CONTRACTS)
+    contracts["client::push_n"] = {
+        "requires": ["l@.len() == 0", "n < 1000"],
+        "ensures": ["(^l)@.len() == n"],
+    }
+    verifier = CreusotVerifier(program, ownables, contracts, Solver())
+    result = verifier.verify(body)
+    print(result)
+    for issue in result.issues:
+        print(f"  ! {issue}")
+    print(
+        "\nThe loop was cut at its invariant; each iteration assumed the\n"
+        "push_front axiom — which Gillian-Rust proved against the real\n"
+        "unsafe implementation (see examples/quickstart.py)."
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

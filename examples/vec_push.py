@@ -1,0 +1,68 @@
+"""Laid-out nodes and symbolic pointer arithmetic (Fig. 5, §3.2).
+
+A ``Vec<u64>`` buffer of symbolic capacity ``n`` holding ``k``
+initialised elements is a laid-out node with two entries:
+``[0, k) ↦ values`` and ``[k, n) ↦ Uninit``. Pushing writes one
+element at symbolic offset ``k`` — Gillian-Rust destructs and
+reassembles the node automatically (Fig. 5 middle/right), deciding the
+range splits with the solver.
+
+Run with ``python examples/vec_push.py``.
+"""
+
+from repro.core.address import ptr_offset
+from repro.core.heap.heap import SymbolicHeap
+from repro.core.heap.laidout import Entry, LaidOutNode, SeqContent, UninitContent
+from repro.core.heap.structural import HeapCtx
+from repro.lang.types import U64, TypeRegistry
+from repro.solver import Solver
+from repro.solver.sorts import INT, LOC, SeqSort
+from repro.solver.terms import Var, add, eq, intlit, le, lt, seq_len
+
+
+def main() -> int:
+    registry = TypeRegistry()
+    solver = Solver()
+
+    # Symbolic vector: length k, capacity n, 0 <= k < n.
+    k = Var("k", INT)
+    n = Var("n", INT)
+    values = Var("values", SeqSort(INT))
+    pc = (le(intlit(0), k), lt(k, n), eq(seq_len(values), k))
+    ctx = HeapCtx(registry, solver, pc)
+
+    buf = Var("buf", LOC)
+    node = LaidOutNode(
+        U64,
+        (
+            Entry(intlit(0), k, SeqContent(U64, values)),
+            Entry(k, n, UninitContent()),
+        ),
+    )
+    heap = SymbolicHeap({buf: node}, SymbolicHeap().types)
+    print("before push:")
+    print(f"  {node!r}\n")
+
+    # vec.push(99): write at the symbolic offset k (Fig. 5).
+    p_end = ptr_offset(buf, U64, k)
+    outcomes = [o for o in heap.store(p_end, U64, intlit(99), ctx) if o.error is None]
+    assert outcomes, "push failed"
+    out = outcomes[0]
+    print("after  push (node destructed and reassembled):")
+    print(f"  {out.heap.allocs[buf]!r}\n")
+
+    # Read back at k under the extended path condition.
+    rctx = ctx.with_facts(out.facts)
+    [ld] = [o for o in out.heap.load(p_end, U64, rctx) if o.error is None]
+    print(f"read back buf[k] = {ld.value}")
+
+    # Reading past the initialised region is undefined behaviour.
+    p_oob = ptr_offset(buf, U64, add(k, intlit(1)))
+    octx = rctx.with_facts((lt(add(k, intlit(1)), n),))
+    bad = out.heap.load(p_oob, U64, octx)
+    print(f"read buf[k+1] (uninitialised): {bad[0].error}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

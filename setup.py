@@ -1,0 +1,17 @@
+"""Setup shim: this environment lacks the ``wheel`` package, so editable
+installs must go through the legacy ``setup.py develop`` path
+(``pip install -e . --no-use-pep517``)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Python reproduction of 'A Hybrid Approach to Semi-automated "
+        "Rust Verification' (Gillian-Rust, PLDI 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,28 @@
+"""gillian-rust-py — a Python reproduction of *A Hybrid Approach to
+Semi-automated Rust Verification* (Ayoun, Denis, Maksimović, Gardner;
+PLDI 2025).
+
+Subpackages:
+
+* :mod:`repro.lang`      — Rust-like types, layouts and MIR;
+* :mod:`repro.solver`    — the first-order solver substrate;
+* :mod:`repro.core`      — the Gillian-Rust symbolic state
+  σ = (h, ξ, γ, φ, χ): heap, lifetimes, borrows, observations,
+  prophecies;
+* :mod:`repro.gillian`   — the parametric verification platform:
+  consume/produce, tactics, symbolic execution, the verifier;
+* :mod:`repro.gilsonite` — the specification front-end (assertions,
+  Ownable, ``#[show_safety]``, lemmas, the textual ``gilsonite!``
+  syntax);
+* :mod:`repro.pearlite`  — Creusot's spec language and the §5.4
+  encoding into Gilsonite;
+* :mod:`repro.creusot`   — the safe-Rust half of the hybrid pipeline;
+* :mod:`repro.hybrid`    — the end-to-end pipeline;
+* :mod:`repro.rustlib`   — the code under verification (std
+  ``LinkedList``, ``RawStack``, ``RawVec``).
+
+See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
+system inventory and the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

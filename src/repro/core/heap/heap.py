@@ -1,0 +1,656 @@
+"""The Rust symbolic heap (§3).
+
+A heap maps base locations (solver terms of sort ``Loc``) to
+allocations, each rooted in either a structural node (typed objects,
+e.g. ``Box`` allocations) or a laid-out node (array-like regions,
+e.g. results of the raw allocator API).
+
+The primitive operations *load* and *store* maintain validity
+invariants (§3.2); *load* in move context deinitialises the memory it
+reads. The typed points-to core predicate ``a ↦_T v`` (§3.3) is
+implemented by the consumer/producer pair
+:meth:`SymbolicHeap.consume_points_to` /
+:meth:`SymbolicHeap.produce_points_to` — frame-off replaces regions
+with ``Missing``, production fills them back in.
+
+All operations are persistent (the heap is never mutated in place) and
+may branch, returning one :class:`HeapOutcome` per feasible branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.core.address import (
+    GLOBAL_TYPE_KEYS,
+    FieldElem,
+    OffsetElem,
+    ProjElem,
+    TypeKeyTable,
+    VariantFieldElem,
+    decode_pointer,
+)
+from repro.core.heap.laidout import (
+    Content,
+    Entry,
+    LaidOutNode,
+    MissingContent,
+    SeqContent,
+    UninitContent,
+)
+from repro.core.heap.structural import (
+    MISSING,
+    UNINIT,
+    EnumNode,
+    HeapCtx,
+    HeapError,
+    Outcome,
+    SingleNode,
+    StructNode,
+    StructuralNode,
+    collapse,
+    expand,
+    missing,
+    navigate,
+    ub,
+)
+from repro.core.heap.values import ty_to_sort, validity_constraints
+from repro.lang.types import AdtTy, Ty
+from repro.solver.sorts import SeqSort
+from repro.solver.terms import (
+    Term,
+    add,
+    eq,
+    fresh_loc,
+    intlit,
+    seq_cons,
+    seq_empty,
+    seq_head,
+    seq_len,
+    Var,
+)
+
+Root = Union[StructuralNode, LaidOutNode]
+
+
+@dataclass
+class HeapOutcome:
+    heap: Optional["SymbolicHeap"]
+    value: Optional[Term] = None
+    facts: tuple[Term, ...] = ()
+    error: Optional[HeapError] = None
+
+    @staticmethod
+    def err(e: HeapError, facts: tuple[Term, ...] = ()) -> "HeapOutcome":
+        return HeapOutcome(heap=None, facts=facts, error=e)
+
+
+@dataclass(frozen=True)
+class SymbolicHeap:
+    allocs: dict[Term, Root] = field(default_factory=dict)
+    types: TypeKeyTable = field(default_factory=lambda: GLOBAL_TYPE_KEYS)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _with(self, base: Term, root: Optional[Root]) -> "SymbolicHeap":
+        allocs = dict(self.allocs)
+        if root is None:
+            allocs.pop(base, None)
+        else:
+            allocs[base] = root
+        return SymbolicHeap(allocs, self.types)
+
+    def resolve_base(self, base: Term, ctx: HeapCtx) -> Optional[Term]:
+        """Find the allocation key this base term denotes (PC-aware)."""
+        if base in self.allocs:
+            return base
+        for k in self.allocs:
+            if ctx.solver.entails(ctx.pc, eq(base, k)):
+                return k
+        return None
+
+    def _decode(self, ptr: Term) -> tuple[Term, tuple[ProjElem, ...]]:
+        view = decode_pointer(ptr, self.types)
+        return view.base, view.projection
+
+    # -- projection application ---------------------------------------------------
+
+    def _apply(
+        self,
+        root: Root,
+        projs: tuple[ProjElem, ...],
+        ctx: HeapCtx,
+        leaf: Callable[[StructuralNode, HeapCtx], list[Outcome]],
+    ) -> list[Outcome]:
+        """Navigate ``projs`` from ``root`` and run ``leaf`` at the focus."""
+        if isinstance(root, LaidOutNode):
+            return self._apply_laidout(root, projs, ctx, leaf)
+        if not projs:
+            return leaf(root, ctx)
+        head, rest = projs[0], projs[1:]
+        if isinstance(head, OffsetElem):
+            zero = ctx.decide(eq(head.offset, intlit(0)))
+            if zero is True:
+                return self._apply(root, rest, ctx, leaf)
+            return [
+                Outcome.err(
+                    ub(
+                        "pointer arithmetic on a structural node "
+                        f"(offset {head.offset} of {head.ty})"
+                    )
+                )
+            ]
+        if isinstance(head, FieldElem):
+            return navigate(
+                root, head.ty, head.index, None, ctx,
+                lambda n, c: self._apply(n, rest, c, leaf),
+            )
+        if isinstance(head, VariantFieldElem):
+            return navigate(
+                root, head.ty, head.index, head.variant, ctx,
+                lambda n, c: self._apply(n, rest, c, leaf),
+            )
+        raise TypeError(head)
+
+    def _apply_laidout(
+        self,
+        root: LaidOutNode,
+        projs: tuple[ProjElem, ...],
+        ctx: HeapCtx,
+        leaf: Callable[[StructuralNode, HeapCtx], list[Outcome]],
+    ) -> list[Outcome]:
+        """Resolve an element access inside a laid-out node (Fig. 5)."""
+        index: Term = intlit(0)
+        rest = projs
+        while rest and isinstance(rest[0], OffsetElem):
+            elem = rest[0]
+            if elem.ty != root.indexing_ty:
+                return [
+                    Outcome.err(
+                        ub(
+                            f"offset at type {elem.ty} into region indexed "
+                            f"by {root.indexing_ty}"
+                        )
+                    )
+                ]
+            index = add(index, elem.offset)
+            rest = rest[1:]
+        hi = add(index, intlit(1))
+        results: list[Outcome] = []
+        for carved, covered, cfacts, cerr in root.carve(index, hi, ctx):
+            if cerr:
+                results.append(Outcome(None, facts=cfacts, error=cerr))
+                continue
+            rctx = ctx.with_facts(cfacts)
+            # Non-empty covered pieces of [index, index+1); exactly one
+            # should be a genuine 1-element entry, the rest are empty.
+            focus: Optional[StructuralNode] = None
+            for idx in covered:
+                entry = carved.entries[idx]
+                if rctx.decide(eq(entry.lo, entry.hi)) is True:
+                    continue
+                c = entry.content
+                if isinstance(c, SeqContent):
+                    focus = SingleNode(root.indexing_ty, seq_head(c.value))
+                elif isinstance(c, UninitContent):
+                    focus = SingleNode(root.indexing_ty, UNINIT)
+                else:
+                    focus = SingleNode(root.indexing_ty, MISSING)
+                break
+            if focus is None:
+                results.append(
+                    Outcome(None, facts=cfacts, error=missing("index out of extent"))
+                )
+                continue
+            for sub in self._apply(focus, rest, rctx, leaf):
+                if sub.error:
+                    results.append(
+                        Outcome(None, facts=cfacts + sub.facts, error=sub.error)
+                    )
+                    continue
+                new_node = sub.node
+                content: Content
+                if isinstance(new_node, SingleNode) and new_node.value is MISSING:
+                    content = MissingContent()
+                elif isinstance(new_node, SingleNode) and new_node.value is UNINIT:
+                    content = UninitContent()
+                else:
+                    cctx = rctx.with_facts(sub.facts)
+                    col = collapse(new_node, cctx)
+                    if col.error:
+                        results.append(
+                            Outcome(
+                                None, facts=cfacts + sub.facts, error=col.error
+                            )
+                        )
+                        continue
+                    content = SeqContent(
+                        root.indexing_ty,
+                        seq_cons(
+                            col.value,
+                            seq_empty(ty_to_sort(root.indexing_ty, ctx.registry)),
+                        ),
+                    )
+                wctx = rctx.with_facts(sub.facts)
+                for wr in carved.write_range(index, hi, content, wctx):
+                    facts = cfacts + sub.facts + wr.facts
+                    if wr.error:
+                        results.append(Outcome(None, facts=facts, error=wr.error))
+                    else:
+                        results.append(_LaidOutResult(wr.node, sub.value, facts))
+        return results
+
+    # -- primitive operations -----------------------------------------------------
+
+    def load(
+        self, ptr: Term, ty: Ty, ctx: HeapCtx, move: bool = False
+    ) -> list[HeapOutcome]:
+        """Read a ``ty``-typed value at ``ptr``; deinitialise on move."""
+        base, projs = self._decode(ptr)
+        key = self.resolve_base(base, ctx)
+        if key is None:
+            return [HeapOutcome.err(missing(f"no allocation for {ptr}"))]
+
+        def leaf(node: StructuralNode, lctx: HeapCtx) -> list[Outcome]:
+            if node.ty != ty:
+                return [Outcome.err(ub(f"load at {ty} but node has {node.ty}"))]
+            col = collapse(node, lctx)
+            if col.error:
+                return [col]
+            new_node: StructuralNode = (
+                SingleNode(ty, UNINIT) if move else node
+            )
+            # Loads may assume the validity invariant of the value —
+            # stores and producers enforce it.
+            facts = tuple(validity_constraints(ty, col.value, lctx.registry))
+            return [Outcome(new_node, value=col.value, facts=facts)]
+
+        return self._finish(key, projs, ctx, leaf)
+
+    def store(self, ptr: Term, ty: Ty, value: Term, ctx: HeapCtx) -> list[HeapOutcome]:
+        """Write ``value`` at ``ptr``. The validity invariant of the
+        written value is a proof obligation (checked here)."""
+        base, projs = self._decode(ptr)
+        key = self.resolve_base(base, ctx)
+        if key is None:
+            return [HeapOutcome.err(missing(f"no allocation for {ptr}"))]
+        for inv in validity_constraints(ty, value, ctx.registry):
+            if not ctx.solver.entails(ctx.pc, inv):
+                return [
+                    HeapOutcome.err(
+                        ub(f"stored value violates validity invariant: {inv}")
+                    )
+                ]
+
+        def leaf(node: StructuralNode, lctx: HeapCtx) -> list[Outcome]:
+            if node.ty != ty:
+                return [Outcome.err(ub(f"store at {ty} but node has {node.ty}"))]
+            if isinstance(node, SingleNode) and node.value is MISSING:
+                return [Outcome.err(missing(f"store to framed-off {ty}"))]
+            return [Outcome(SingleNode(ty, value))]
+
+        return self._finish(key, projs, ctx, leaf)
+
+    def _finish(
+        self,
+        key: Term,
+        projs: tuple[ProjElem, ...],
+        ctx: HeapCtx,
+        leaf: Callable[[StructuralNode, HeapCtx], list[Outcome]],
+    ) -> list[HeapOutcome]:
+        results = []
+        for out in self._apply(self.allocs[key], projs, ctx, leaf):
+            if out.error:
+                results.append(HeapOutcome.err(out.error, out.facts))
+            else:
+                new_root = out.node
+                results.append(
+                    HeapOutcome(self._with(key, new_root), out.value, out.facts)
+                )
+        return results
+
+    # -- allocation --------------------------------------------------------------
+
+    def alloc_typed(self, ty: Ty) -> tuple["SymbolicHeap", Term]:
+        """A fresh typed allocation (the Box/owned-object pattern)."""
+        loc = fresh_loc()
+        return self._with(loc, SingleNode(ty, UNINIT)), loc
+
+    def alloc_array(self, elem_ty: Ty, length: Term) -> tuple["SymbolicHeap", Term]:
+        """A fresh array-like allocation (the raw allocator API)."""
+        loc = fresh_loc()
+        return self._with(loc, LaidOutNode.uninit(elem_ty, length)), loc
+
+    def free(self, ptr: Term, ty: Ty, ctx: HeapCtx) -> list[HeapOutcome]:
+        """Deallocate; requires full (not framed-off) ownership of the
+        whole allocation and that ``ptr`` is its base."""
+        base, projs = self._decode(ptr)
+        if projs:
+            return [HeapOutcome.err(ub(f"freeing interior pointer {ptr}"))]
+        key = self.resolve_base(base, ctx)
+        if key is None:
+            return [
+                HeapOutcome.err(
+                    ub(f"double free / foreign pointer passed to free: {ptr}")
+                )
+            ]
+        root = self.allocs[key]
+        if _any_missing(root):
+            return [
+                HeapOutcome.err(missing("freeing an allocation with framed-off parts"))
+            ]
+        return [HeapOutcome(self._with(key, None))]
+
+    # -- the typed points-to core predicate (§3.3) ---------------------------------
+
+    def consume_points_to(
+        self, ptr: Term, ty: Ty, ctx: HeapCtx, uninit: bool = False
+    ) -> list[HeapOutcome]:
+        """Remove ``ptr ↦_ty v`` from the heap, returning ``v``.
+
+        With ``uninit=True`` this is the maybe-uninit variant: the
+        region is consumed without requiring initialisation, and no
+        value is returned.
+        """
+        base, projs = self._decode(ptr)
+        key = self.resolve_base(base, ctx)
+        if key is None:
+            return [HeapOutcome.err(missing(f"no allocation for {ptr}"))]
+
+        def leaf(node: StructuralNode, lctx: HeapCtx) -> list[Outcome]:
+            if node.ty != ty:
+                return [Outcome.err(ub(f"points-to at {ty} but node has {node.ty}"))]
+            if uninit:
+                if isinstance(node, SingleNode) and node.value is MISSING:
+                    return [Outcome.err(missing("consuming framed-off region"))]
+                return [Outcome(SingleNode(ty, MISSING))]
+            col = collapse(node, lctx)
+            if col.error:
+                return [col]
+            facts = tuple(validity_constraints(ty, col.value, lctx.registry))
+            return [Outcome(SingleNode(ty, MISSING), value=col.value, facts=facts)]
+
+        outs = self._finish(key, projs, ctx, leaf)
+        # Garbage-collect empty allocations (fully framed-off objects
+        # keep their slot so production can fill them back in).
+        return outs
+
+    def produce_points_to(
+        self, ptr: Term, ty: Ty, value: Optional[Term], ctx: HeapCtx
+    ) -> list[HeapOutcome]:
+        """Add ``ptr ↦_ty value`` (or uninit when ``value is None``)."""
+        base, projs = self._decode(ptr)
+        key = self.resolve_base(base, ctx)
+        fill: NodeValueT = value if value is not None else UNINIT
+        if key is None:
+            # Fresh (to this state) object: build a skeleton around the path.
+            if not isinstance(base, (Var,)):
+                return [
+                    HeapOutcome.err(missing(f"cannot produce at non-variable {base}"))
+                ]
+            root = _skeleton(projs, ty, fill, ctx)
+            if root is None:
+                return [HeapOutcome.err(ub(f"cannot build skeleton for {ptr}"))]
+            return [HeapOutcome(self._with(base, root))]
+
+        def leaf(node: StructuralNode, lctx: HeapCtx) -> list[Outcome]:
+            if node.ty != ty:
+                return [Outcome.err(ub(f"producing {ty} over node of {node.ty}"))]
+            if not (isinstance(node, SingleNode) and node.value is MISSING):
+                return [
+                    Outcome.err(
+                        ub(f"producing points-to over owned memory at {ptr} (double ownership)")
+                    )
+                ]
+            return [Outcome(SingleNode(ty, fill))]
+
+        return self._finish_produce(key, projs, ctx, leaf)
+
+    def _finish_produce(
+        self,
+        key: Term,
+        projs: tuple[ProjElem, ...],
+        ctx: HeapCtx,
+        leaf: Callable[[StructuralNode, HeapCtx], list[Outcome]],
+    ) -> list[HeapOutcome]:
+        root = _expand_missing_along(self.allocs[key], projs, ctx)
+        results = []
+        for out in self._apply(root, projs, ctx, leaf):
+            if out.error:
+                results.append(HeapOutcome.err(out.error, out.facts))
+            else:
+                results.append(
+                    HeapOutcome(self._with(key, out.node), out.value, out.facts)
+                )
+        return results
+
+    # -- slice points-to (§3.3 "variations on a theme") -----------------------------
+
+    def _slice_target(self, ptr: Term, elem_ty: Ty, ctx: HeapCtx):
+        """Decode a pointer into (base key or None, base term, offset)."""
+        base, projs = self._decode(ptr)
+        offset: Term = intlit(0)
+        for elem in projs:
+            if not isinstance(elem, OffsetElem) or elem.ty != elem_ty:
+                return None, base, offset, ub(
+                    f"slice access through non-index projection {elem}"
+                )
+            offset = add(offset, elem.offset)
+        return self.resolve_base(base, ctx), base, offset, None
+
+    def consume_slice(
+        self, ptr: Term, elem_ty: Ty, length: Term, ctx: HeapCtx, uninit: bool = False
+    ) -> list[HeapOutcome]:
+        """Consume ``ptr ↦_[elem_ty; length] values`` (or the uninit
+        variant): frame off [offset, offset+length) of a laid-out node."""
+        key, base, offset, err = self._slice_target(ptr, elem_ty, ctx)
+        if err is not None:
+            return [HeapOutcome.err(err)]
+        if ctx.decide(eq(length, intlit(0))) is True:
+            # The empty slice is emp.
+            from repro.core.heap.values import ty_to_sort
+            from repro.solver.terms import seq_empty
+
+            value = None if uninit else seq_empty(ty_to_sort(elem_ty, ctx.registry))
+            return [HeapOutcome(self, value)]
+        if key is None:
+            return [HeapOutcome.err(missing(f"no allocation for {ptr}"))]
+        root = self.allocs[key]
+        if not isinstance(root, LaidOutNode) or root.indexing_ty != elem_ty:
+            return [HeapOutcome.err(ub(f"slice points-to over non-array region"))]
+        hi = add(offset, length)
+        outs: list[HeapOutcome] = []
+        if uninit:
+            for carved, covered, facts, cerr in root.carve(offset, hi, ctx):
+                if cerr:
+                    outs.append(HeapOutcome.err(cerr, facts))
+                    continue
+                if any(
+                    isinstance(carved.entries[i].content, MissingContent)
+                    for i in covered
+                ):
+                    outs.append(
+                        HeapOutcome.err(missing("slice region partly framed off"), facts)
+                    )
+                    continue
+                wctx = ctx.with_facts(facts)
+                for wr in carved.write_range(offset, hi, MissingContent(), wctx):
+                    if wr.error:
+                        outs.append(HeapOutcome.err(wr.error, facts + wr.facts))
+                    else:
+                        outs.append(
+                            HeapOutcome(self._with(key, wr.node), None, facts + wr.facts)
+                        )
+            return outs
+        for fr in root.frame_range(offset, hi, ctx):
+            if fr.error:
+                outs.append(HeapOutcome.err(fr.error, fr.facts))
+            else:
+                outs.append(
+                    HeapOutcome(self._with(key, fr.node), fr.value, fr.facts)
+                )
+        return outs
+
+    def produce_slice(
+        self,
+        ptr: Term,
+        elem_ty: Ty,
+        length: Term,
+        values: Optional[Term],
+        ctx: HeapCtx,
+    ) -> list[HeapOutcome]:
+        """Produce a slice points-to: fill a framed-off (Missing) range,
+        or create a fresh laid-out allocation."""
+        from repro.solver.terms import le
+
+        key, base, offset, err = self._slice_target(ptr, elem_ty, ctx)
+        if err is not None:
+            return [HeapOutcome.err(err)]
+        if ctx.decide(eq(length, intlit(0))) is True:
+            facts0: tuple[Term, ...] = ()
+            if values is not None:
+                facts0 = (eq(seq_len(values), intlit(0)),)
+            return [HeapOutcome(self, None, facts0)]
+        content: Content
+        facts: tuple[Term, ...] = ()
+        if values is None:
+            content = UninitContent()
+        else:
+            content = SeqContent(elem_ty, values)
+            facts = (eq(seq_len(values), length),)
+        hi = add(offset, length)
+        if key is None:
+            # Any Loc-sorted term can key an allocation (e.g. the buf
+            # field value of a struct); resolution is PC-aware.
+            entries = []
+            if ctx.decide(eq(offset, intlit(0))) is not True:
+                entries.append(Entry(intlit(0), offset, MissingContent()))
+            entries.append(Entry(offset, hi, content))
+            node = LaidOutNode(elem_ty, tuple(entries))
+            return [HeapOutcome(self._with(base, node), None, facts)]
+        root = self.allocs[key]
+        if not isinstance(root, LaidOutNode) or root.indexing_ty != elem_ty:
+            return [HeapOutcome.err(ub("slice production over non-array region"))]
+        # Extend the extent if the region lies past the current end.
+        lo_ext, hi_ext = root.extent()
+        if ctx.decide(le(hi_ext, offset)) is True:
+            entries = root.entries
+            if ctx.decide(eq(hi_ext, offset)) is not True:
+                entries = entries + (Entry(hi_ext, offset, MissingContent()),)
+            node = LaidOutNode(elem_ty, entries + (Entry(offset, hi, content),))
+            return [HeapOutcome(self._with(key, node), None, facts)]
+        outs: list[HeapOutcome] = []
+        for carved, covered, cfacts, cerr in root.carve(offset, hi, ctx):
+            if cerr:
+                outs.append(HeapOutcome.err(cerr, cfacts))
+                continue
+            if not all(
+                isinstance(carved.entries[i].content, MissingContent)
+                for i in covered
+            ):
+                outs.append(
+                    HeapOutcome.err(
+                        ub("slice production over owned memory (double ownership)"),
+                        cfacts,
+                    )
+                )
+                continue
+            # write_range refuses Missing targets (store semantics);
+            # production fills Missing by direct entry surgery.
+            first, last = covered[0], covered[-1]
+            new_entries = (
+                carved.entries[:first]
+                + (Entry(offset, hi, content),)
+                + carved.entries[last + 1 :]
+            )
+            outs.append(
+                HeapOutcome(
+                    self._with(key, LaidOutNode(elem_ty, new_entries)),
+                    None,
+                    cfacts + facts,
+                )
+            )
+        return outs
+
+    # -- display -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        lines = [f"  {k} -> {v!r}" for k, v in self.allocs.items()]
+        return "Heap{\n" + "\n".join(lines) + "\n}"
+
+
+NodeValueT = object
+
+
+class _LaidOutResult(Outcome):
+    """Outcome whose node is a laid-out root (duck-typed through)."""
+
+    def __init__(self, node: LaidOutNode, value, facts) -> None:
+        super().__init__(node=node, value=value, facts=facts)  # type: ignore[arg-type]
+
+
+def _any_missing(root: Root) -> bool:
+    if isinstance(root, LaidOutNode):
+        return any(isinstance(e.content, MissingContent) for e in root.entries)
+    if isinstance(root, SingleNode):
+        return root.value is MISSING
+    assert isinstance(root, (StructNode, EnumNode))
+    return any(_any_missing(c) for c in root.children)
+
+
+def _skeleton(
+    projs: tuple[ProjElem, ...], leaf_ty: Ty, fill: NodeValueT, ctx: HeapCtx
+) -> Optional[StructuralNode]:
+    """Build an all-Missing object containing one owned leaf at ``projs``."""
+    if not projs:
+        return SingleNode(leaf_ty, fill)
+    head, rest = projs[0], projs[1:]
+    if isinstance(head, FieldElem):
+        container = head.ty
+        if not isinstance(container, AdtTy):
+            return None
+        d, mapping = ctx.registry.instantiate(container)
+        if not d.is_struct:
+            return None
+        children = []
+        for i, f in enumerate(d.struct_fields):
+            fty = ctx.registry.subst(f.ty, mapping)
+            if i == head.index:
+                sub = _skeleton(rest, leaf_ty, fill, ctx)
+                if sub is None:
+                    return None
+                children.append(sub)
+            else:
+                children.append(SingleNode(fty, MISSING))
+        return StructNode(container, tuple(children))
+    return None
+
+
+def _expand_missing_along(
+    root: Root, projs: tuple[ProjElem, ...], ctx: HeapCtx
+) -> Root:
+    """Expand Missing single nodes into all-Missing struct nodes along
+    the production path so a leaf can be filled in."""
+    if isinstance(root, LaidOutNode) or not projs:
+        return root
+    head, rest = projs[0], projs[1:]
+    if not isinstance(head, FieldElem):
+        return root
+    if isinstance(root, SingleNode) and root.value is MISSING:
+        container = head.ty
+        if isinstance(container, AdtTy) and root.ty == container:
+            d, mapping = ctx.registry.instantiate(container)
+            if d.is_struct:
+                children = tuple(
+                    SingleNode(ctx.registry.subst(f.ty, mapping), MISSING)
+                    for f in d.struct_fields
+                )
+                root = StructNode(container, children)
+    if isinstance(root, StructNode) and isinstance(head, FieldElem):
+        if head.index < len(root.children):
+            new_child = _expand_missing_along(root.children[head.index], rest, ctx)
+            children = list(root.children)
+            children[head.index] = new_child
+            return StructNode(root.ty, tuple(children))
+    return root

@@ -1,0 +1,290 @@
+"""Laid-out nodes: array-like memory regions with index arithmetic (§3.2).
+
+A laid-out node is a pair of a sized *indexing type* ``T`` and a list
+of contents, each annotated with the half-open range it occupies in
+multiples of ``size_of::<T>()``. Unlike structural nodes, laid-out
+nodes admit pointer arithmetic: Gillian-Rust destructs and reassembles
+them to resolve arbitrary (symbolic) range accesses — Fig. 5 shows the
+push-at-offset-``k`` pattern that :meth:`LaidOutNode.write_range`
+implements.
+
+Contents:
+
+* :class:`SeqContent`    — a symbolic sequence of element values;
+* :class:`UninitContent` — uninitialised memory (legal to overwrite,
+  illegal to read);
+* :class:`MissingContent`— framed-off memory (owned elsewhere).
+
+Ranges are symbolic terms; carving a sub-range branches on (or, when
+entailed, silently uses) the necessary comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.heap.structural import HeapCtx, HeapError, missing, ub
+from repro.core.heap.values import ty_to_sort
+from repro.lang.types import Ty
+from repro.solver.sorts import SeqSort
+from repro.solver.terms import (
+    Term,
+    add,
+    eq,
+    fresh_var,
+    intlit,
+    le,
+    seq_append,
+    seq_len,
+    sub,
+)
+
+
+class Content:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SeqContent(Content):
+    elem_ty: Ty
+    value: Term  # sort Seq<encode(elem_ty)>
+
+    def __repr__(self) -> str:
+        return f"[{self.value}]"
+
+
+@dataclass(frozen=True)
+class UninitContent(Content):
+    def __repr__(self) -> str:
+        return "Uninit"
+
+
+@dataclass(frozen=True)
+class MissingContent(Content):
+    def __repr__(self) -> str:
+        return "Missing"
+
+
+@dataclass(frozen=True)
+class Entry:
+    lo: Term
+    hi: Term
+    content: Content
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}): {self.content!r}"
+
+
+@dataclass
+class LaidOutcome:
+    """One branch of a laid-out operation."""
+
+    node: Optional["LaidOutNode"]
+    value: Optional[Term] = None
+    facts: tuple[Term, ...] = ()
+    error: Optional[HeapError] = None
+
+    @staticmethod
+    def err(e: HeapError) -> "LaidOutcome":
+        return LaidOutcome(node=None, error=e)
+
+
+@dataclass(frozen=True)
+class LaidOutNode:
+    """Indexing type + ordered, contiguous entries covering [0, extent)."""
+
+    indexing_ty: Ty
+    entries: tuple[Entry, ...]
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(e) for e in self.entries)
+        return f"LaidOut<{self.indexing_ty}>({inner})"
+
+    @staticmethod
+    def uninit(indexing_ty: Ty, extent: Term) -> "LaidOutNode":
+        return LaidOutNode(
+            indexing_ty, (Entry(intlit(0), extent, UninitContent()),)
+        )
+
+    # -- carving ---------------------------------------------------------------
+
+    def _split_entry(
+        self, entry: Entry, at: Term, ctx: HeapCtx
+    ) -> tuple[tuple[Entry, Entry], tuple[Term, ...]]:
+        """Split one entry at offset ``at`` (caller ensures lo<=at<=hi)."""
+        c = entry.content
+        if isinstance(c, (UninitContent, MissingContent)):
+            return (
+                (Entry(entry.lo, at, c), Entry(at, entry.hi, c)),
+                (),
+            )
+        assert isinstance(c, SeqContent)
+        elem_sort = ty_to_sort(c.elem_ty, ctx.registry)
+        left = fresh_var("split_l", SeqSort(elem_sort))
+        right = fresh_var("split_r", SeqSort(elem_sort))
+        facts = (
+            eq(c.value, seq_append(left, right)),
+            eq(seq_len(left), sub(at, entry.lo)),
+            eq(seq_len(right), sub(entry.hi, at)),
+        )
+        return (
+            (
+                Entry(entry.lo, at, SeqContent(c.elem_ty, left)),
+                Entry(at, entry.hi, SeqContent(c.elem_ty, right)),
+            ),
+            facts,
+        )
+
+    def carve(
+        self, lo: Term, hi: Term, ctx: HeapCtx
+    ) -> list[tuple["LaidOutNode", list[int], tuple[Term, ...], Optional[HeapError]]]:
+        """Destruct entries so that [lo, hi) is covered by whole entries.
+
+        Returns branches of ``(node', covered entry indices, facts, err)``.
+        Comparisons that the path condition does not decide produce an
+        error (the engine then reports missing resource); the common
+        patterns (Fig. 5) are all decided.
+        """
+        entries = list(self.entries)
+        facts: list[Term] = []
+        i = 0
+        covered: list[int] = []
+        cctx = ctx
+        while i < len(entries):
+            e = entries[i]
+            # Fully covered (lo <= e.lo and e.hi <= hi) — including the
+            # possibly-empty exact match, which overlap tests cannot
+            # decide.
+            starts_before = cctx.decide(le(lo, e.lo))
+            ends_after = cctx.decide(le(e.hi, hi))
+            if starts_before is True and ends_after is True:
+                covered.append(i)
+                i += 1
+                continue
+            # Disjoint: entirely before lo or after hi.
+            if cctx.decide(le(e.hi, lo)) is True:
+                i += 1
+                continue
+            if cctx.decide(le(hi, e.lo)) is True:
+                break
+            # Overlapping. Split off a prefix below lo if needed: when
+            # lo <= e.lo is not entailed but e.lo <= lo is, cut at lo
+            # (a potentially empty left piece is harmless).
+            if starts_before is not True:
+                if cctx.decide(le(e.lo, lo)) is not True:
+                    return [(self, [], tuple(facts), missing("undecided entry start"))]
+                (l, r), fs = self._split_entry(e, lo, cctx)
+                entries[i : i + 1] = [l, r]
+                facts.extend(fs)
+                cctx = cctx.with_facts(fs)
+                i += 1  # the left piece is now disjoint from [lo, hi)
+                continue
+            # Split off a suffix above hi if needed (symmetric).
+            if cctx.decide(le(hi, e.hi)) is not True:
+                return [(self, [], tuple(facts), missing("undecided entry end"))]
+            (l, r), fs = self._split_entry(e, hi, cctx)
+            entries[i : i + 1] = [l, r]
+            facts.extend(fs)
+            cctx = cctx.with_facts(fs)
+        return [(LaidOutNode(self.indexing_ty, tuple(entries)), covered, tuple(facts), None)]
+
+    # -- reads / writes -----------------------------------------------------------
+
+    def read_range(self, lo: Term, hi: Term, ctx: HeapCtx) -> list[LaidOutcome]:
+        results = []
+        for node, covered, facts, err in self.carve(lo, hi, ctx):
+            if err:
+                results.append(LaidOutcome(None, facts=facts, error=err))
+                continue
+            values: list[Term] = []
+            bad: Optional[HeapError] = None
+            for idx in covered:
+                c = node.entries[idx].content
+                if isinstance(c, UninitContent):
+                    bad = ub(f"reading uninitialised range [{lo},{hi})")
+                    break
+                if isinstance(c, MissingContent):
+                    bad = missing(f"reading framed-off range [{lo},{hi})")
+                    break
+                assert isinstance(c, SeqContent)
+                values.append(c.value)
+            if bad:
+                results.append(LaidOutcome(None, facts=facts, error=bad))
+                continue
+            if not values:
+                results.append(
+                    LaidOutcome(None, facts=facts, error=missing("empty range read"))
+                )
+                continue
+            total = values[0]
+            for v in values[1:]:
+                total = seq_append(total, v)
+            results.append(LaidOutcome(node, value=total, facts=facts))
+        return results
+
+    def write_range(
+        self, lo: Term, hi: Term, content: Content, ctx: HeapCtx
+    ) -> list[LaidOutcome]:
+        """Overwrite [lo, hi) with new content (Fig. 5 middle/right)."""
+        results = []
+        for node, covered, facts, err in self.carve(lo, hi, ctx):
+            if err:
+                results.append(LaidOutcome(None, facts=facts, error=err))
+                continue
+            for idx in covered:
+                if isinstance(node.entries[idx].content, MissingContent):
+                    results.append(
+                        LaidOutcome(
+                            None,
+                            facts=facts,
+                            error=missing(f"writing framed-off range [{lo},{hi})"),
+                        )
+                    )
+                    break
+            else:
+                if not covered:
+                    results.append(
+                        LaidOutcome(
+                            None, facts=facts, error=missing("write outside extent")
+                        )
+                    )
+                    continue
+                first, last = covered[0], covered[-1]
+                new_entries = (
+                    node.entries[:first]
+                    + (Entry(lo, hi, content),)
+                    + node.entries[last + 1 :]
+                )
+                results.append(
+                    LaidOutcome(
+                        LaidOutNode(self.indexing_ty, new_entries), facts=facts
+                    )
+                )
+        return results
+
+    def frame_range(self, lo: Term, hi: Term, ctx: HeapCtx) -> list[LaidOutcome]:
+        """Read then replace with Missing (the consumer of slice ↦)."""
+        results = []
+        for read in self.read_range(lo, hi, ctx):
+            if read.error:
+                results.append(read)
+                continue
+            rctx = ctx.with_facts(read.facts)
+            for wr in read.node.write_range(lo, hi, MissingContent(), rctx):
+                if wr.error:
+                    results.append(
+                        LaidOutcome(None, facts=read.facts + wr.facts, error=wr.error)
+                    )
+                else:
+                    results.append(
+                        LaidOutcome(
+                            wr.node,
+                            value=read.value,
+                            facts=read.facts + wr.facts,
+                        )
+                    )
+        return results
+
+    def extent(self) -> tuple[Term, Term]:
+        return self.entries[0].lo, self.entries[-1].hi

@@ -1,0 +1,349 @@
+"""Structural nodes: layout-agnostic trees for Rust objects (§3.2).
+
+A structural node represents a region of memory whose *structure* is
+known but whose *layout* is not:
+
+* :class:`SingleNode` — a leaf holding a symbolic value, ``Uninit``
+  (illegal to read) or ``Missing`` (framed off);
+* :class:`StructNode` — an internal node for a struct; children are
+  its fields in declaration order (offsets are never computed);
+* :class:`EnumNode`  — an internal node for an enum with a *concrete*
+  discriminant; children are the fields of that variant. An enum with
+  a symbolic discriminant stays a :class:`SingleNode` and is expanded
+  on demand, branching the symbolic execution.
+
+Nodes are immutable; operations return new nodes. Operations that
+depend on undecided facts (e.g. which ``Option`` variant we are in)
+return several :class:`Outcome`\\ s, each with the path-condition facts
+that select it — this is exactly the action-branching judgement
+``(σ, π).act(v⃗) ⤳ ((σ', v_o), π')`` from §2.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.heap.values import (
+    enum_variant_ctor,
+    fresh_value,
+    ty_to_sort,
+    validity_constraints,
+)
+from repro.lang.types import AdtTy, Ty, TypeRegistry
+from repro.solver.core import Solver
+from repro.solver.sorts import OptionSort
+from repro.solver.terms import (
+    Term,
+    eq,
+    fresh_var,
+    is_some,
+    none,
+    not_,
+    some,
+    some_val,
+    tuple_get,
+    tuple_mk,
+)
+
+
+class _Marker:
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Uninitialised memory — illegal to read (§3.2).
+UNINIT = _Marker("Uninit")
+#: Memory framed off by a consumer (§3.2).
+MISSING = _Marker("Missing")
+
+NodeValue = object  # Term | UNINIT | MISSING
+
+
+class HeapError(Exception):
+    """A heap operation failed. ``kind`` distinguishes UB (a genuine
+    verification failure) from missing resource (which the matcher may
+    repair by unfolding predicates or opening borrows)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+def ub(message: str) -> HeapError:
+    return HeapError("undefined-behaviour", message)
+
+
+def missing(message: str) -> HeapError:
+    return HeapError("missing-resource", message)
+
+
+class StructuralNode:
+    __slots__ = ()
+    ty: Ty
+
+
+@dataclass(frozen=True)
+class SingleNode(StructuralNode):
+    ty: Ty
+    value: NodeValue
+
+    def __repr__(self) -> str:
+        return f"⟨{self.value}: {self.ty}⟩"
+
+
+@dataclass(frozen=True)
+class StructNode(StructuralNode):
+    ty: Ty
+    children: tuple[StructuralNode, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"⟨{self.ty}⟩{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class EnumNode(StructuralNode):
+    ty: Ty
+    discriminant: int
+    children: tuple[StructuralNode, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"⟨{self.ty}·v{self.discriminant}⟩{{{inner}}}"
+
+
+@dataclass
+class Outcome:
+    """One branch of a node operation."""
+
+    node: Optional[StructuralNode]
+    value: Optional[Term] = None
+    facts: tuple[Term, ...] = ()
+    error: Optional[HeapError] = None
+
+    @staticmethod
+    def err(e: HeapError) -> "Outcome":
+        return Outcome(node=None, error=e)
+
+
+@dataclass
+class HeapCtx:
+    """Decision context threaded through node operations."""
+
+    registry: TypeRegistry
+    solver: Solver
+    pc: tuple[Term, ...]
+
+    def decide(self, f: Term) -> Optional[bool]:
+        """Three-valued entailment: True/False when decided, else None."""
+        if self.solver.entails(self.pc, f):
+            return True
+        if self.solver.entails(self.pc, not_(f)):
+            return False
+        return None
+
+    def with_facts(self, facts: Sequence[Term]) -> "HeapCtx":
+        return HeapCtx(self.registry, self.solver, self.pc + tuple(facts))
+
+
+# ---------------------------------------------------------------------------
+# Expansion: destructing symbolic values into child nodes
+# ---------------------------------------------------------------------------
+
+
+def expand(node: StructuralNode, ctx: HeapCtx) -> list[Outcome]:
+    """Expand a :class:`SingleNode` one level (struct fields or enum
+    variant). Already-expanded nodes are returned unchanged."""
+    if isinstance(node, (StructNode, EnumNode)):
+        return [Outcome(node)]
+    assert isinstance(node, SingleNode)
+    if node.value is MISSING:
+        return [Outcome.err(missing(f"expanding framed-off node of {node.ty}"))]
+    ty = node.ty
+    if not isinstance(ty, AdtTy):
+        return [Outcome.err(ub(f"cannot expand non-ADT node {ty}"))]
+    d, mapping = ctx.registry.instantiate(ty)
+    if d.is_struct:
+        return [_expand_struct(node, ty, ctx)]
+    return _expand_enum(node, ty, ctx)
+
+
+def _expand_struct(node: SingleNode, ty: AdtTy, ctx: HeapCtx) -> Outcome:
+    d, mapping = ctx.registry.instantiate(ty)
+    children = []
+    for i, f in enumerate(d.struct_fields):
+        fty = ctx.registry.subst(f.ty, mapping)
+        if node.value is UNINIT:
+            children.append(SingleNode(fty, UNINIT))
+        else:
+            children.append(SingleNode(fty, tuple_get(node.value, i)))
+    return Outcome(StructNode(ty, tuple(children)))
+
+
+def _expand_enum(node: SingleNode, ty: AdtTy, ctx: HeapCtx) -> list[Outcome]:
+    if node.value is UNINIT:
+        return [Outcome.err(ub(f"reading discriminant of uninit {ty}"))]
+    d, mapping = ctx.registry.instantiate(ty)
+    if ty.name == "Option":
+        return _expand_option(node, ty, ctx)
+    # Generic enums: branch over each variant with an equality fact.
+    outcomes: list[Outcome] = []
+    for j, variant in enumerate(d.variants):
+        payload_tys = [ctx.registry.subst(f.ty, mapping) for f in variant.fields]
+        payload = [fresh_value(f"{ty.name}.v{j}.{i}", t, ctx.registry)
+                   for i, t in enumerate(payload_tys)]
+        ctor = enum_variant_ctor(ty, j, payload)
+        fact = eq(node.value, ctor)
+        verdict = ctx.decide(fact)
+        if verdict is False:
+            continue
+        children = tuple(
+            SingleNode(t, v) for t, v in zip(payload_tys, payload)
+        )
+        out = Outcome(EnumNode(ty, j, children), facts=(fact,))
+        if verdict is True:
+            return [out]
+        outcomes.append(out)
+    if not outcomes:
+        return [Outcome.err(ub(f"enum value of {ty} matches no variant"))]
+    return outcomes
+
+
+def _expand_option(node: SingleNode, ty: AdtTy, ctx: HeapCtx) -> list[Outcome]:
+    inner_ty = ty.args[0]
+    v = node.value
+    assert isinstance(v, Term) and isinstance(v.sort, OptionSort)
+    verdict = ctx.decide(is_some(v))
+    outcomes = []
+    if verdict is not True:  # None branch possible
+        outcomes.append(
+            Outcome(EnumNode(ty, 0, ()), facts=(eq(v, none(v.sort.elem)),))
+        )
+    if verdict is not False:  # Some branch possible
+        payload = SingleNode(inner_ty, some_val(v))
+        outcomes.append(
+            Outcome(EnumNode(ty, 1, (payload,)), facts=(is_some(v),))
+        )
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Collapse: reassembling a whole value from an expanded node
+# ---------------------------------------------------------------------------
+
+
+def collapse(node: StructuralNode, ctx: HeapCtx) -> Outcome:
+    """Reassemble the full value of a node (needed to read it whole)."""
+    if isinstance(node, SingleNode):
+        if node.value is UNINIT:
+            return Outcome.err(ub(f"reading uninitialised {node.ty}"))
+        if node.value is MISSING:
+            return Outcome.err(missing(f"reading framed-off {node.ty}"))
+        return Outcome(node, value=node.value)
+    if isinstance(node, StructNode):
+        vals = []
+        for c in node.children:
+            sub = collapse(c, ctx)
+            if sub.error:
+                return sub
+            vals.append(sub.value)
+        return Outcome(node, value=tuple_mk(*vals))
+    if isinstance(node, EnumNode):
+        vals = []
+        for c in node.children:
+            sub = collapse(c, ctx)
+            if sub.error:
+                return sub
+            vals.append(sub.value)
+        ty = node.ty
+        assert isinstance(ty, AdtTy)
+        if ty.name == "Option":
+            if node.discriminant == 0:
+                sort = ty_to_sort(ty, ctx.registry)
+                assert isinstance(sort, OptionSort)
+                return Outcome(node, value=none(sort.elem))
+            return Outcome(node, value=some(vals[0]))
+        return Outcome(node, value=enum_variant_ctor(ty, node.discriminant, vals))
+    raise TypeError(node)
+
+
+# ---------------------------------------------------------------------------
+# Navigation along field projections
+# ---------------------------------------------------------------------------
+
+
+def navigate(
+    node: StructuralNode,
+    ty: Ty,
+    field_index: int,
+    variant: Optional[int],
+    ctx: HeapCtx,
+    update: Callable[[StructuralNode, HeapCtx], list[Outcome]],
+) -> list[Outcome]:
+    """Descend one field projection and apply ``update`` to the child.
+
+    ``variant`` is None for struct fields (``.^T i``) and the variant
+    index for enum fields (``.^T·j i``). Returns rebuilt nodes.
+    """
+    if node.ty != ty:
+        return [Outcome.err(ub(f"projection type {ty} does not match node {node.ty}"))]
+    results: list[Outcome] = []
+    for exp in expand(node, ctx):
+        if exp.error:
+            results.append(exp)
+            continue
+        expanded = exp.node
+        ectx = ctx.with_facts(exp.facts)
+        if isinstance(expanded, EnumNode):
+            if variant is None:
+                results.append(
+                    Outcome.err(ub(f"struct projection into enum {ty}"))
+                )
+                continue
+            if expanded.discriminant != variant:
+                # This branch of the expansion is the wrong variant: a
+                # real execution reaching here is UB (downcast without
+                # check), but if the discriminant was already concrete
+                # it is simply a contradiction — report UB and let the
+                # engine prune via the facts.
+                results.append(
+                    Outcome(
+                        None,
+                        facts=exp.facts,
+                        error=ub(
+                            f"downcast to variant {variant} but node is "
+                            f"variant {expanded.discriminant}"
+                        ),
+                    )
+                )
+                continue
+        elif variant is not None:
+            results.append(Outcome.err(ub(f"variant projection into struct {ty}")))
+            continue
+        assert isinstance(expanded, (StructNode, EnumNode))
+        if field_index >= len(expanded.children):
+            results.append(Outcome.err(ub(f"field {field_index} out of range for {ty}")))
+            continue
+        child = expanded.children[field_index]
+        for sub in update(child, ectx):
+            if sub.error:
+                results.append(
+                    Outcome(None, facts=exp.facts + sub.facts, error=sub.error)
+                )
+                continue
+            new_children = list(expanded.children)
+            new_children[field_index] = sub.node
+            rebuilt: StructuralNode
+            if isinstance(expanded, EnumNode):
+                rebuilt = EnumNode(ty, expanded.discriminant, tuple(new_children))
+            else:
+                rebuilt = StructNode(ty, tuple(new_children))
+            results.append(
+                Outcome(rebuilt, value=sub.value, facts=exp.facts + sub.facts)
+            )
+    return results

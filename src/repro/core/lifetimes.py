@@ -1,0 +1,180 @@
+"""The lifetime context ξ and lifetime-token core predicates (§4.1).
+
+Lifetimes are opaque terms of sort ``Lft``. The context maps each
+known lifetime to either the currently-owned fraction of its alive
+token ``[κ]_q`` (a real-sorted term in (0, 1]) or ``†`` (expired).
+
+The consumers/producers implement Fig. 6 of the paper and thereby
+automate the RustBelt lifetime-logic rules:
+
+* LftL-tok-fract   — ``Lft-Produce-Alive-Add`` sums fractions;
+* LftL-not-own-end — producing an alive token for an expired lifetime
+  *vanishes* (the branch assumes False);
+* LftL-end-persist — the expired token is persistent: its producer is
+  idempotent and its consumer leaves the context unchanged.
+
+All operations are persistent-data-structure style and report their
+outcome through :class:`LftOutcome` (``inconsistent=True`` is the
+"vanish" case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from repro.solver.core import Solver
+from repro.solver.terms import (
+    RealLit,
+    Term,
+    add,
+    eq,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    reallit,
+    sub,
+)
+
+
+class _Dead:
+    def __repr__(self) -> str:
+        return "†"
+
+
+DEAD = _Dead()
+
+
+@dataclass
+class LftOutcome:
+    ctx: Optional["LifetimeCtx"]
+    facts: tuple[Term, ...] = ()
+    error: Optional[str] = None
+    inconsistent: bool = False
+    fraction: Optional[Term] = None  # for consume-any
+
+
+@dataclass(frozen=True)
+class LifetimeCtx:
+    """ξ: partial finite map from lifetimes to fraction-or-†."""
+
+    entries: dict[Term, object] = field(default_factory=dict)
+
+    def _with(self, kappa: Term, value: object) -> "LifetimeCtx":
+        d = dict(self.entries)
+        if value is None:
+            d.pop(kappa, None)
+        else:
+            d[kappa] = value
+        return LifetimeCtx(d)
+
+    def _resolve(self, kappa: Term, solver: Solver, pc: tuple[Term, ...]) -> Optional[Term]:
+        if kappa in self.entries:
+            return kappa
+        for k in self.entries:
+            if solver.entails(pc, eq(kappa, k)):
+                return k
+        return None
+
+    # -- producers --------------------------------------------------------------
+
+    def produce_alive(
+        self, kappa: Term, q: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> LftOutcome:
+        """Produce ``[κ]_q`` — Lft-Produce-Alive-Add / Lft-Produce-Own-End."""
+        key = self._resolve(kappa, solver, pc)
+        facts = (lt(reallit(0), q), le(q, reallit(1)))
+        if key is None:
+            return LftOutcome(self._with(kappa, q), facts=facts)
+        cur = self.entries[key]
+        if cur is DEAD:
+            # LftL-not-own-end: alive * expired => False — vanish.
+            return LftOutcome(None, inconsistent=True)
+        return LftOutcome(self._with(key, add(cur, q)), facts=facts)
+
+    def produce_dead(
+        self, kappa: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> LftOutcome:
+        """Produce ``[†κ]`` — persistent, vanishes over an alive token."""
+        key = self._resolve(kappa, solver, pc)
+        if key is None:
+            return LftOutcome(self._with(kappa, DEAD))
+        if self.entries[key] is DEAD:
+            return LftOutcome(self)  # Lft-Produce-Exp-Dup: idempotent
+        return LftOutcome(None, inconsistent=True)
+
+    # -- consumers ----------------------------------------------------------------
+
+    def consume_alive(
+        self, kappa: Term, q: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> LftOutcome:
+        """Consume ``[κ]_q`` (Lft-Consume-Alive): the held fraction must
+        cover ``q``; the remainder stays in the context."""
+        key = self._resolve(kappa, solver, pc)
+        if key is None:
+            return LftOutcome(None, error=f"no alive token for {kappa}")
+        cur = self.entries[key]
+        if cur is DEAD:
+            return LftOutcome(None, error=f"lifetime {kappa} has expired")
+        if not solver.entails(pc, le(q, cur)):
+            return LftOutcome(None, error=f"insufficient fraction of [{kappa}]")
+        remainder = sub(cur, q)
+        if solver.entails(pc, eq(remainder, reallit(0))):
+            return LftOutcome(self._with(key, None))
+        return LftOutcome(self._with(key, remainder))
+
+    def consume_alive_any(
+        self, kappa: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> LftOutcome:
+        """Consume *half* of whatever fraction is held — used by
+        ``gunfold`` so that nested borrow openings always find a token.
+        Returns the consumed fraction so the closing token can restore it."""
+        key = self._resolve(kappa, solver, pc)
+        if key is None:
+            return LftOutcome(None, error=f"no alive token for {kappa}")
+        cur = self.entries[key]
+        if cur is DEAD:
+            return LftOutcome(None, error=f"lifetime {kappa} has expired")
+        half = mul(cur, reallit(Fraction(1, 2)))
+        return LftOutcome(self._with(key, half), fraction=half)
+
+    def consume_dead(
+        self, kappa: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> LftOutcome:
+        """Consume ``[†κ]`` (Lft-Consume-Exp) — persistent: no change."""
+        key = self._resolve(kappa, solver, pc)
+        if key is None or self.entries[key] is not DEAD:
+            return LftOutcome(None, error=f"{kappa} is not known to be expired")
+        return LftOutcome(self)
+
+    # -- ghost operations -------------------------------------------------------------
+
+    def end_lifetime(
+        self, kappa: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> LftOutcome:
+        """Kill a lifetime: requires the full token ``[κ]_1``."""
+        out = self.consume_alive(kappa, reallit(1), solver, pc)
+        if out.ctx is None:
+            return out
+        return out.ctx.produce_dead(kappa, solver, pc)
+
+    def new_lifetime(self, kappa: Term) -> "LifetimeCtx":
+        """Begin a lifetime with its full token."""
+        return self._with(kappa, reallit(1))
+
+    def is_alive(self, kappa: Term, solver: Solver, pc: tuple[Term, ...]) -> bool:
+        key = self._resolve(kappa, solver, pc)
+        return key is not None and self.entries[key] is not DEAD
+
+    def held_fraction(self, kappa: Term, solver: Solver, pc: tuple[Term, ...]) -> Optional[Term]:
+        key = self._resolve(kappa, solver, pc)
+        if key is None or self.entries[key] is DEAD:
+            return None
+        return self.entries[key]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{k}]_{v!r}" for k, v in self.entries.items())
+        return f"ξ{{{inner}}}"

@@ -1,0 +1,68 @@
+"""The observation context φ (§5.2).
+
+RustHornBelt's observations ``⟨ψ⟩`` hold pure knowledge about prophecy
+variables — a second layer of truth that keeps information about the
+future from leaking into the separation logic. The key idea of the
+paper (§5.2) is that observations behave exactly like a *secondary
+path condition*: a single symbolic expression conjoined as facts are
+framed in.
+
+Consumer/producer rules (Fig. 10):
+
+* Observation-Produce — if ``π ∧ φ ∧ φ'`` is SAT, the new observation
+  is conjoined (Obs-merge + Proph-Sat); otherwise the production
+  vanishes;
+* Observation-Consume — an observation is consumed if it is entailed
+  by the path condition together with the current observation
+  (Proph-True lets ordinary path-condition truth flow in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.solver.core import Solver, Status
+from repro.solver.terms import TRUE, Term, and_
+
+
+@dataclass
+class ObsOutcome:
+    ctx: Optional["ObservationCtx"]
+    error: Optional[str] = None
+    inconsistent: bool = False
+
+
+@dataclass(frozen=True)
+class ObservationCtx:
+    """φ — one pure symbolic expression over prophecy + symbolic vars."""
+
+    formula: Term = TRUE
+
+    def produce(
+        self, psi: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> ObsOutcome:
+        """Observation-Produce: conjoin if jointly satisfiable."""
+        combined = and_(self.formula, psi)
+        status = solver.check_sat(list(pc) + [combined])
+        if status == Status.UNSAT:
+            return ObsOutcome(None, inconsistent=True)
+        return ObsOutcome(ObservationCtx(combined))
+
+    def consume(
+        self, psi: Term, solver: Solver, pc: tuple[Term, ...]
+    ) -> ObsOutcome:
+        """Observation-Consume: ``π ∧ φ ⇒ ψ`` must be valid.
+
+        Observations are duplicable knowledge, so consumption leaves
+        the context unchanged.
+        """
+        if solver.entails(list(pc) + [self.formula], psi):
+            return ObsOutcome(self)
+        return ObsOutcome(None, error=f"observation not entailed: {psi}")
+
+    def holds(self, psi: Term, solver: Solver, pc: tuple[Term, ...]) -> bool:
+        return solver.entails(list(pc) + [self.formula], psi)
+
+    def __repr__(self) -> str:
+        return f"⟨{self.formula}⟩"

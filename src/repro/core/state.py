@@ -1,0 +1,318 @@
+"""The Gillian-Rust symbolic state σ = (h, ξ, γ, φ, χ) (§2.3).
+
+``RustState`` composes the five components from the paper — symbolic
+heap (§3), lifetime context (§4.1), guarded predicate context (§4.2),
+observation context (§5.2) and prophecy context (§5.3) — plus the
+path condition π and the list of plain folded predicates.
+
+``RustStateModel`` is the instantiation of the Gillian platform: it
+implements the consumer and producer of every *core predicate* in
+terms of the component contexts. The generic assertion-level
+consume/produce machinery lives in :mod:`repro.gillian`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.borrows import BorrowInstance, ClosingToken, GuardedPredCtx
+from repro.core.heap.heap import SymbolicHeap
+from repro.core.heap.structural import HeapCtx, HeapError
+from repro.core.lifetimes import LifetimeCtx
+from repro.core.observations import ObservationCtx
+from repro.core.prophecies import ProphecyCtx
+from repro.gilsonite.ast import (
+    AliveLft,
+    Assertion,
+    Borrow,
+    Closing,
+    DeadLft,
+    Observation,
+    PointsTo,
+    PointsToSlice,
+    PointsToSliceUninit,
+    PointsToUninit,
+    Pred,
+    PredInstance,
+    ProphCtrl,
+    ValueObs,
+)
+from repro.lang.mir import Program
+from repro.solver.core import Solver, Status
+from repro.solver.terms import Term, Var, eq
+
+
+@dataclass(frozen=True)
+class RustState:
+    heap: SymbolicHeap = field(default_factory=SymbolicHeap)
+    lifetimes: LifetimeCtx = field(default_factory=LifetimeCtx)
+    borrows: GuardedPredCtx = field(default_factory=GuardedPredCtx)
+    preds: tuple[PredInstance, ...] = ()
+    obs: ObservationCtx = field(default_factory=ObservationCtx)
+    proph: ProphecyCtx = field(default_factory=ProphecyCtx)
+    pc: tuple[Term, ...] = ()
+
+    def assume(self, facts: tuple[Term, ...]) -> "RustState":
+        if not facts:
+            return self
+        return replace(self, pc=self.pc + facts)
+
+    def add_pred(self, inst: PredInstance) -> "RustState":
+        return replace(self, preds=self.preds + (inst,))
+
+    def remove_pred(self, inst: PredInstance) -> "RustState":
+        preds = list(self.preds)
+        preds.remove(inst)
+        return replace(self, preds=tuple(preds))
+
+    def __repr__(self) -> str:
+        return (
+            f"σ(\n {self.heap!r}\n {self.lifetimes!r}\n {self.borrows!r}\n"
+            f" preds={list(self.preds)!r}\n {self.obs!r}\n {self.proph!r}\n"
+            f" π={[str(f) for f in self.pc]}\n)"
+        )
+
+
+@dataclass
+class ModelOutcome:
+    """Result of one branch of a core-predicate consumer/producer."""
+
+    state: Optional[RustState]
+    # Learned values for Out positions, keyed by field name.
+    actuals: dict[str, Term] = field(default_factory=dict)
+    error: Optional[str] = None
+    # True when production vanished (assumed False) — prune the branch.
+    inconsistent: bool = False
+
+
+class RustStateModel:
+    """Actions + core-predicate consumers/producers over RustState."""
+
+    def __init__(self, program: Program, solver: Solver) -> None:
+        self.program = program
+        self.solver = solver
+
+    # -- helpers ----------------------------------------------------------------
+
+    def heap_ctx(self, state: RustState) -> HeapCtx:
+        return HeapCtx(self.program.registry, self.solver, state.pc)
+
+    def feasible(self, state: RustState) -> bool:
+        return self.solver.check_sat(state.pc) != Status.UNSAT
+
+    # -- producers --------------------------------------------------------------
+
+    def produce_core(self, state: RustState, a: Assertion) -> list[ModelOutcome]:
+        if isinstance(a, PointsTo):
+            return self._produce_points_to(state, a.ptr, a.ty, a.value)
+        if isinstance(a, PointsToUninit):
+            return self._produce_points_to(state, a.ptr, a.ty, None)
+        if isinstance(a, PointsToSlice):
+            return self._heap_outs(
+                state,
+                state.heap.produce_slice(
+                    a.ptr, a.elem_ty, a.length, a.values, self.heap_ctx(state)
+                ),
+            )
+        if isinstance(a, PointsToSliceUninit):
+            return self._heap_outs(
+                state,
+                state.heap.produce_slice(
+                    a.ptr, a.elem_ty, a.length, None, self.heap_ctx(state)
+                ),
+            )
+        if isinstance(a, Pred):
+            return [ModelOutcome(state.add_pred(PredInstance(a.name, a.args)))]
+        if isinstance(a, Borrow):
+            inst = BorrowInstance(a.pred, a.lifetime, a.args)
+            return [ModelOutcome(replace(state, borrows=state.borrows.add_borrow(inst)))]
+        if isinstance(a, Closing):
+            tok = ClosingToken(a.pred, a.lifetime, a.fraction, a.args)
+            return [ModelOutcome(replace(state, borrows=state.borrows.add_token(tok)))]
+        if isinstance(a, AliveLft):
+            out = state.lifetimes.produce_alive(
+                a.lifetime, a.fraction, self.solver, state.pc
+            )
+            if out.inconsistent:
+                return [ModelOutcome(None, inconsistent=True)]
+            return [
+                ModelOutcome(
+                    replace(state, lifetimes=out.ctx).assume(out.facts)
+                )
+            ]
+        if isinstance(a, DeadLft):
+            out = state.lifetimes.produce_dead(a.lifetime, self.solver, state.pc)
+            if out.inconsistent:
+                return [ModelOutcome(None, inconsistent=True)]
+            return [ModelOutcome(replace(state, lifetimes=out.ctx))]
+        if isinstance(a, Observation):
+            out = state.obs.produce(a.formula, self.solver, state.pc)
+            if out.inconsistent:
+                return [ModelOutcome(None, inconsistent=True)]
+            return [ModelOutcome(replace(state, obs=out.ctx))]
+        if isinstance(a, ValueObs):
+            assert isinstance(a.proph, Var), f"prophecy must be a variable: {a.proph}"
+            out = state.proph.produce_vo(a.proph, a.value)
+            if out.error:
+                return [ModelOutcome(None, error=out.error)]
+            return [ModelOutcome(replace(state, proph=out.ctx).assume(out.facts))]
+        if isinstance(a, ProphCtrl):
+            assert isinstance(a.proph, Var)
+            out = state.proph.produce_pc(a.proph, a.value)
+            if out.error:
+                return [ModelOutcome(None, error=out.error)]
+            return [ModelOutcome(replace(state, proph=out.ctx).assume(out.facts))]
+        raise TypeError(f"not a core predicate: {a}")
+
+    def _produce_points_to(
+        self, state: RustState, ptr: Term, ty, value: Optional[Term]
+    ) -> list[ModelOutcome]:
+        ctx = self.heap_ctx(state)
+        outs = []
+        for h in state.heap.produce_points_to(ptr, ty, value, ctx):
+            if h.error:
+                outs.append(ModelOutcome(None, error=str(h.error)))
+            else:
+                outs.append(ModelOutcome(replace(state, heap=h.heap).assume(h.facts)))
+        return outs
+
+    def _heap_outs(self, state: RustState, outs) -> list[ModelOutcome]:
+        result = []
+        for h in outs:
+            if h.error:
+                result.append(ModelOutcome(None, error=str(h.error)))
+            else:
+                actuals = {} if h.value is None else {"values": h.value}
+                result.append(
+                    ModelOutcome(
+                        replace(state, heap=h.heap).assume(h.facts), actuals=actuals
+                    )
+                )
+        return result
+
+    # -- consumers -----------------------------------------------------------------
+
+    def consume_core(self, state: RustState, a: Assertion) -> list[ModelOutcome]:
+        """Consume a core predicate whose In positions are ground.
+
+        Out positions are reported through ``actuals`` for the generic
+        engine to unify with the assertion's out expressions.
+        """
+        if isinstance(a, PointsTo):
+            ctx = self.heap_ctx(state)
+            outs = []
+            for h in state.heap.consume_points_to(a.ptr, a.ty, ctx):
+                if h.error:
+                    outs.append(ModelOutcome(None, error=str(h.error)))
+                else:
+                    outs.append(
+                        ModelOutcome(
+                            replace(state, heap=h.heap).assume(h.facts),
+                            actuals={"value": h.value},
+                        )
+                    )
+            return outs
+        if isinstance(a, PointsToUninit):
+            ctx = self.heap_ctx(state)
+            outs = []
+            for h in state.heap.consume_points_to(a.ptr, a.ty, ctx, uninit=True):
+                if h.error:
+                    outs.append(ModelOutcome(None, error=str(h.error)))
+                else:
+                    outs.append(
+                        ModelOutcome(replace(state, heap=h.heap).assume(h.facts))
+                    )
+            return outs
+        if isinstance(a, PointsToSlice):
+            return self._heap_outs(
+                state,
+                state.heap.consume_slice(
+                    a.ptr, a.elem_ty, a.length, self.heap_ctx(state)
+                ),
+            )
+        if isinstance(a, PointsToSliceUninit):
+            return self._heap_outs(
+                state,
+                state.heap.consume_slice(
+                    a.ptr, a.elem_ty, a.length, self.heap_ctx(state), uninit=True
+                ),
+            )
+        if isinstance(a, Pred):
+            return self._consume_named(state, a)
+        if isinstance(a, Borrow):
+            inst = state.borrows.find_borrow(
+                a.pred, a.lifetime, a.args, self.solver, state.pc
+            )
+            if inst is None:
+                return [ModelOutcome(None, error=f"no borrow {a}")]
+            return [
+                ModelOutcome(replace(state, borrows=state.borrows.remove_borrow(inst)))
+            ]
+        if isinstance(a, Closing):
+            tok = state.borrows.find_token(a.pred, a.lifetime, self.solver, state.pc)
+            if tok is None:
+                return [ModelOutcome(None, error=f"no closing token {a}")]
+            return [
+                ModelOutcome(
+                    replace(state, borrows=state.borrows.remove_token(tok)),
+                    actuals={"fraction": tok.fraction},
+                )
+            ]
+        if isinstance(a, AliveLft):
+            out = state.lifetimes.consume_alive(
+                a.lifetime, a.fraction, self.solver, state.pc
+            )
+            if out.ctx is None:
+                return [ModelOutcome(None, error=out.error)]
+            return [ModelOutcome(replace(state, lifetimes=out.ctx))]
+        if isinstance(a, DeadLft):
+            out = state.lifetimes.consume_dead(a.lifetime, self.solver, state.pc)
+            if out.ctx is None:
+                return [ModelOutcome(None, error=out.error)]
+            return [ModelOutcome(replace(state, lifetimes=out.ctx))]
+        if isinstance(a, Observation):
+            out = state.obs.consume(a.formula, self.solver, state.pc)
+            if out.ctx is None:
+                return [ModelOutcome(None, error=out.error)]
+            return [ModelOutcome(state)]
+        if isinstance(a, ValueObs):
+            assert isinstance(a.proph, Var)
+            out = state.proph.consume_vo(a.proph)
+            if out.ctx is None:
+                return [ModelOutcome(None, error=out.error)]
+            return [
+                ModelOutcome(
+                    replace(state, proph=out.ctx), actuals={"value": out.value}
+                )
+            ]
+        if isinstance(a, ProphCtrl):
+            assert isinstance(a.proph, Var)
+            out = state.proph.consume_pc(a.proph)
+            if out.ctx is None:
+                return [ModelOutcome(None, error=out.error)]
+            return [
+                ModelOutcome(
+                    replace(state, proph=out.ctx), actuals={"value": out.value}
+                )
+            ]
+        raise TypeError(f"not a core predicate: {a}")
+
+    def _consume_named(self, state: RustState, a: Pred) -> list[ModelOutcome]:
+        """Match a folded predicate instance: In args by entailment,
+        Out args reported back for unification."""
+        pdef = self.program.predicates.get(a.name)
+        if pdef is None:
+            return [ModelOutcome(None, error=f"unknown predicate {a.name}")]
+        ins = pdef.in_indices()
+        outs_idx = pdef.out_indices()
+        for inst in state.preds:
+            if inst.name != a.name or len(inst.args) != len(a.args):
+                continue
+            if all(
+                self.solver.entails(state.pc, eq(a.args[i], inst.args[i]))
+                for i in ins
+            ):
+                actuals = {f"arg{i}": inst.args[i] for i in outs_idx}
+                return [ModelOutcome(state.remove_pred(inst), actuals=actuals)]
+        return [ModelOutcome(None, error=f"no folded instance of {a}")]

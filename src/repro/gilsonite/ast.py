@@ -1,0 +1,431 @@
+"""Gilsonite: the assertion language of Gillian-Rust (§2.1, §3.3).
+
+Assertions are built from *core predicates* — typed points-to,
+lifetime tokens, full borrows, observations, value observers and
+prophecy controllers — plus named (user-defined) predicates, pure
+formulas, separating conjunction and existentials.
+
+Logical variables are solver :class:`~repro.solver.terms.Var`\\ s;
+pure formulas and predicate arguments are solver terms. Substitution
+is therefore term substitution lifted over the assertion structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.lang.types import Ty
+from repro.solver.terms import Term, Var, substitute
+
+
+class Assertion:
+    __slots__ = ()
+
+    def subst(self, mapping: dict[Term, Term]) -> "Assertion":
+        raise NotImplementedError
+
+    def free_vars(self) -> set[Var]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Emp(Assertion):
+    def subst(self, mapping):
+        return self
+
+    def free_vars(self):
+        return set()
+
+    def __str__(self) -> str:
+        return "emp"
+
+
+@dataclass(frozen=True)
+class Star(Assertion):
+    parts: tuple[Assertion, ...]
+
+    def subst(self, mapping):
+        return Star(tuple(p.subst(mapping) for p in self.parts))
+
+    def free_vars(self):
+        out: set[Var] = set()
+        for p in self.parts:
+            out |= p.free_vars()
+        return out
+
+    def __str__(self) -> str:
+        return " * ".join(str(p) for p in self.parts)
+
+
+def star(*parts: Assertion) -> Assertion:
+    """Smart constructor: flatten and drop emp."""
+    flat: list[Assertion] = []
+    for p in parts:
+        if isinstance(p, Emp):
+            continue
+        if isinstance(p, Star):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return Emp()
+    if len(flat) == 1:
+        return flat[0]
+    return Star(tuple(flat))
+
+
+def _term_vars(t: Term) -> set[Var]:
+    from repro.solver.terms import free_vars
+
+    return free_vars(t)
+
+
+@dataclass(frozen=True)
+class Pure(Assertion):
+    """A pure first-order formula."""
+
+    formula: Term
+
+    def subst(self, mapping):
+        return Pure(substitute(self.formula, mapping))
+
+    def free_vars(self):
+        return _term_vars(self.formula)
+
+    def __str__(self) -> str:
+        return f"({self.formula})"
+
+
+@dataclass(frozen=True)
+class PointsTo(Assertion):
+    """``ptr ↦_ty value`` — the typed points-to core predicate (§3.3)."""
+
+    ptr: Term
+    ty: Ty
+    value: Term
+
+    def subst(self, mapping):
+        return PointsTo(
+            substitute(self.ptr, mapping), self.ty, substitute(self.value, mapping)
+        )
+
+    def free_vars(self):
+        return _term_vars(self.ptr) | _term_vars(self.value)
+
+    def __str__(self) -> str:
+        return f"{self.ptr} ↦_{{{self.ty}}} {self.value}"
+
+
+@dataclass(frozen=True)
+class PointsToUninit(Assertion):
+    """``ptr ↦_ty ?`` — region owned, possibly uninitialised."""
+
+    ptr: Term
+    ty: Ty
+
+    def subst(self, mapping):
+        return PointsToUninit(substitute(self.ptr, mapping), self.ty)
+
+    def free_vars(self):
+        return _term_vars(self.ptr)
+
+    def __str__(self) -> str:
+        return f"{self.ptr} ↦_{{{self.ty}}} ?"
+
+
+@dataclass(frozen=True)
+class PointsToSlice(Assertion):
+    """``ptr ↦_[ty] values`` over ``length`` contiguous elements."""
+
+    ptr: Term
+    elem_ty: Ty
+    length: Term
+    values: Term  # Seq-sorted
+
+    def subst(self, mapping):
+        return PointsToSlice(
+            substitute(self.ptr, mapping),
+            self.elem_ty,
+            substitute(self.length, mapping),
+            substitute(self.values, mapping),
+        )
+
+    def free_vars(self):
+        return _term_vars(self.ptr) | _term_vars(self.length) | _term_vars(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.ptr} ↦_[{self.elem_ty}; {self.length}] {self.values}"
+
+
+@dataclass(frozen=True)
+class PointsToSliceUninit(Assertion):
+    """``ptr ↦_[ty; length] ?`` — an owned, uninitialised region."""
+
+    ptr: Term
+    elem_ty: Ty
+    length: Term
+
+    def subst(self, mapping):
+        return PointsToSliceUninit(
+            substitute(self.ptr, mapping), self.elem_ty, substitute(self.length, mapping)
+        )
+
+    def free_vars(self):
+        return _term_vars(self.ptr) | _term_vars(self.length)
+
+    def __str__(self) -> str:
+        return f"{self.ptr} ↦_[{self.elem_ty}; {self.length}] ?"
+
+
+@dataclass(frozen=True)
+class Pred(Assertion):
+    """A named (possibly user-defined, possibly abstract) predicate."""
+
+    name: str
+    args: tuple[Term, ...]
+
+    def subst(self, mapping):
+        return Pred(self.name, tuple(substitute(a, mapping) for a in self.args))
+
+    def free_vars(self):
+        out: set[Var] = set()
+        for a in self.args:
+            out |= _term_vars(a)
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Borrow(Assertion):
+    """``&^κ δ(args)`` — a full borrow of a named predicate (§4.2)."""
+
+    lifetime: Term
+    pred: str
+    args: tuple[Term, ...]
+
+    def subst(self, mapping):
+        return Borrow(
+            substitute(self.lifetime, mapping),
+            self.pred,
+            tuple(substitute(a, mapping) for a in self.args),
+        )
+
+    def free_vars(self):
+        out = _term_vars(self.lifetime)
+        for a in self.args:
+            out |= _term_vars(a)
+        return out
+
+    def __str__(self) -> str:
+        return f"&^{self.lifetime} {self.pred}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Closing(Assertion):
+    """``C_δ(κ, q, x⃗)`` — the closing token produced by gunfold."""
+
+    pred: str
+    lifetime: Term
+    fraction: Term
+    args: tuple[Term, ...]
+
+    def subst(self, mapping):
+        return Closing(
+            self.pred,
+            substitute(self.lifetime, mapping),
+            substitute(self.fraction, mapping),
+            tuple(substitute(a, mapping) for a in self.args),
+        )
+
+    def free_vars(self):
+        out = _term_vars(self.lifetime) | _term_vars(self.fraction)
+        for a in self.args:
+            out |= _term_vars(a)
+        return out
+
+    def __str__(self) -> str:
+        return f"C_{self.pred}({self.lifetime}, {self.fraction})"
+
+
+@dataclass(frozen=True)
+class AliveLft(Assertion):
+    """``[κ]_q``."""
+
+    lifetime: Term
+    fraction: Term
+
+    def subst(self, mapping):
+        return AliveLft(
+            substitute(self.lifetime, mapping), substitute(self.fraction, mapping)
+        )
+
+    def free_vars(self):
+        return _term_vars(self.lifetime) | _term_vars(self.fraction)
+
+    def __str__(self) -> str:
+        return f"[{self.lifetime}]_{self.fraction}"
+
+
+@dataclass(frozen=True)
+class DeadLft(Assertion):
+    """``[†κ]``."""
+
+    lifetime: Term
+
+    def subst(self, mapping):
+        return DeadLft(substitute(self.lifetime, mapping))
+
+    def free_vars(self):
+        return _term_vars(self.lifetime)
+
+    def __str__(self) -> str:
+        return f"[†{self.lifetime}]"
+
+
+@dataclass(frozen=True)
+class Observation(Assertion):
+    """``⟨ψ⟩`` — prophetic knowledge (§5.1)."""
+
+    formula: Term
+
+    def subst(self, mapping):
+        return Observation(substitute(self.formula, mapping))
+
+    def free_vars(self):
+        return _term_vars(self.formula)
+
+    def __str__(self) -> str:
+        return f"⟨{self.formula}⟩"
+
+
+@dataclass(frozen=True)
+class ValueObs(Assertion):
+    """``VO_x(a)`` — value observer (§5.3)."""
+
+    proph: Term
+    value: Term
+
+    def subst(self, mapping):
+        return ValueObs(substitute(self.proph, mapping), substitute(self.value, mapping))
+
+    def free_vars(self):
+        return _term_vars(self.proph) | _term_vars(self.value)
+
+    def __str__(self) -> str:
+        return f"VO_{self.proph}({self.value})"
+
+
+@dataclass(frozen=True)
+class ProphCtrl(Assertion):
+    """``PC_x(a)`` — prophecy controller (§5.3)."""
+
+    proph: Term
+    value: Term
+
+    def subst(self, mapping):
+        return ProphCtrl(
+            substitute(self.proph, mapping), substitute(self.value, mapping)
+        )
+
+    def free_vars(self):
+        return _term_vars(self.proph) | _term_vars(self.value)
+
+    def __str__(self) -> str:
+        return f"PC_{self.proph}({self.value})"
+
+
+@dataclass(frozen=True)
+class Exists(Assertion):
+    vars: tuple[Var, ...]
+    body: Assertion
+
+    def subst(self, mapping):
+        clean = {k: v for k, v in mapping.items() if k not in self.vars}
+        return Exists(self.vars, self.body.subst(clean))
+
+    def free_vars(self):
+        return self.body.free_vars() - set(self.vars)
+
+    def __str__(self) -> str:
+        vs = ", ".join(v.name for v in self.vars)
+        return f"∃ {vs}. {self.body}"
+
+
+# ---------------------------------------------------------------------------
+# Predicate definitions
+# ---------------------------------------------------------------------------
+
+
+class Mode(enum.Enum):
+    """Parameter modes (§7.2): Out parameters must be uniquely
+    learnable from the In parameters (Gillian's dataflow requirement)."""
+
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass(frozen=True)
+class Param:
+    var: Var
+    mode: Mode = Mode.IN
+
+
+@dataclass
+class PredicateDef:
+    """A named predicate: parameters with modes and disjunct bodies.
+
+    ``guard`` marks a *guarded* predicate (a borrow body): the named
+    parameter is the lifetime whose token unfolds it (§4.2).
+    ``abstract`` predicates (ownership of type parameters) cannot be
+    unfolded — the semi-automated-verification trick from §4.2.
+    """
+
+    name: str
+    params: tuple[Param, ...]
+    disjuncts: tuple[Assertion, ...] = ()
+    abstract: bool = False
+    guard: Optional[str] = None  # name of the lifetime parameter
+
+    def arity(self) -> int:
+        return len(self.params)
+
+    def instantiate(self, args: Sequence[Term]) -> list[Assertion]:
+        """Bodies with parameters replaced by the given arguments."""
+        if len(args) != len(self.params):
+            raise ValueError(
+                f"{self.name}: expected {len(self.params)} args, got {len(args)}"
+            )
+        mapping = {p.var: a for p, a in zip(self.params, args)}
+        return [d.subst(mapping) for d in self.disjuncts]
+
+    def in_indices(self) -> list[int]:
+        return [i for i, p in enumerate(self.params) if p.mode == Mode.IN]
+
+    def out_indices(self) -> list[int]:
+        return [i for i, p in enumerate(self.params) if p.mode == Mode.OUT]
+
+
+@dataclass(frozen=True)
+class PredInstance:
+    """A folded predicate held in the symbolic state."""
+
+    name: str
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+def iter_parts(a: Assertion) -> Iterable[Assertion]:
+    """Iterate over star-conjuncts (existentials kept whole)."""
+    if isinstance(a, Star):
+        for p in a.parts:
+            yield from iter_parts(p)
+    elif isinstance(a, Emp):
+        return
+    else:
+        yield a

@@ -1,0 +1,281 @@
+"""The Ownable trait: representation types and ownership predicates (§2.2, §5.1).
+
+Every type that participates in verification implements ``Ownable``:
+it has a *representation type* ``⌊T⌋`` (a solver sort here) and an
+ownership predicate ``own(self, repr)`` connecting a Rust value to its
+pure representation (Fig. 1). The registry synthesises the standard
+instances:
+
+* machine integers / bool / char — repr is the value itself, and the
+  predicate carries the validity range (the RustBelt ownership
+  predicate of an integer type *is* its validity invariant);
+* type parameters ``T`` — an *abstract* predicate over an opaque repr
+  sort (the semi-automated-tools trick from §4.2);
+* ``Box<T>``    — points-to plus ownership of the pointee;
+* ``Option<T>`` — case split, repr is an ``Option`` of the inner repr;
+* ``&'κ mut T`` — the RustHornBelt predicate (§5.1): repr is the pair
+  (current, final); a value observer plus a full borrow of the guarded
+  invariant ``∃v a. p ↦ v * ⌊T⌋(v, a) * PC_x(a)``.
+
+User types (``LinkedList<T>``) register their own implementation, as
+in Fig. 2 of the paper.
+
+Parameter convention for every own predicate: ``(κ, self, repr)`` with
+``κ`` and ``self`` In and ``repr`` Out. Threading the ambient lifetime
+through every instance keeps composition (e.g. ``Option<&mut T>``)
+uniform under the paper's single-lifetime front-end restriction
+(§7.1); the Out-mode of ``repr`` is the dataflow discipline that makes
+``ty_own_proph`` hold by construction (§7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.heap.values import ty_to_sort, validity_constraints
+from repro.gilsonite.ast import (
+    Assertion,
+    Borrow,
+    Exists,
+    Mode,
+    Param,
+    PointsTo,
+    Pred,
+    PredicateDef,
+    ProphCtrl,
+    Pure,
+    ValueObs,
+    star,
+)
+from repro.lang.mir import Program
+from repro.lang.types import (
+    AdtTy,
+    BoolTy,
+    CharTy,
+    IntTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    Ty,
+    UnitTy,
+)
+from repro.solver.sorts import (
+    BOOL,
+    INT,
+    LFT,
+    LOC,
+    OptionSort,
+    Sort,
+    TupleSort,
+    UninterpSort,
+)
+from repro.solver.terms import (
+    TRUE,
+    Term,
+    Var,
+    and_,
+    eq,
+    is_some,
+    none,
+    not_,
+    some,
+    tuple_mk,
+)
+
+
+def own_pred_name(ty: Ty) -> str:
+    return f"own:{ty}"
+
+
+def mutref_inv_name(ty: Ty) -> str:
+    return f"mutref_inv:{ty}"
+
+
+#: Builder signature for custom Ownable impls: receives the registry,
+#: the concrete type, and the (κ, self, repr) parameter variables.
+CustomBuilder = Callable[["OwnableRegistry", AdtTy, Var, Var, Var], list[Assertion]]
+
+
+class OwnableRegistry:
+    """Synthesises and stores ownership predicates in a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._custom_repr: dict[str, Callable[[AdtTy], Sort]] = {}
+        self._custom_build: dict[str, CustomBuilder] = {}
+
+    # -- representation types (⌊·⌋) ------------------------------------------------
+
+    def repr_sort(self, ty: Ty) -> Sort:
+        if isinstance(ty, IntTy):
+            return INT
+        if isinstance(ty, BoolTy):
+            return BOOL
+        if isinstance(ty, CharTy):
+            return INT
+        if isinstance(ty, UnitTy):
+            return TupleSort(())
+        if isinstance(ty, ParamTy):
+            return UninterpSort(f"repr:{ty.name}")
+        if isinstance(ty, TupleTy):
+            return TupleSort(tuple(self.repr_sort(e) for e in ty.elems))
+        if isinstance(ty, RefTy) and ty.mutable:
+            inner = self.repr_sort(ty.pointee)
+            return TupleSort((inner, inner))
+        if isinstance(ty, RawPtrTy):
+            return LOC
+        if isinstance(ty, AdtTy):
+            if ty.name == "Option":
+                return OptionSort(self.repr_sort(ty.args[0]))
+            if ty.name == "Box":
+                return self.repr_sort(ty.args[0])
+            custom = self._custom_repr.get(ty.name)
+            if custom is not None:
+                return custom(ty)
+            raise KeyError(f"{ty} does not implement Ownable")
+        raise KeyError(f"{ty} does not implement Ownable")
+
+    # -- predicate synthesis ------------------------------------------------------------
+
+    def ensure_own(self, ty: Ty) -> str:
+        """Create (if needed) and return the own predicate for ``ty``."""
+        name = own_pred_name(ty)
+        if name in self.program.predicates:
+            return name
+        # Reserve the slot first so recursive types terminate.
+        kappa, self_v, repr_v = self._own_params(ty)
+        pdef = PredicateDef(
+            name=name,
+            params=(
+                Param(kappa, Mode.IN),
+                Param(self_v, Mode.IN),
+                Param(repr_v, Mode.OUT),
+            ),
+        )
+        self.program.predicates[name] = pdef
+        pdef.disjuncts, pdef.abstract = self._build_own(ty, kappa, self_v, repr_v)
+        return name
+
+    def _own_params(self, ty: Ty) -> tuple[Var, Var, Var]:
+        kappa = Var("κ", LFT)
+        if isinstance(ty, RefTy):
+            self_sort: Sort = LOC
+        else:
+            self_sort = ty_to_sort(ty, self.program.registry)
+        return kappa, Var("self", self_sort), Var("repr", self.repr_sort(ty))
+
+    def register_custom(
+        self,
+        ty: AdtTy,
+        repr_of: Callable[[AdtTy], Sort],
+        build: CustomBuilder,
+    ) -> str:
+        """Register a user Ownable impl (Fig. 2)."""
+        self._custom_repr[ty.name] = repr_of
+        self._custom_build[ty.name] = build
+        return self.ensure_own(ty)
+
+    def _build_own(
+        self, ty: Ty, kappa: Var, self_v: Var, repr_v: Var
+    ) -> tuple[tuple[Assertion, ...], bool]:
+        """Returns (disjuncts, abstract)."""
+        reg = self.program.registry
+        if isinstance(ty, RefTy) and ty.mutable:
+            return self._build_own_mutref(ty, kappa, self_v, repr_v), False
+        if isinstance(ty, ParamTy):
+            return (), True
+        if isinstance(ty, (IntTy, BoolTy, CharTy, UnitTy)):
+            invs = validity_constraints(ty, self_v, reg)
+            return (star(Pure(eq(repr_v, self_v)), *[Pure(i) for i in invs]),), False
+        if isinstance(ty, AdtTy) and ty.name == "Option":
+            inner = ty.args[0]
+            inner_own = self.ensure_own(inner)
+            inner_self_sort = (
+                LOC if isinstance(inner, RefTy) else ty_to_sort(inner, reg)
+            )
+            x = Var("x", inner_self_sort)
+            rx = Var("rx", self.repr_sort(inner))
+            none_case = star(
+                Pure(not_(is_some(self_v))),
+                Pure(eq(repr_v, none(self.repr_sort(inner)))),
+            )
+            some_case = Exists(
+                (x, rx),
+                star(
+                    Pure(eq(self_v, some(x))),
+                    Pred(inner_own, (kappa, x, rx)),
+                    Pure(eq(repr_v, some(rx))),
+                ),
+            )
+            return (none_case, some_case), False
+        if isinstance(ty, AdtTy) and ty.name == "Box":
+            inner = ty.args[0]
+            inner_own = self.ensure_own(inner)
+            v = Var("v", ty_to_sort(inner, reg))
+            return (
+                Exists(
+                    (v,),
+                    star(
+                        PointsTo(self_v, inner, v),
+                        Pred(inner_own, (kappa, v, repr_v)),
+                    ),
+                ),
+            ), False
+        if isinstance(ty, AdtTy) and ty.name in self._custom_build:
+            builder = self._custom_build[ty.name]
+            return tuple(builder(self, ty, kappa, self_v, repr_v)), False
+        raise KeyError(f"no Ownable instance for {ty}")
+
+    def _build_own_mutref(
+        self, ty: RefTy, kappa: Var, p: Var, r: Var
+    ) -> tuple[Assertion, ...]:
+        """``⌊&κ mut T⌋(p, r) ≜ ∃x. r.2 = ↑x * VO_x(r.1) *
+        &^κ(∃v a. p ↦ v * ⌊T⌋(v, a) * PC_x(a))`` (§5.1)."""
+        inner = ty.pointee
+        inner_repr = self.repr_sort(inner)
+        inv = self.ensure_mutref_inv(inner)
+        x = Var("x", inner_repr)
+        cur = Var("cur", inner_repr)
+        body = Exists(
+            (x, cur),
+            star(
+                Borrow(kappa, inv, (p, x)),
+                ValueObs(x, cur),
+                Pure(eq(r, tuple_mk(cur, x))),
+            ),
+        )
+        return (body,)
+
+    def ensure_mutref_inv(self, inner: Ty) -> str:
+        """The guarded predicate under a mutable borrow of ``inner``."""
+        name = mutref_inv_name(inner)
+        if name in self.program.predicates:
+            return name
+        reg = self.program.registry
+        inner_own = self.ensure_own(inner)
+        kappa = Var("κ", LFT)
+        p = Var("p", LOC)
+        x = Var("x", self.repr_sort(inner))
+        v = Var("v", ty_to_sort(inner, reg))
+        a = Var("a", self.repr_sort(inner))
+        body = Exists(
+            (v, a),
+            star(
+                PointsTo(p, inner, v),
+                Pred(inner_own, (kappa, v, a)),
+                ProphCtrl(x, a),
+            ),
+        )
+        self.program.predicates[name] = PredicateDef(
+            name=name,
+            params=(
+                Param(kappa, Mode.IN),
+                Param(p, Mode.IN),
+                Param(x, Mode.IN),
+            ),
+            disjuncts=(body,),
+            guard="κ",
+        )
+        return name

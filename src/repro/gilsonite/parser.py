@@ -1,0 +1,390 @@
+"""The textual ``gilsonite!`` front-end (§2.2, Fig. 2).
+
+Lets users write assertions the way the paper does::
+
+    gilsonite!(dllSeg(self.head, None, self.tail, None, repr)
+               * (self.len == repr.len()))
+
+    gilsonite!(<exists v: T> self -> v * v.own(_))
+
+Surface forms, separated by top-level ``*``:
+
+* ``<exists x: Ty, r: @Ty> A``  — existential binders (``@Ty`` binds a
+  variable of ``Ty``'s *representation* sort, plain ``Ty`` of its
+  value sort);
+* ``p -> v``                    — typed points-to (the pointee type
+  comes from ``p``'s type);
+* ``p -> _``                    — maybe-uninit points-to;
+* ``x.own(r)`` / ``x.own(_)``   — ownership at ``x``'s type;
+* ``name(args…)``               — a named predicate;
+* ``$ φ $``                     — an observation;
+* ``( φ )``                     — a pure formula;
+* ``emp``.
+
+Terms inside assertions are value-level: variables from the
+environment, struct field access by name (``self.head``), ``None`` /
+``Some(t)``, integers, arithmetic and comparisons, ``s.len()`` on
+sequence-sorted variables. ``_`` is a wildcard bound existentially
+around the whole assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.gilsonite.ast import (
+    Assertion,
+    Emp,
+    Exists,
+    Observation,
+    PointsTo,
+    PointsToUninit,
+    Pred,
+    Pure,
+    star,
+)
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.lang.mir import Program
+from repro.lang.parser import parse_type
+from repro.lang.types import AdtTy, RawPtrTy, RefTy, Ty
+from repro.pearlite.ast import (
+    PBin,
+    PBool,
+    PCall,
+    PField,
+    PInt,
+    PNot,
+    PTerm,
+    PVar,
+)
+from repro.pearlite.parser import PearliteParseError, parse_pearlite
+from repro.solver.sorts import BOOL, INT, OptionSort, SeqSort, Sort
+from repro.solver.terms import (
+    Term,
+    Var,
+    add,
+    and_,
+    boollit,
+    eq,
+    fresh_var,
+    ge,
+    gt,
+    implies,
+    intlit,
+    is_some,
+    le,
+    lt,
+    mul,
+    none,
+    not_,
+    or_,
+    seq_len,
+    some,
+    sub,
+    tuple_get,
+)
+
+
+class GilsoniteParseError(Exception):
+    pass
+
+
+@dataclass
+class TypedTerm:
+    ty: Optional[Ty]
+    term: Term
+
+
+class _AssertionBuilder:
+    def __init__(
+        self,
+        program: Program,
+        ownables: OwnableRegistry,
+        env: dict[str, TypedTerm],
+        generics: Sequence[str],
+    ):
+        self.program = program
+        self.ownables = ownables
+        self.env = dict(env)
+        self.generics = tuple(generics)
+        self.wildcards: list[Var] = []
+
+    # -- term evaluation ------------------------------------------------------
+
+    def eval(self, pt: PTerm, expect: Optional[Sort] = None) -> TypedTerm:
+        if isinstance(pt, PInt):
+            return TypedTerm(None, intlit(pt.value))
+        if isinstance(pt, PBool):
+            return TypedTerm(None, boollit(pt.value))
+        if isinstance(pt, PVar):
+            if pt.name == "None":
+                if isinstance(expect, OptionSort):
+                    return TypedTerm(None, none(expect.elem))
+                raise GilsoniteParseError("None needs an Option sort from context")
+            if pt.name == "_":
+                if expect is None:
+                    raise GilsoniteParseError("wildcard _ needs a sort from context")
+                v = fresh_var("wild", expect)
+                self.wildcards.append(v)
+                return TypedTerm(None, v)
+            hit = self.env.get(pt.name)
+            if hit is None:
+                raise GilsoniteParseError(f"unbound variable {pt.name}")
+            return hit
+        if isinstance(pt, PField):
+            base = self.eval(pt.inner)
+            if not isinstance(base.ty, AdtTy):
+                raise GilsoniteParseError(f"field access on non-struct {base.ty}")
+            reg = self.program.registry
+            idx = reg.field_index(base.ty, pt.name)
+            fty = reg.field_ty(base.ty, 0, idx)
+            return TypedTerm(fty, tuple_get(base.term, idx))
+        if isinstance(pt, PNot):
+            return TypedTerm(None, not_(self.eval(pt.inner, BOOL).term))
+        if isinstance(pt, PBin):
+            return self._eval_bin(pt, expect)
+        if isinstance(pt, PCall):
+            return self._eval_call(pt, expect)
+        raise GilsoniteParseError(f"cannot use {pt} in a Gilsonite term")
+
+    def _eval_bin(self, pt: PBin, expect: Optional[Sort]) -> TypedTerm:
+        if pt.op in ("&&", "||", "==>"):
+            lhs = self.eval(pt.lhs, BOOL).term
+            rhs = self.eval(pt.rhs, BOOL).term
+            f = {"&&": and_, "||": or_, "==>": implies}[pt.op]
+            return TypedTerm(None, f(lhs, rhs))
+        try:
+            lhs = self.eval(pt.lhs)
+            rhs = self.eval(pt.rhs, lhs.term.sort)
+        except GilsoniteParseError:
+            rhs = self.eval(pt.rhs)
+            lhs = self.eval(pt.lhs, rhs.term.sort)
+        ops = {
+            "==": eq,
+            "!=": lambda a, b: not_(eq(a, b)),
+            "<": lt, "<=": le, ">": gt, ">=": ge,
+            "+": add, "-": sub, "*": mul,
+        }
+        if pt.op not in ops:
+            raise GilsoniteParseError(f"unknown operator {pt.op}")
+        return TypedTerm(None, ops[pt.op](lhs.term, rhs.term))
+
+    def _eval_call(self, pt: PCall, expect: Optional[Sort]) -> TypedTerm:
+        f = pt.func
+        if f in ("None", "Option::None"):
+            if isinstance(expect, OptionSort):
+                return TypedTerm(None, none(expect.elem))
+            raise GilsoniteParseError("None needs an Option sort from context")
+        if f in ("Some", "Option::Some"):
+            inner_expect = expect.elem if isinstance(expect, OptionSort) else None
+            x = self.eval(pt.args[0], inner_expect)
+            return TypedTerm(None, some(x.term))
+        if f == ".len":
+            s = self.eval(pt.args[0])
+            if isinstance(s.term.sort, SeqSort):
+                return TypedTerm(None, seq_len(s.term))
+            raise GilsoniteParseError(f".len() on non-sequence {s.term.sort}")
+        raise GilsoniteParseError(f"unknown function {f} in Gilsonite term")
+
+    # -- part parsing -------------------------------------------------------------
+
+    def part(self, src: str) -> Assertion:
+        src = src.strip()
+        if src == "emp":
+            return Emp()
+        if src.startswith("$") and src.endswith("$"):
+            inner = parse_pearlite(src[1:-1])
+            return Observation(self.eval(inner, BOOL).term)
+        arrow = _split_top(src, "->")
+        if arrow is not None:
+            lhs_src, rhs_src = arrow
+            lhs = self.eval(parse_pearlite(lhs_src))
+            pointee = _pointee(lhs.ty)
+            if pointee is None:
+                raise GilsoniteParseError(
+                    f"points-to needs a pointer-typed lhs, got {lhs.ty}"
+                )
+            if rhs_src.strip() == "_":
+                return PointsToUninit(lhs.term, pointee)
+            from repro.core.heap.values import ty_to_sort
+
+            rhs = self.eval(
+                parse_pearlite(rhs_src),
+                ty_to_sort(pointee, self.program.registry),
+            )
+            return PointsTo(lhs.term, pointee, rhs.term)
+        try:
+            pt = parse_pearlite(src)
+        except PearliteParseError as e:
+            raise GilsoniteParseError(str(e)) from None
+        if isinstance(pt, PCall) and pt.func == ".own":
+            target = self.eval(pt.args[0])
+            if target.ty is None:
+                raise GilsoniteParseError("own() needs a typed target")
+            name = self.ownables.ensure_own(target.ty)
+            kappa = self.env["'a"].term
+            repr_sort = self.ownables.repr_sort(target.ty)
+            if len(pt.args) == 1:
+                r: Term = fresh_var("wild_repr", repr_sort)
+                self.wildcards.append(r)
+            else:
+                r = self.eval(pt.args[1], repr_sort).term
+            return Pred(name, (kappa, target.term, r))
+        if isinstance(pt, PCall) and pt.func in self.program.predicates:
+            pdef = self.program.predicates[pt.func]
+            if len(pt.args) + 1 == len(pdef.params):
+                # Implicit leading lifetime argument.
+                args: list[Term] = [self.env["'a"].term]
+                params = pdef.params[1:]
+            else:
+                args = []
+                params = pdef.params
+            if len(pt.args) != len(params):
+                raise GilsoniteParseError(
+                    f"{pt.func} expects {len(params)} args, got {len(pt.args)}"
+                )
+            for a, p in zip(pt.args, params):
+                args.append(self.eval(a, p.var.sort).term)
+            return Pred(pt.func, tuple(args))
+        # Otherwise: a pure formula.
+        return Pure(self.eval(pt, BOOL).term)
+
+
+def _pointee(ty: Optional[Ty]) -> Optional[Ty]:
+    if isinstance(ty, (RawPtrTy, RefTy)):
+        return ty.pointee
+    if isinstance(ty, AdtTy) and ty.name == "Box":
+        return ty.args[0]
+    return None
+
+
+def _split_top(src: str, sep: str) -> Optional[tuple[str, str]]:
+    """Split at the first top-level occurrence of ``sep`` (not inside
+    parens/brackets/$...$)."""
+    depth = 0
+    in_obs = False
+    i = 0
+    while i < len(src):
+        c = src[i]
+        if c == "$":
+            in_obs = not in_obs
+        elif not in_obs:
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+            elif depth == 0 and src.startswith(sep, i):
+                return src[:i], src[i + len(sep) :]
+        i += 1
+    return None
+
+
+def _split_star(src: str) -> list[str]:
+    """Split an assertion at top-level ``*`` separators."""
+    parts: list[str] = []
+    depth = 0
+    in_obs = False
+    cur = []
+    for c in src:
+        if c == "$":
+            in_obs = not in_obs
+            cur.append(c)
+            continue
+        if not in_obs:
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+            elif c == "*" and depth == 0:
+                parts.append("".join(cur))
+                cur = []
+                continue
+        cur.append(c)
+    parts.append("".join(cur))
+    return [p for p in (p.strip() for p in parts) if p]
+
+
+def parse_gilsonite(
+    src: str,
+    program: Program,
+    ownables: OwnableRegistry,
+    env: dict[str, TypedTerm],
+    generics: Sequence[str] = ("T",),
+) -> Assertion:
+    """Parse one ``gilsonite!`` assertion."""
+    b = _AssertionBuilder(program, ownables, env, generics)
+    src = src.strip()
+    binders: list[Var] = []
+    while src.startswith("<exists"):
+        # Find the matching '>' (types like LinkedList<T> nest).
+        depth = 1
+        close = None
+        for i in range(len("<exists"), len(src)):
+            if src[i] == "<":
+                depth += 1
+            elif src[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+        if close is None:
+            raise GilsoniteParseError("unterminated <exists ...> binder")
+        decls = src[len("<exists") : close]
+        src = src[close + 1 :].strip()
+        for decl in _split_decls(decls):
+            name, _, ty_src = decl.partition(":")
+            name = name.strip()
+            ty_src = ty_src.strip()
+            if not name or not ty_src:
+                raise GilsoniteParseError(f"bad binder {decl!r}")
+            if ty_src.startswith("@"):
+                ty = parse_type(ty_src[1:], generics)
+                sort = ownables.repr_sort(ty)
+                v = Var(name, sort)
+                b.env[name] = TypedTerm(None, v)
+            else:
+                from repro.core.heap.values import ty_to_sort
+
+                ty = parse_type(ty_src, generics)
+                v = Var(name, ty_to_sort(ty, program.registry))
+                b.env[name] = TypedTerm(ty, v)
+            binders.append(v)
+    parts = [b.part(p) for p in _split_star(src)]
+    body = star(*parts)
+    all_binders = tuple(binders) + tuple(b.wildcards)
+    if all_binders:
+        return Exists(all_binders, body)
+    return body
+
+
+def _split_decls(src: str) -> list[str]:
+    """Split binder declarations at commas outside type arguments."""
+    out: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in src:
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+        elif c == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+            continue
+        cur.append(c)
+    out.append("".join(cur))
+    return [d for d in (d.strip() for d in out) if d]
+
+
+def typed_env(
+    program: Program,
+    ownables: OwnableRegistry,
+    kappa: Term,
+    **vars: tuple[Ty, Term],
+) -> dict[str, TypedTerm]:
+    """Convenience constructor for the parse environment."""
+    env = {"'a": TypedTerm(None, kappa)}
+    for name, (ty, term) in vars.items():
+        env[name] = TypedTerm(ty, term)
+    return env

@@ -1,0 +1,183 @@
+"""Gilsonite specifications: ``#[show_safety]`` and ``#[unsafe_spec]`` (§2.2).
+
+A :class:`Spec` carries the pre/post assertions of one function plus
+the variables linking assertion land to MIR land: one variable per
+parameter, the return-value variable, the ambient lifetime variable,
+and the universally-quantified spec variables (``<forall: ...>``).
+
+``show_safety_spec`` expands the ``#[show_safety]`` attribute into the
+RustBelt-style type-safety specification of Fig. 3 (left): every input
+owned on entry, the result owned on exit, with the lifetime token in
+both (added automatically by the Gillian-Rust compiler, Fig. 6).
+
+``functional_spec`` assembles an ``#[unsafe_spec]`` in the style of
+§5.4: ownership of arguments/result plus pre/post observations over
+the representation values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.heap.values import ty_to_sort
+from repro.gilsonite.ast import (
+    AliveLft,
+    Assertion,
+    Emp,
+    Exists,
+    Observation,
+    Pred,
+    star,
+)
+from repro.gilsonite.ownable import OwnableRegistry, own_pred_name
+from repro.lang.mir import Body
+from repro.lang.types import RefTy, Ty, UnitTy
+from repro.solver.sorts import LFT, LOC, REAL, Sort
+from repro.solver.terms import Term, Var, fresh_var
+
+
+@dataclass
+class Spec:
+    """A Gilsonite function specification."""
+
+    name: str
+    pre: Assertion
+    post: Assertion
+    #: Variables standing for the function parameters, in order.
+    param_vars: tuple[Var, ...]
+    #: Variable standing for the returned value in the post.
+    ret_var: Var
+    ret_sort: Sort
+    #: The ambient lifetime (the single lifetime, §7.1).
+    lifetime_var: Var
+    #: Universally-quantified spec variables (``<forall: ...>``).
+    forall: tuple[Var, ...] = ()
+    kind: str = "type_safety"
+    trusted: bool = False
+
+    def __str__(self) -> str:
+        fa = ""
+        if self.forall:
+            fa = "<forall: " + ", ".join(v.name for v in self.forall) + "> "
+        return (
+            f"{fa}requires {{ {self.pre} }} ensures {{ {self.post} }}"
+        )
+
+
+def _value_sort(ty: Ty, ownables: OwnableRegistry) -> Sort:
+    if isinstance(ty, RefTy):
+        return LOC
+    return ty_to_sort(ty, ownables.program.registry)
+
+
+def own_assertion(
+    ownables: OwnableRegistry,
+    ty: Ty,
+    kappa: Var,
+    value: Term,
+    repr_term: Term,
+) -> Assertion:
+    """``value.own(repr)`` at type ``ty``."""
+    name = ownables.ensure_own(ty)
+    return Pred(name, (kappa, value, repr_term))
+
+
+def show_safety_spec(ownables: OwnableRegistry, body: Body) -> Spec:
+    """Expand ``#[show_safety]`` (Fig. 3, left).
+
+    ``requires: [κ]_q * ∀i. ∃rᵢ. own(xᵢ, rᵢ)``
+    ``ensures:  [κ]_q * ∃r. own(ret, r)``
+    """
+    kappa = Var(f"κ_{body.name}", LFT)
+    q = Var(f"q_{body.name}", REAL)
+    param_vars = []
+    pre_parts: list[Assertion] = [AliveLft(kappa, q)]
+    for i, (pname, pty) in enumerate(body.params):
+        x = Var(f"arg_{pname}", _value_sort(pty, ownables))
+        param_vars.append(x)
+        r = Var(f"repr_{pname}", ownables.repr_sort(pty))
+        pre_parts.append(Exists((r,), own_assertion(ownables, pty, kappa, x, r)))
+    ret_sort = _value_sort(body.return_ty, ownables)
+    ret = Var("ret", ret_sort)
+    post_parts: list[Assertion] = [AliveLft(kappa, q)]
+    if not isinstance(body.return_ty, UnitTy):
+        r_ret = Var("repr_ret", ownables.repr_sort(body.return_ty))
+        post_parts.append(
+            Exists((r_ret,), own_assertion(ownables, body.return_ty, kappa, ret, r_ret))
+        )
+    return Spec(
+        name=body.name,
+        pre=star(*pre_parts),
+        post=star(*post_parts),
+        param_vars=tuple(param_vars),
+        ret_var=ret,
+        ret_sort=ret_sort,
+        lifetime_var=kappa,
+        forall=(q,),
+        kind="type_safety",
+    )
+
+
+def functional_spec(
+    ownables: OwnableRegistry,
+    body: Body,
+    requires_obs: Optional[Term] = None,
+    ensures_obs: Optional[Term] = None,
+    repr_vars: Optional[dict[str, Var]] = None,
+    ret_repr_var: Optional[Var] = None,
+    extra_pre: Sequence[Assertion] = (),
+    extra_post: Sequence[Assertion] = (),
+) -> Spec:
+    """Assemble an ``#[unsafe_spec]`` following the §5.4 elaboration:
+
+    ``{ ⊛ own(xᵢ, mᵢ) * ⟨P[xᵢ/mᵢ]⟩ }  f  { ∃m_ret. own(ret, m_ret) * ⟨Q⟩ }``
+
+    ``repr_vars`` names the representation value ``mᵢ`` of each
+    parameter so observations can mention them; they become spec
+    (forall) variables.
+    """
+    kappa = Var(f"κ_{body.name}", LFT)
+    q = Var(f"q_{body.name}", REAL)
+    repr_vars = repr_vars or {}
+    param_vars = []
+    forall: list[Var] = [q]
+    pre_parts: list[Assertion] = [AliveLft(kappa, q)]
+    for pname, pty in body.params:
+        x = Var(f"arg_{pname}", _value_sort(pty, ownables))
+        param_vars.append(x)
+        m = repr_vars.get(pname)
+        if m is None:
+            m = Var(f"m_{pname}", ownables.repr_sort(pty))
+        forall.append(m)
+        pre_parts.append(own_assertion(ownables, pty, kappa, x, m))
+    if requires_obs is not None:
+        pre_parts.append(Observation(requires_obs))
+    pre_parts.extend(extra_pre)
+    ret_sort = _value_sort(body.return_ty, ownables)
+    ret = Var("ret", ret_sort)
+    post_parts: list[Assertion] = [AliveLft(kappa, q)]
+    m_ret = ret_repr_var
+    post_body: list[Assertion] = []
+    if not isinstance(body.return_ty, UnitTy):
+        if m_ret is None:
+            m_ret = Var("m_ret", ownables.repr_sort(body.return_ty))
+        post_body.append(own_assertion(ownables, body.return_ty, kappa, ret, m_ret))
+    if ensures_obs is not None:
+        post_body.append(Observation(ensures_obs))
+    post_body.extend(extra_post)
+    if m_ret is not None and not isinstance(body.return_ty, UnitTy):
+        post_parts.append(Exists((m_ret,), star(*post_body)))
+    else:
+        post_parts.extend(post_body)
+    return Spec(
+        name=body.name,
+        pre=star(*pre_parts),
+        post=star(*post_parts),
+        param_vars=tuple(param_vars),
+        ret_var=ret,
+        ret_sort=ret_sort,
+        lifetime_var=kappa,
+        forall=tuple(forall),
+        kind="functional",
+    )

@@ -1,0 +1,141 @@
+"""The hybrid verification pipeline: Creusot + Gillian-Rust (§2.1).
+
+Mirroring the split between safe and unsafe Rust:
+
+* **safe** bodies are verified by the Creusot half
+  (:mod:`repro.creusot.vcgen`) against their Pearlite contracts; at
+  call sites, callee contracts are *assumed* — including those of
+  unsafe APIs, which Creusot can specify but not verify;
+* **unsafe** bodies are delegated to Gillian-Rust: their Pearlite
+  contracts are systematically encoded into Gilsonite (§5.4,
+  :mod:`repro.pearlite.encode`) and verified by compositional symbolic
+  execution. Type safety (``#[show_safety]``) is verified alongside.
+
+The pipeline therefore *discharges* the axioms the safe half relies
+on: every unsafe contract assumed by Creusot is proven by Gillian-Rust
+against the real implementation — end-to-end verification, with each
+tool doing what it is specialised for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.creusot.vcgen import CreusotResult, CreusotVerifier
+from repro.gillian.verifier import VerificationResult, verify_function
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.gilsonite.specs import Spec, show_safety_spec
+from repro.lang.mir import Body, Program
+from repro.pearlite.ast import PearliteSpec
+from repro.pearlite.encode import PearliteEncoder
+from repro.solver.core import Solver
+
+
+@dataclass
+class HybridEntry:
+    function: str
+    half: str  # "creusot" | "gillian-rust"
+    ok: bool
+    detail: Union[CreusotResult, VerificationResult, None]
+    note: str = ""
+
+    def __str__(self) -> str:
+        mark = "✓" if self.ok else "✗"
+        return f"{mark} {self.function:42s} [{self.half}] {self.note}"
+
+
+@dataclass
+class HybridReport:
+    entries: list[HybridEntry] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.entries)
+
+    def render(self) -> str:
+        lines = ["function                                     half          note"]
+        lines += [str(e) for e in self.entries]
+        status = "ALL VERIFIED" if self.ok else "FAILURES PRESENT"
+        lines.append(f"-- {status} in {self.elapsed:.2f}s --")
+        return "\n".join(lines)
+
+
+class HybridVerifier:
+    """Drives both halves over one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        ownables: OwnableRegistry,
+        contracts: dict[str, Union[PearliteSpec, dict]],
+        solver: Optional[Solver] = None,
+        manual_pure_pre: Optional[dict[str, list]] = None,
+        auto_extract: bool = False,
+    ) -> None:
+        self.program = program
+        self.ownables = ownables
+        self.contracts = contracts
+        self.solver = solver or Solver()
+        self.encoder = PearliteEncoder(ownables)
+        self.creusot = CreusotVerifier(program, ownables, contracts, self.solver)
+        self.manual_pure_pre = manual_pure_pre or {}
+        self.auto_extract = auto_extract
+
+    def verify_one(self, name: str) -> list[HybridEntry]:
+        body = self.program.bodies[name]
+        if body.is_safe:
+            r = self.creusot.verify(body)
+            return [
+                HybridEntry(
+                    name, "creusot", r.ok, r,
+                    note=f"{r.vcs} VCs, {r.elapsed * 1000:.0f} ms",
+                )
+            ]
+        entries = []
+        # Type safety first (show_safety), then the Pearlite contract.
+        safety = show_safety_spec(self.ownables, body)
+        rs = verify_function(self.program, body, safety, self.solver)
+        entries.append(
+            HybridEntry(
+                name, "gillian-rust", rs.ok, rs,
+                note=f"type safety, {rs.elapsed * 1000:.0f} ms",
+            )
+        )
+        contract = self.contracts.get(name)
+        if contract is not None and _has_clauses(contract):
+            from repro.pearlite.parser import parse_pearlite
+
+            manual = [
+                parse_pearlite(p) if isinstance(p, str) else p
+                for p in self.manual_pure_pre.get(name, [])
+            ]
+            spec = self.encoder.encode_contract(
+                body, contract, auto_extract=self.auto_extract,
+                manual_pure_pre=manual,
+            )
+            rf = verify_function(self.program, body, spec, self.solver)
+            entries.append(
+                HybridEntry(
+                    name, "gillian-rust", rf.ok, rf,
+                    note=f"functional (Pearlite), {rf.elapsed * 1000:.0f} ms",
+                )
+            )
+        return entries
+
+    def run(self, functions: Optional[list[str]] = None) -> HybridReport:
+        started = time.perf_counter()
+        report = HybridReport()
+        names = functions if functions is not None else list(self.program.bodies)
+        for name in names:
+            report.entries.extend(self.verify_one(name))
+        report.elapsed = time.perf_counter() - started
+        return report
+
+
+def _has_clauses(contract: Union[PearliteSpec, dict]) -> bool:
+    if isinstance(contract, PearliteSpec):
+        return bool(contract.requires or contract.ensures)
+    return bool(contract.get("requires") or contract.get("ensures"))

@@ -1,0 +1,15 @@
+"""Rust-like language substrate: types, layouts, MIR, builder."""
+
+from repro.lang.builder import RETURN_PLACE, BlockBuilder, BodyBuilder
+from repro.lang.mir import Body, Place, Program
+from repro.lang.types import TypeRegistry
+
+__all__ = [
+    "Body",
+    "BodyBuilder",
+    "BlockBuilder",
+    "Place",
+    "Program",
+    "RETURN_PLACE",
+    "TypeRegistry",
+]

@@ -1,0 +1,269 @@
+"""Fluent builder for writing MIR bodies in Python.
+
+Hand-translating Rust functions into raw MIR dataclasses is noisy;
+this builder keeps the translations in :mod:`repro.rustlib` close to
+the shape of the original source.
+
+Example::
+
+    fn = BodyBuilder("len_twice", params=[("self", ref_list)], ret=USIZE)
+    bb0 = fn.block()
+    n = fn.local("n", USIZE)
+    bb0.assign(n, fn.copy(fn.place("self").deref().field(2)))
+    bb0.assign("_ret", fn.binop("add", fn.copy(n), fn.copy(n)))
+    bb0.ret()
+    body = fn.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lang.mir import (
+    AddressOf,
+    Aggregate,
+    ApplyLemma,
+    Assign,
+    BasicBlock,
+    BinaryOp,
+    Body,
+    Call,
+    Cast,
+    Const,
+    Constant,
+    Copy,
+    Discriminant,
+    Fold,
+    Ghost,
+    GhostAssert,
+    Goto,
+    LoopInvariant,
+    Move,
+    MutRefAutoResolve,
+    Nop,
+    Operand,
+    Place,
+    PlaceLike,
+    ProphecyAutoUpdate,
+    Ref,
+    Return,
+    Rvalue,
+    SwitchInt,
+    Terminator,
+    UnaryOp,
+    Unfold,
+    Unreachable,
+    Use,
+    as_place,
+)
+from repro.lang.types import BOOL, UNIT, IntTy, Ty, UnitTy
+
+RETURN_PLACE = "_ret"
+
+
+class BlockBuilder:
+    def __init__(self, owner: "BodyBuilder", block: BasicBlock):
+        self._owner = owner
+        self._block = block
+
+    @property
+    def name(self) -> str:
+        return self._block.name
+
+    # -- statements -----------------------------------------------------------
+
+    def assign(self, place: PlaceLike, rvalue: Rvalue | Operand) -> "BlockBuilder":
+        if isinstance(rvalue, Operand):
+            rvalue = Use(rvalue)
+        self._block.statements.append(Assign(as_place(place), rvalue))
+        return self
+
+    def nop(self) -> "BlockBuilder":
+        self._block.statements.append(Nop())
+        return self
+
+    def fold(self, pred: str, *args: Operand) -> "BlockBuilder":
+        self._block.statements.append(Ghost(Fold(pred, tuple(args))))
+        return self
+
+    def unfold(self, pred: str, *args: Operand) -> "BlockBuilder":
+        self._block.statements.append(Ghost(Unfold(pred, tuple(args))))
+        return self
+
+    def apply_lemma(self, name: str, *args: Operand) -> "BlockBuilder":
+        self._block.statements.append(Ghost(ApplyLemma(name, tuple(args))))
+        return self
+
+    def mutref_auto_resolve(self, place: PlaceLike) -> "BlockBuilder":
+        self._block.statements.append(Ghost(MutRefAutoResolve(as_place(place))))
+        return self
+
+    def prophecy_auto_update(self, place: PlaceLike) -> "BlockBuilder":
+        self._block.statements.append(Ghost(ProphecyAutoUpdate(as_place(place))))
+        return self
+
+    def ghost_assert(self, formula: str) -> "BlockBuilder":
+        self._block.statements.append(Ghost(GhostAssert(formula)))
+        return self
+
+    def invariant(self, formula: str, modifies: Sequence[str] = ()) -> "BlockBuilder":
+        if self._block.statements:
+            raise ValueError("invariant must be the first statement of its block")
+        self._block.statements.append(
+            Ghost(LoopInvariant(formula, tuple(modifies)))
+        )
+        return self
+
+    # -- terminators ------------------------------------------------------------
+
+    def _terminate(self, t: Terminator) -> None:
+        if self._block.terminator is not None:
+            raise ValueError(f"block {self._block.name} already terminated")
+        self._block.terminator = t
+
+    def goto(self, target: "BlockBuilder | str") -> None:
+        self._terminate(Goto(_bname(target)))
+
+    def switch(
+        self,
+        discr: Operand,
+        targets: Sequence[tuple[int, "BlockBuilder | str"]],
+        otherwise: "BlockBuilder | str | None" = None,
+    ) -> None:
+        self._terminate(
+            SwitchInt(
+                discr,
+                tuple((v, _bname(t)) for v, t in targets),
+                _bname(otherwise) if otherwise is not None else None,
+            )
+        )
+
+    def if_else(
+        self, cond: Operand, then: "BlockBuilder | str", els: "BlockBuilder | str"
+    ) -> None:
+        self.switch(cond, [(0, els)], otherwise=then)
+
+    def call(
+        self,
+        dest: PlaceLike,
+        func: str,
+        args: Sequence[Operand],
+        target: "BlockBuilder | str",
+        ty_args: Sequence[Ty] = (),
+    ) -> None:
+        self._terminate(
+            Call(func, tuple(args), as_place(dest), _bname(target), tuple(ty_args))
+        )
+
+    def ret(self) -> None:
+        self._terminate(Return())
+
+    def unreachable(self) -> None:
+        self._terminate(Unreachable())
+
+
+def _bname(b: "BlockBuilder | str | None") -> str:
+    if isinstance(b, BlockBuilder):
+        return b.name
+    assert b is not None
+    return b
+
+
+class BodyBuilder:
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[tuple[str, Ty]],
+        ret: Ty,
+        generics: Sequence[str] = (),
+        is_safe: bool = False,
+    ):
+        self._body = Body(
+            name=name,
+            params=list(params),
+            return_ty=ret,
+            generics=tuple(generics),
+            is_safe=is_safe,
+        )
+        self._body.locals[RETURN_PLACE] = ret
+        self._counter = 0
+
+    # -- locals and places --------------------------------------------------
+
+    def local(self, name: str, ty: Ty) -> Place:
+        if name in self._body.locals:
+            raise ValueError(f"duplicate local {name}")
+        self._body.locals[name] = ty
+        return Place(name)
+
+    def temp(self, ty: Ty, prefix: str = "_t") -> Place:
+        self._counter += 1
+        return self.local(f"{prefix}{self._counter}", ty)
+
+    def place(self, name: str) -> Place:
+        return Place(name)
+
+    @property
+    def ret_place(self) -> Place:
+        return Place(RETURN_PLACE)
+
+    # -- operands -------------------------------------------------------------
+
+    def copy(self, place: PlaceLike) -> Copy:
+        return Copy(as_place(place))
+
+    def move(self, place: PlaceLike) -> Move:
+        return Move(as_place(place))
+
+    def const_int(self, value: int, ty: IntTy) -> Constant:
+        return Constant(Const(ty, value))
+
+    def const_bool(self, value: bool) -> Constant:
+        return Constant(Const(BOOL, value))
+
+    def const_unit(self) -> Constant:
+        return Constant(Const(UNIT, None))
+
+    # -- rvalues -----------------------------------------------------------------
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand) -> BinaryOp:
+        return BinaryOp(op, lhs, rhs)
+
+    def unop(self, op: str, operand: Operand) -> UnaryOp:
+        return UnaryOp(op, operand)
+
+    def ref(self, place: PlaceLike, mutable: bool = True, lifetime: str = "'a") -> Ref:
+        return Ref(as_place(place), mutable, lifetime)
+
+    def addr_of(self, place: PlaceLike, mutable: bool = True) -> AddressOf:
+        return AddressOf(as_place(place), mutable)
+
+    def aggregate(self, ty: Ty, operands: Sequence[Operand], variant: int = 0) -> Aggregate:
+        return Aggregate(ty, variant, tuple(operands))
+
+    def discriminant(self, place: PlaceLike) -> Discriminant:
+        return Discriminant(as_place(place))
+
+    def cast(self, operand: Operand, target: Ty) -> Cast:
+        return Cast(operand, target)
+
+    # -- blocks ------------------------------------------------------------------
+
+    def block(self, name: Optional[str] = None) -> BlockBuilder:
+        if name is None:
+            name = f"bb{len(self._body.blocks)}"
+        if name in self._body.blocks:
+            raise ValueError(f"duplicate block {name}")
+        bb = BasicBlock(name)
+        self._body.blocks[name] = bb
+        return BlockBuilder(self, bb)
+
+    # -- finishing ----------------------------------------------------------------
+
+    def finish(self) -> Body:
+        for bb in self._body.blocks.values():
+            if bb.terminator is None:
+                raise ValueError(f"{self._body.name}: block {bb.name} not terminated")
+        if self._body.entry not in self._body.blocks:
+            raise ValueError(f"{self._body.name}: missing entry block")
+        return self._body

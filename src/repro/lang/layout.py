@@ -1,0 +1,278 @@
+"""Layout engine: compiler-choosable memory layouts for Rust types.
+
+Rust (unlike C) does not promise a field order: the compiler may
+reorder fields and insert padding as it pleases, and applies *niche
+optimisation* to enums (§3 of the paper: ``Option<*mut T>`` is pointer
+sized, with ``None`` represented by the null bit-pattern).
+
+This module provides several concrete layout strategies. The symbolic
+heap never commits to one — that is the point of the paper's
+layout-independent addresses — but the strategies are used to
+
+* compute sizes/alignments (``size_of`` is layout-strategy-dependent
+  only through padding; we expose it per strategy);
+* *interpret* structural nodes down to bytes (Fig. 4), which powers the
+  E4 experiment: the same verified heap must admit every
+  compiler-choosable interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lang.types import (
+    POINTER_ALIGN,
+    POINTER_SIZE,
+    AdtTy,
+    ArrayTy,
+    BoolTy,
+    CharTy,
+    IntTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    Ty,
+    TypeRegistry,
+    UnitTy,
+)
+
+
+@dataclass(frozen=True)
+class FieldSlot:
+    """Placement of one field within a laid-out aggregate."""
+
+    index: int
+    offset: int
+    size: int
+
+
+@dataclass(frozen=True)
+class AggregateLayout:
+    size: int
+    align: int
+    fields: tuple[FieldSlot, ...]
+
+    def field_offset(self, index: int) -> int:
+        for f in self.fields:
+            if f.index == index:
+                return f.offset
+        raise KeyError(index)
+
+
+@dataclass(frozen=True)
+class EnumLayout:
+    size: int
+    align: int
+    # discriminant encoding: either an explicit tag (offset, size) or a
+    # niche (None tag; variant encoded in a field's spare bit-patterns).
+    tag_offset: int | None
+    tag_size: int | None
+    variants: tuple[AggregateLayout, ...]
+    niche: bool = False
+
+
+def _align_to(offset: int, align: int) -> int:
+    if align == 0:
+        return offset
+    return (offset + align - 1) // align * align
+
+
+class LayoutStrategy:
+    """One compiler-choosable layout policy.
+
+    ``order`` permutes fields before placement. The classic choices are
+    declaration order (what C does), largest-first (what rustc's
+    ``-Zrandomize-layout=no`` default approximates) and smallest-first.
+    """
+
+    def __init__(self, name: str, order: Callable[[list[tuple[int, int, int]]], list[int]]):
+        self.name = name
+        self._order = order
+
+    def order_fields(self, sized: list[tuple[int, int, int]]) -> list[int]:
+        """``sized`` is [(index, size, align)]; returns placement order."""
+        return self._order(sized)
+
+    def __repr__(self) -> str:
+        return f"LayoutStrategy({self.name})"
+
+
+DECLARED = LayoutStrategy("declared", lambda fs: [i for i, _, _ in fs])
+LARGEST_FIRST = LayoutStrategy(
+    "largest_first", lambda fs: [i for i, s, a in sorted(fs, key=lambda f: (-f[1], f[0]))]
+)
+SMALLEST_FIRST = LayoutStrategy(
+    "smallest_first", lambda fs: [i for i, s, a in sorted(fs, key=lambda f: (f[1], f[0]))]
+)
+REVERSED = LayoutStrategy("reversed", lambda fs: [i for i, _, _ in reversed(fs)])
+
+ALL_STRATEGIES = (DECLARED, LARGEST_FIRST, SMALLEST_FIRST, REVERSED)
+
+
+class LayoutEngine:
+    """Computes sizes, alignments and layouts under a given strategy."""
+
+    def __init__(self, registry: TypeRegistry, strategy: LayoutStrategy = LARGEST_FIRST):
+        self.registry = registry
+        self.strategy = strategy
+        self._cache: dict[Ty, tuple[int, int]] = {}
+
+    # -- size / align ---------------------------------------------------------
+
+    def size_align(self, ty: Ty) -> tuple[int, int]:
+        hit = self._cache.get(ty)
+        if hit is not None:
+            return hit
+        result = self._size_align(ty)
+        self._cache[ty] = result
+        return result
+
+    def _size_align(self, ty: Ty) -> tuple[int, int]:
+        if isinstance(ty, IntTy):
+            return ty.size, min(ty.size, 16)
+        if isinstance(ty, BoolTy):
+            return 1, 1
+        if isinstance(ty, CharTy):
+            return 4, 4
+        if isinstance(ty, UnitTy):
+            return 0, 1
+        if isinstance(ty, (RawPtrTy, RefTy)):
+            return POINTER_SIZE, POINTER_ALIGN
+        if isinstance(ty, TupleTy):
+            layout = self.aggregate_layout(list(ty.elems))
+            return layout.size, layout.align
+        if isinstance(ty, ArrayTy):
+            es, ea = self.size_align(ty.elem)
+            return es * ty.length, ea
+        if isinstance(ty, AdtTy):
+            return self._adt_size_align(ty)
+        if isinstance(ty, ParamTy):
+            raise UnsizedTypeError(f"type parameter {ty} has no static size")
+        raise UnsizedTypeError(f"cannot size {ty}")
+
+    def size_of(self, ty: Ty) -> int:
+        return self.size_align(ty)[0]
+
+    def align_of(self, ty: Ty) -> int:
+        return self.size_align(ty)[1]
+
+    def _adt_size_align(self, ty: AdtTy) -> tuple[int, int]:
+        d, mapping = self.registry.instantiate(ty)
+        if d.is_struct:
+            tys = [self.registry.subst(f.ty, mapping) for f in d.struct_fields]
+            layout = self.aggregate_layout(tys)
+            return layout.size, layout.align
+        layout = self.enum_layout(ty)
+        return layout.size, layout.align
+
+    # -- aggregates -----------------------------------------------------------
+
+    def aggregate_layout(self, field_tys: list[Ty]) -> AggregateLayout:
+        sized = []
+        for i, fty in enumerate(field_tys):
+            s, a = self.size_align(fty)
+            sized.append((i, s, a))
+        order = self.strategy.order_fields(sized)
+        offset = 0
+        align = 1
+        slots: dict[int, FieldSlot] = {}
+        for idx in order:
+            _, s, a = sized[idx]
+            align = max(align, a)
+            offset = _align_to(offset, a)
+            slots[idx] = FieldSlot(idx, offset, s)
+            offset += s
+        size = _align_to(offset, align)
+        fields = tuple(slots[i] for i in range(len(field_tys)))
+        return AggregateLayout(size, align, fields)
+
+    def struct_layout(self, ty: AdtTy) -> AggregateLayout:
+        d, mapping = self.registry.instantiate(ty)
+        assert d.is_struct
+        tys = [self.registry.subst(f.ty, mapping) for f in d.struct_fields]
+        return self.aggregate_layout(tys)
+
+    # -- enums ------------------------------------------------------------------
+
+    def enum_layout(self, ty: AdtTy) -> EnumLayout:
+        d, mapping = self.registry.instantiate(ty)
+        assert not d.is_struct
+        variant_field_tys = [
+            [self.registry.subst(f.ty, mapping) for f in v.fields] for v in d.variants
+        ]
+        if self._niche_applicable(variant_field_tys):
+            # Niche optimisation: the pointer's null pattern encodes the
+            # dataless variant; no tag, size == payload size.
+            payload = max(
+                (self.aggregate_layout(tys) for tys in variant_field_tys),
+                key=lambda lo: lo.size,
+            )
+            variants = tuple(self.aggregate_layout(tys) for tys in variant_field_tys)
+            return EnumLayout(
+                size=payload.size,
+                align=payload.align,
+                tag_offset=None,
+                tag_size=None,
+                variants=variants,
+                niche=True,
+            )
+        # Tagged representation: tag first, then per-variant payload.
+        tag_size = self._tag_size(len(d.variants))
+        variants = []
+        max_payload = 0
+        align = tag_size if tag_size else 1
+        for tys in variant_field_tys:
+            lo = self.aggregate_layout(tys)
+            variants.append(lo)
+            max_payload = max(max_payload, lo.size)
+            align = max(align, lo.align)
+        payload_off = _align_to(tag_size, align)
+        size = _align_to(payload_off + max_payload, align)
+        return EnumLayout(
+            size=size,
+            align=align,
+            tag_offset=0,
+            tag_size=tag_size,
+            variants=tuple(
+                AggregateLayout(
+                    v.size,
+                    v.align,
+                    tuple(
+                        FieldSlot(f.index, f.offset + payload_off, f.size)
+                        for f in v.fields
+                    ),
+                )
+                for v in variants
+            ),
+            niche=False,
+        )
+
+    @staticmethod
+    def _tag_size(n_variants: int) -> int:
+        if n_variants <= 1:
+            return 0
+        if n_variants <= 256:
+            return 1
+        if n_variants <= 65536:
+            return 2
+        return 4
+
+    @staticmethod
+    def _niche_applicable(variant_field_tys: list[list[Ty]]) -> bool:
+        """Option-like: one dataless variant + one variant holding
+        exactly one non-nullable pointer (references, Box) or raw ptr
+        treated as non-null per the stdlib's NonNull usage."""
+        if len(variant_field_tys) != 2:
+            return False
+        dataless = [tys for tys in variant_field_tys if not tys]
+        dataful = [tys for tys in variant_field_tys if tys]
+        if len(dataless) != 1 or len(dataful) != 1:
+            return False
+        payload = dataful[0]
+        return len(payload) == 1 and isinstance(payload[0], (RawPtrTy, RefTy))
+
+
+class UnsizedTypeError(Exception):
+    """Raised when a size is demanded for an unsized / parametric type."""

@@ -1,0 +1,468 @@
+"""A MIR-like intermediate representation for real Rust.
+
+Functions are control-flow graphs of basic blocks; statements operate
+on *places* (a local plus a projection path), mirroring rustc's MIR.
+This is the representation both halves of the hybrid pipeline consume:
+Gillian-Rust executes it symbolically against separation-logic specs,
+and the Creusot half generates prophetic verification conditions from
+it for safe code.
+
+Ghost statements carry the user-facing Gilsonite API calls from the
+paper — ``fold``/``unfold``, guarded variants, lemma application,
+``mutref_auto_resolve!`` and ``prophecy_auto_update`` — which only the
+verifier interprets; they have no run-time effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.lang.types import Ty, TypeRegistry
+
+
+# ---------------------------------------------------------------------------
+# Places
+# ---------------------------------------------------------------------------
+
+
+class PlaceElem:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class FieldProj(PlaceElem):
+    index: int
+
+    def __str__(self) -> str:
+        return f".{self.index}"
+
+
+@dataclass(frozen=True)
+class DerefProj(PlaceElem):
+    def __str__(self) -> str:
+        return ".*"
+
+
+@dataclass(frozen=True)
+class DowncastProj(PlaceElem):
+    """Select an enum variant's payload (after a discriminant check)."""
+
+    variant: int
+
+    def __str__(self) -> str:
+        return f" as v{self.variant}"
+
+
+@dataclass(frozen=True)
+class IndexProj(PlaceElem):
+    """Index by a local holding a usize."""
+
+    local: str
+
+    def __str__(self) -> str:
+        return f"[{self.local}]"
+
+
+@dataclass(frozen=True)
+class Place:
+    local: str
+    projections: tuple[PlaceElem, ...] = ()
+
+    def field(self, index: int) -> "Place":
+        return Place(self.local, self.projections + (FieldProj(index),))
+
+    def deref(self) -> "Place":
+        return Place(self.local, self.projections + (DerefProj(),))
+
+    def downcast(self, variant: int) -> "Place":
+        return Place(self.local, self.projections + (DowncastProj(variant),))
+
+    def index(self, local: str) -> "Place":
+        return Place(self.local, self.projections + (IndexProj(local),))
+
+    def __str__(self) -> str:
+        return self.local + "".join(str(p) for p in self.projections)
+
+
+# ---------------------------------------------------------------------------
+# Operands and constants
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    ty: Ty
+    value: object  # int | bool | None (unit) | "null"
+
+    def __str__(self) -> str:
+        return f"const {self.value}: {self.ty}"
+
+
+class Operand:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Copy(Operand):
+    place: Place
+
+    def __str__(self) -> str:
+        return f"copy {self.place}"
+
+
+@dataclass(frozen=True)
+class Move(Operand):
+    place: Place
+
+    def __str__(self) -> str:
+        return f"move {self.place}"
+
+
+@dataclass(frozen=True)
+class Constant(Operand):
+    const: Const
+
+    def __str__(self) -> str:
+        return str(self.const)
+
+
+# ---------------------------------------------------------------------------
+# Rvalues
+# ---------------------------------------------------------------------------
+
+
+class Rvalue:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Use(Rvalue):
+    operand: Operand
+
+    def __str__(self) -> str:
+        return str(self.operand)
+
+
+BINOPS = {
+    "add", "sub", "mul", "div", "rem",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "and", "or",
+    # Unchecked variants perform no overflow proof obligation (used by
+    # the engine when the source used wrapping ops).
+    "add_unchecked", "sub_unchecked",
+    # Pointer arithmetic: `ptr.add(n)` / MIR's Offset binop.
+    "offset",
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Rvalue):
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binop {self.op}")
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.lhs}, {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Rvalue):
+    op: str  # "not" | "neg"
+    operand: Operand
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Ref(Rvalue):
+    """``&mut place`` / ``& place`` — a borrow."""
+
+    place: Place
+    mutable: bool
+    lifetime: str = "'a"
+
+    def __str__(self) -> str:
+        m = "mut " if self.mutable else ""
+        return f"&{self.lifetime} {m}{self.place}"
+
+
+@dataclass(frozen=True)
+class AddressOf(Rvalue):
+    """``&raw mut place`` — a raw pointer to a place."""
+
+    place: Place
+    mutable: bool = True
+
+    def __str__(self) -> str:
+        return f"&raw mut {self.place}"
+
+
+@dataclass(frozen=True)
+class Aggregate(Rvalue):
+    """Build a struct / enum variant / tuple value."""
+
+    ty: Ty
+    variant: int  # 0 for structs/tuples
+    operands: tuple[Operand, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(o) for o in self.operands)
+        return f"{self.ty}::v{self.variant}({inner})"
+
+
+@dataclass(frozen=True)
+class Discriminant(Rvalue):
+    place: Place
+
+    def __str__(self) -> str:
+        return f"discriminant({self.place})"
+
+
+@dataclass(frozen=True)
+class Cast(Rvalue):
+    operand: Operand
+    target: Ty
+
+    def __str__(self) -> str:
+        return f"{self.operand} as {self.target}"
+
+
+# ---------------------------------------------------------------------------
+# Ghost statements (the Gilsonite user API, §2.2/§4/§5)
+# ---------------------------------------------------------------------------
+
+
+class GhostStmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Fold(GhostStmt):
+    pred: str
+    args: tuple[Operand, ...] = ()
+
+    def __str__(self) -> str:
+        return f"ghost fold {self.pred}"
+
+
+@dataclass(frozen=True)
+class Unfold(GhostStmt):
+    pred: str
+    args: tuple[Operand, ...] = ()
+
+    def __str__(self) -> str:
+        return f"ghost unfold {self.pred}"
+
+
+@dataclass(frozen=True)
+class ApplyLemma(GhostStmt):
+    name: str
+    args: tuple[Operand, ...] = ()
+
+    def __str__(self) -> str:
+        return f"ghost apply {self.name}"
+
+
+@dataclass(frozen=True)
+class MutRefAutoResolve(GhostStmt):
+    """``mutref_auto_resolve!(p)`` — resolve prophecy of a mutable ref."""
+
+    place: Place
+
+    def __str__(self) -> str:
+        return f"ghost mutref_auto_resolve!({self.place})"
+
+
+@dataclass(frozen=True)
+class ProphecyAutoUpdate(GhostStmt):
+    """``p.prophecy_auto_update()`` — the MUT-AUTO-UPDATE lemma (§5.3)."""
+
+    place: Place
+
+    def __str__(self) -> str:
+        return f"ghost {self.place}.prophecy_auto_update()"
+
+
+@dataclass(frozen=True)
+class LoopInvariant(GhostStmt):
+    """``#[invariant(...)]`` — must be the first statement of a loop
+    head block. ``modifies`` lists the locals the loop body writes
+    (havocked at the cut). Interpreted by the Creusot half."""
+
+    formula: str
+    modifies: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"ghost invariant({self.formula}) modifies {list(self.modifies)}"
+
+
+@dataclass(frozen=True)
+class GhostAssert(GhostStmt):
+    """Ghost assertion of a pure Gilsonite formula (by source text)."""
+
+    formula: str
+
+    def __str__(self) -> str:
+        return f"ghost assert {self.formula}"
+
+
+# ---------------------------------------------------------------------------
+# Statements and terminators
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    place: Place
+    rvalue: Rvalue
+
+    def __str__(self) -> str:
+        return f"{self.place} = {self.rvalue};"
+
+
+@dataclass(frozen=True)
+class Ghost(Statement):
+    ghost: GhostStmt
+
+    def __str__(self) -> str:
+        return f"{self.ghost};"
+
+
+@dataclass(frozen=True)
+class Nop(Statement):
+    def __str__(self) -> str:
+        return "nop;"
+
+
+class Terminator:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Goto(Terminator):
+    target: str
+
+    def __str__(self) -> str:
+        return f"goto {self.target};"
+
+
+@dataclass(frozen=True)
+class SwitchInt(Terminator):
+    discr: Operand
+    targets: tuple[tuple[int, str], ...]
+    otherwise: Optional[str] = None
+
+    def __str__(self) -> str:
+        arms = ", ".join(f"{v} -> {t}" for v, t in self.targets)
+        if self.otherwise:
+            arms += f", _ -> {self.otherwise}"
+        return f"switch {self.discr} [{arms}];"
+
+
+@dataclass(frozen=True)
+class Call(Terminator):
+    func: str
+    args: tuple[Operand, ...]
+    dest: Place
+    target: str
+    ty_args: tuple[Ty, ...] = ()
+
+    def __str__(self) -> str:
+        a = ", ".join(str(x) for x in self.args)
+        t = ""
+        if self.ty_args:
+            t = "::<" + ", ".join(str(x) for x in self.ty_args) + ">"
+        return f"{self.dest} = {self.func}{t}({a}) -> {self.target};"
+
+
+@dataclass(frozen=True)
+class Return(Terminator):
+    def __str__(self) -> str:
+        return "return;"
+
+
+@dataclass(frozen=True)
+class Unreachable(Terminator):
+    def __str__(self) -> str:
+        return "unreachable;"
+
+
+# ---------------------------------------------------------------------------
+# Bodies and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BasicBlock:
+    name: str
+    statements: list[Statement] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+
+@dataclass
+class Body:
+    """One function: CFG plus signature and (optionally) a spec.
+
+    ``is_safe`` records whether the function body is safe Rust — safe
+    bodies may be verified by the Creusot half of the hybrid pipeline;
+    bodies containing unsafe operations must go to Gillian-Rust.
+    """
+
+    name: str
+    params: list[tuple[str, Ty]]
+    return_ty: Ty
+    locals: dict[str, Ty] = field(default_factory=dict)
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "bb0"
+    generics: tuple[str, ...] = ()
+    lifetimes: tuple[str, ...] = ("'a",)
+    is_safe: bool = False
+    spec: object = None  # attached by the spec layers
+
+    def local_ty(self, name: str) -> Ty:
+        if name in self.locals:
+            return self.locals[name]
+        for pname, pty in self.params:
+            if pname == name:
+                return pty
+        raise KeyError(f"{self.name}: unknown local {name}")
+
+    def all_locals(self) -> Iterable[tuple[str, Ty]]:
+        yield from self.params
+        yield from self.locals.items()
+
+
+@dataclass
+class Program:
+    """A crate: type definitions, function bodies, and logic items."""
+
+    registry: TypeRegistry = field(default_factory=TypeRegistry)
+    bodies: dict[str, Body] = field(default_factory=dict)
+    # Filled by the gilsonite layer: name -> PredicateDef / LemmaDef.
+    predicates: dict[str, object] = field(default_factory=dict)
+    lemmas: dict[str, object] = field(default_factory=dict)
+    ownables: dict[str, object] = field(default_factory=dict)
+    specs: dict[str, object] = field(default_factory=dict)
+
+    def add_body(self, body: Body) -> Body:
+        if body.name in self.bodies:
+            raise ValueError(f"duplicate body {body.name}")
+        self.bodies[body.name] = body
+        return body
+
+
+PlaceLike = Union[Place, str]
+
+
+def as_place(p: PlaceLike) -> Place:
+    return p if isinstance(p, Place) else Place(p)

@@ -1,0 +1,157 @@
+"""A small parser for Rust type syntax.
+
+Used by the textual Gilsonite front-end so predicates can be written
+as in the paper (``<exists v: Node<T>> ...``). Supports::
+
+    bool | char | () | i8..i128 | u8..u128 | isize | usize
+    Name | Name<T1, T2>
+    *mut T | *const T
+    &mut T | &T | &'a mut T
+    (T1, T2, ...)
+    [T; N]
+    T                      -- a type parameter if declared generic
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.lang.types import (
+    BOOL,
+    CHAR,
+    UNIT,
+    AdtTy,
+    ArrayTy,
+    IntTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    Ty,
+    _INT_KINDS,
+)
+
+_TYPE_TOKEN = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_]*)|(?P<life>'[a-z][A-Za-z0-9_]*)"
+    r"|(?P<int>\d+)|(?P<punct><|>|\*|&|\(|\)|\[|\]|;|,))"
+)
+
+
+class TypeParseError(Exception):
+    pass
+
+
+class _TypeParser:
+    def __init__(self, src: str, generics: Sequence[str]):
+        self.src = src
+        self.pos = 0
+        self.generics = set(generics)
+
+    def _next(self):
+        m = _TYPE_TOKEN.match(self.src, self.pos)
+        if m is None:
+            rest = self.src[self.pos :].strip()
+            if not rest:
+                return None
+            raise TypeParseError(f"unexpected input: {rest!r}")
+        self.pos = m.end()
+        return m
+
+    def _peek(self):
+        saved = self.pos
+        m = self._next()
+        self.pos = saved
+        return m
+
+    def expect_punct(self, p: str):
+        m = self._next()
+        if m is None or m.group("punct") != p:
+            raise TypeParseError(f"expected {p!r} in {self.src!r}")
+
+    def parse(self) -> Ty:
+        ty = self._type()
+        if self._peek() is not None:
+            raise TypeParseError(f"trailing input in type {self.src!r}")
+        return ty
+
+    def _type(self) -> Ty:
+        m = self._next()
+        if m is None:
+            raise TypeParseError(f"empty type in {self.src!r}")
+        punct = m.group("punct")
+        if punct == "*":
+            q = self._next()
+            if q is None or q.group("ident") not in ("mut", "const"):
+                raise TypeParseError("expected mut/const after *")
+            return RawPtrTy(self._type(), mutable=q.group("ident") == "mut")
+        if punct == "&":
+            lifetime = "'a"
+            q = self._peek()
+            if q is not None and q.group("life"):
+                self._next()
+                lifetime = q.group("life")
+            q = self._peek()
+            mutable = False
+            if q is not None and q.group("ident") == "mut":
+                self._next()
+                mutable = True
+            return RefTy(self._type(), mutable, lifetime)
+        if punct == "(":
+            q = self._peek()
+            if q is not None and q.group("punct") == ")":
+                self._next()
+                return UNIT
+            elems = [self._type()]
+            while True:
+                m2 = self._next()
+                if m2 is None:
+                    raise TypeParseError("unterminated tuple type")
+                if m2.group("punct") == ")":
+                    break
+                if m2.group("punct") != ",":
+                    raise TypeParseError("expected , or ) in tuple type")
+                elems.append(self._type())
+            if len(elems) == 1:
+                return elems[0]
+            return TupleTy(tuple(elems))
+        if punct == "[":
+            elem = self._type()
+            self.expect_punct(";")
+            n = self._next()
+            if n is None or not n.group("int"):
+                raise TypeParseError("expected array length")
+            self.expect_punct("]")
+            return ArrayTy(elem, int(n.group("int")))
+        ident = m.group("ident")
+        if ident is None:
+            raise TypeParseError(f"unexpected token in type {self.src!r}")
+        if ident == "bool":
+            return BOOL
+        if ident == "char":
+            return CHAR
+        if ident in _INT_KINDS:
+            return IntTy(ident)
+        if ident in self.generics:
+            return ParamTy(ident)
+        # ADT, possibly with type arguments.
+        q = self._peek()
+        args: list[Ty] = []
+        if q is not None and q.group("punct") == "<":
+            self._next()
+            args.append(self._type())
+            while True:
+                m2 = self._next()
+                if m2 is None:
+                    raise TypeParseError("unterminated type arguments")
+                if m2.group("punct") == ">":
+                    break
+                if m2.group("punct") != ",":
+                    raise TypeParseError("expected , or > in type arguments")
+                args.append(self._type())
+        return AdtTy(ident, tuple(args))
+
+
+def parse_type(src: str, generics: Sequence[str] = ("T",)) -> Ty:
+    """Parse one Rust type; names in ``generics`` become type params."""
+    return _TypeParser(src, generics).parse()

@@ -1,0 +1,41 @@
+"""Pretty-printer for MIR programs (debugging and examples)."""
+
+from __future__ import annotations
+
+from repro.lang.mir import Body, Program
+
+
+def pretty_body(body: Body) -> str:
+    lines = []
+    params = ", ".join(f"{n}: {t}" for n, t in body.params)
+    gen = ""
+    if body.generics:
+        gen = "<" + ", ".join(body.generics) + ">"
+    safety = "" if body.is_safe else "unsafe-containing "
+    lines.append(f"{safety}fn {body.name}{gen}({params}) -> {body.return_ty} {{")
+    own_locals = {
+        k: v for k, v in body.locals.items() if k not in dict(body.params)
+    }
+    for name, ty in own_locals.items():
+        lines.append(f"    let {name}: {ty};")
+    for bb in body.blocks.values():
+        lines.append(f"  {bb.name}: {{")
+        for st in bb.statements:
+            lines.append(f"    {st}")
+        if bb.terminator is not None:
+            lines.append(f"    {bb.terminator}")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    parts = []
+    for name in sorted(program.registry.names()):
+        d = program.registry.lookup(name)
+        kind = "struct" if d.is_struct else "enum"
+        gen = "<" + ", ".join(d.params) + ">" if d.params else ""
+        parts.append(f"{kind} {name}{gen};")
+    for body in program.bodies.values():
+        parts.append(pretty_body(body))
+    return "\n\n".join(parts)

@@ -1,0 +1,340 @@
+"""The Rust-like type grammar.
+
+Real Rust (not λ_Rust): all 12 machine integer kinds with their exact
+widths, structs and enums with compiler-choosable layout, tuples,
+arrays, raw pointers, references with lifetimes, and type parameters.
+
+ADTs (structs/enums) are *referenced* by name and instantiated with
+type arguments; their definitions live in a :class:`TypeRegistry` so
+recursive types (``Node<T>`` pointing to ``Node<T>``) are expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Ty:
+    """Base class for types."""
+
+    __slots__ = ()
+
+    def key(self) -> str:
+        """Stable string identity, used in projection elements (§3.1)."""
+        return str(self)
+
+
+# ---------------------------------------------------------------------------
+# Machine integers
+# ---------------------------------------------------------------------------
+
+_INT_KINDS = {
+    # name: (bits, signed)
+    "i8": (8, True),
+    "i16": (16, True),
+    "i32": (32, True),
+    "i64": (64, True),
+    "i128": (128, True),
+    "isize": (64, True),
+    "u8": (8, False),
+    "u16": (16, False),
+    "u32": (32, False),
+    "u64": (64, False),
+    "u128": (128, False),
+    "usize": (64, False),
+}
+
+POINTER_SIZE = 8
+POINTER_ALIGN = 8
+
+
+@dataclass(frozen=True)
+class IntTy(Ty):
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _INT_KINDS:
+            raise ValueError(f"unknown integer kind: {self.kind}")
+
+    @property
+    def bits(self) -> int:
+        return _INT_KINDS[self.kind][0]
+
+    @property
+    def signed(self) -> bool:
+        return _INT_KINDS[self.kind][1]
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+I8 = IntTy("i8")
+I16 = IntTy("i16")
+I32 = IntTy("i32")
+I64 = IntTy("i64")
+I128 = IntTy("i128")
+ISIZE = IntTy("isize")
+U8 = IntTy("u8")
+U16 = IntTy("u16")
+U32 = IntTy("u32")
+U64 = IntTy("u64")
+U128 = IntTy("u128")
+USIZE = IntTy("usize")
+
+ALL_INT_TYPES = tuple(IntTy(k) for k in _INT_KINDS)
+
+
+@dataclass(frozen=True)
+class BoolTy(Ty):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class CharTy(Ty):
+    """Unicode scalar value; 4 bytes, validity range [0, 0x10FFFF]."""
+
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class UnitTy(Ty):
+    """The zero-sized unit type ``()`` — an exotically-sized type."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+BOOL = BoolTy()
+CHAR = CharTy()
+UNIT = UnitTy()
+
+
+# ---------------------------------------------------------------------------
+# Compound types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TupleTy(Ty):
+    elems: tuple[Ty, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elems)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class ArrayTy(Ty):
+    elem: Ty
+    length: int
+
+    def __str__(self) -> str:
+        return f"[{self.elem}; {self.length}]"
+
+
+@dataclass(frozen=True)
+class AdtTy(Ty):
+    """A named struct or enum, instantiated with type arguments."""
+
+    name: str
+    args: tuple[Ty, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}<{inner}>"
+
+
+@dataclass(frozen=True)
+class RawPtrTy(Ty):
+    """``*mut T`` / ``*const T``."""
+
+    pointee: Ty
+    mutable: bool = True
+
+    def __str__(self) -> str:
+        q = "mut" if self.mutable else "const"
+        return f"*{q} {self.pointee}"
+
+
+@dataclass(frozen=True)
+class RefTy(Ty):
+    """``&'k mut T`` / ``&'k T``."""
+
+    pointee: Ty
+    mutable: bool
+    lifetime: str = "'a"
+
+    def __str__(self) -> str:
+        m = "mut " if self.mutable else ""
+        return f"&{self.lifetime} {m}{self.pointee}"
+
+
+@dataclass(frozen=True)
+class ParamTy(Ty):
+    """A type parameter such as ``T``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def box_ty(inner: Ty) -> AdtTy:
+    return AdtTy("Box", (inner,))
+
+
+def option_ty(inner: Ty) -> AdtTy:
+    return AdtTy("Option", (inner,))
+
+
+# ---------------------------------------------------------------------------
+# ADT definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    name: str
+    ty: Ty
+
+
+@dataclass(frozen=True)
+class VariantDef:
+    name: str
+    fields: tuple[FieldDef, ...] = ()
+
+
+@dataclass
+class AdtDef:
+    """Definition of a struct (single unnamed variant) or enum."""
+
+    name: str
+    params: tuple[str, ...] = ()
+    variants: tuple[VariantDef, ...] = ()
+    is_struct: bool = False
+
+    @property
+    def struct_fields(self) -> tuple[FieldDef, ...]:
+        assert self.is_struct, f"{self.name} is not a struct"
+        return self.variants[0].fields
+
+    def variant_index(self, name: str) -> int:
+        for i, v in enumerate(self.variants):
+            if v.name == name:
+                return i
+        raise KeyError(f"{self.name} has no variant {name}")
+
+
+def struct_def(name: str, fields: Iterable[tuple[str, Ty]], params: tuple[str, ...] = ()) -> AdtDef:
+    fdefs = tuple(FieldDef(n, t) for n, t in fields)
+    return AdtDef(name, params, (VariantDef(name, fdefs),), is_struct=True)
+
+
+def enum_def(
+    name: str,
+    variants: Iterable[tuple[str, Iterable[tuple[str, Ty]]]],
+    params: tuple[str, ...] = (),
+) -> AdtDef:
+    vdefs = tuple(
+        VariantDef(vn, tuple(FieldDef(fn, ft) for fn, ft in fs)) for vn, fs in variants
+    )
+    return AdtDef(name, params, vdefs, is_struct=False)
+
+
+class TypeRegistry:
+    """Holds ADT definitions; knows how to substitute type arguments."""
+
+    def __init__(self) -> None:
+        self._defs: dict[str, AdtDef] = {}
+        self._install_builtins()
+
+    def _install_builtins(self) -> None:
+        t = ParamTy("T")
+        self.define(
+            enum_def("Option", [("None", []), ("Some", [("0", t)])], params=("T",))
+        )
+        # Box<T> is modelled as a struct holding a raw pointer; its
+        # semantics (owned allocation) live in the Ownable instance.
+        self.define(struct_def("Box", [("ptr", RawPtrTy(t))], params=("T",)))
+
+    def define(self, d: AdtDef) -> AdtDef:
+        if d.name in self._defs:
+            raise ValueError(f"ADT {d.name} already defined")
+        self._defs[d.name] = d
+        return d
+
+    def lookup(self, name: str) -> AdtDef:
+        return self._defs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def names(self) -> Iterable[str]:
+        return self._defs.keys()
+
+    # -- instantiation -------------------------------------------------------
+
+    def subst(self, ty: Ty, mapping: dict[str, Ty]) -> Ty:
+        """Substitute type parameters by name."""
+        if isinstance(ty, ParamTy):
+            return mapping.get(ty.name, ty)
+        if isinstance(ty, TupleTy):
+            return TupleTy(tuple(self.subst(e, mapping) for e in ty.elems))
+        if isinstance(ty, ArrayTy):
+            return ArrayTy(self.subst(ty.elem, mapping), ty.length)
+        if isinstance(ty, AdtTy):
+            return AdtTy(ty.name, tuple(self.subst(a, mapping) for a in ty.args))
+        if isinstance(ty, RawPtrTy):
+            return RawPtrTy(self.subst(ty.pointee, mapping), ty.mutable)
+        if isinstance(ty, RefTy):
+            return RefTy(self.subst(ty.pointee, mapping), ty.mutable, ty.lifetime)
+        return ty
+
+    def instantiate(self, ty: AdtTy) -> tuple[AdtDef, dict[str, Ty]]:
+        """Return the definition and parameter mapping for an ADT type."""
+        d = self.lookup(ty.name)
+        if len(d.params) != len(ty.args):
+            raise ValueError(
+                f"{ty.name} expects {len(d.params)} type args, got {len(ty.args)}"
+            )
+        return d, dict(zip(d.params, ty.args))
+
+    def field_ty(self, ty: AdtTy, variant: int, field_idx: int) -> Ty:
+        d, mapping = self.instantiate(ty)
+        f = d.variants[variant].fields[field_idx]
+        return self.subst(f.ty, mapping)
+
+    def field_index(self, ty: AdtTy, name: str, variant: int = 0) -> int:
+        d, _ = self.instantiate(ty)
+        for i, f in enumerate(d.variants[variant].fields):
+            if f.name == name:
+                return i
+        raise KeyError(f"{ty.name} variant {variant} has no field {name}")
+
+
+def is_zero_sized(ty: Ty, registry: Optional[TypeRegistry] = None) -> bool:
+    """Conservative zero-sized-type check (unit, empty tuples/arrays)."""
+    if isinstance(ty, UnitTy):
+        return True
+    if isinstance(ty, TupleTy):
+        return all(is_zero_sized(e, registry) for e in ty.elems)
+    if isinstance(ty, ArrayTy):
+        return ty.length == 0 or is_zero_sized(ty.elem, registry)
+    return False

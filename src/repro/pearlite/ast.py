@@ -1,0 +1,153 @@
+"""Pearlite: Creusot's specification language (§5.4, footnote 9).
+
+Pearlite is a first-order logic with the usual connectives plus two
+Rust-verification-specific operators:
+
+* ``x@`` (postfix) — ``shallow_model()``: the pure model of a value;
+* ``^x`` (prefix)  — the *final* operator: the value a mutable
+  reference will have when it expires (the prophecy).
+
+Terms are plain dataclasses; the textual syntax is handled by
+:mod:`repro.pearlite.parser` and the interpretation into solver terms
+(via representation values) by :mod:`repro.pearlite.encode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class PTerm:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PVar(PTerm):
+    """A program variable (parameter name, ``result``, or a variable
+    bound by a match arm)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PInt(PTerm):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class PBool(PTerm):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class PFinal(PTerm):
+    """``^t`` — the prophecy / final value of a mutable reference."""
+
+    inner: PTerm
+
+    def __str__(self) -> str:
+        return f"^{self.inner}"
+
+
+@dataclass(frozen=True)
+class PModel(PTerm):
+    """``t@`` — ``t.shallow_model()``."""
+
+    inner: PTerm
+
+    def __str__(self) -> str:
+        return f"{self.inner}@"
+
+
+@dataclass(frozen=True)
+class PBin(PTerm):
+    """Binary operator: ``==, !=, <, <=, >, >=, &&, ||, ==>, +, -, *``."""
+
+    op: str
+    lhs: PTerm
+    rhs: PTerm
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class PNot(PTerm):
+    inner: PTerm
+
+    def __str__(self) -> str:
+        return f"!{self.inner}"
+
+
+@dataclass(frozen=True)
+class PField(PTerm):
+    """Field access ``t.name`` (structs in Gilsonite terms; tuple
+    projections in Pearlite)."""
+
+    inner: PTerm
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.inner}.{self.name}"
+
+
+@dataclass(frozen=True)
+class PCall(PTerm):
+    """Logical function application: ``Seq::cons(a, b)``, ``s.len()``,
+    ``usize::MAX`` (nullary)."""
+
+    func: str
+    args: tuple[PTerm, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.func
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class PMatchArm:
+    """``Ctor(binders...) => body`` (Option patterns: None / Some(x))."""
+
+    ctor: str
+    binders: tuple[str, ...]
+    body: PTerm
+
+    def __str__(self) -> str:
+        pat = self.ctor
+        if self.binders:
+            pat += "(" + ", ".join(self.binders) + ")"
+        return f"{pat} => {self.body}"
+
+
+@dataclass(frozen=True)
+class PMatch(PTerm):
+    scrutinee: PTerm
+    arms: tuple[PMatchArm, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.arms)
+        return f"match {self.scrutinee} {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class PearliteSpec:
+    """A Creusot function contract: ``#[requires]``/``#[ensures]``."""
+
+    requires: tuple[PTerm, ...] = ()
+    ensures: tuple[PTerm, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [f"#[requires({r})]" for r in self.requires]
+        lines += [f"#[ensures({e})]" for e in self.ensures]
+        return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Recursive-descent parser for the Pearlite surface syntax.
+
+Grammar (precedence low → high)::
+
+    term    := implies
+    implies := or ( '==>' implies )?
+    or      := and ( '||' and )*
+    and     := cmp ( '&&' cmp )*
+    cmp     := addsub ( ('==' | '!=' | '<=' | '<' | '>=' | '>') addsub )?
+    addsub  := mul ( ('+' | '-') mul )*
+    mul     := unary ( '*' unary )*
+    unary   := '^' unary | '!' unary | postfix
+    postfix := atom ( '@' | '.' ident '(' args ')' )*
+    atom    := int | 'true' | 'false' | path ( '(' args ')' )?
+             | 'match' term '{' arms '}' | '(' term ')'
+    path    := ident ( '::' ident )*
+
+This covers the specs in the paper verbatim, e.g.::
+
+    match result {
+        None => (^self)@ == Seq::EMPTY,
+        Some(x) => self@ == Seq::cons(x@, (^self)@)
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pearlite.ast import (
+    PBin,
+    PField,
+    PBool,
+    PCall,
+    PFinal,
+    PInt,
+    PMatch,
+    PMatchArm,
+    PModel,
+    PNot,
+    PTerm,
+    PVar,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<int>\d[\d_]*)
+  | (?P<path>[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_][A-Za-z0-9_]*)*)
+  | (?P<op>==>|==|!=|<=|>=|=>|&&|\|\||[@^!<>(),.{}*+\-])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"match", "true", "false"}
+
+
+@dataclass
+class _Tok:
+    kind: str  # "int" | "path" | "op"
+    text: str
+
+
+class PearliteParseError(Exception):
+    pass
+
+
+def _tokenize(src: str) -> list[_Tok]:
+    out: list[_Tok] = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None:
+            raise PearliteParseError(f"unexpected character {src[pos]!r} at {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        kind = m.lastgroup
+        if kind == "path":
+            out.append(_Tok("path", m.group("path")))
+        elif kind == "int":
+            out.append(_Tok("int", m.group("int")))
+        else:
+            out.append(_Tok("op", m.group("op")))
+    return out
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Tok]):
+        self.toks = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[_Tok]:
+        return self.toks[self.pos] if self.pos < len(self.toks) else None
+
+    def next(self) -> _Tok:
+        t = self.peek()
+        if t is None:
+            raise PearliteParseError("unexpected end of input")
+        self.pos += 1
+        return t
+
+    def eat(self, text: str) -> None:
+        t = self.next()
+        if t.text != text:
+            raise PearliteParseError(f"expected {text!r}, found {t.text!r}")
+
+    def accept(self, text: str) -> bool:
+        t = self.peek()
+        if t is not None and t.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    # -- precedence climbing ------------------------------------------------
+
+    def term(self) -> PTerm:
+        return self.implies()
+
+    def implies(self) -> PTerm:
+        lhs = self.or_()
+        if self.accept("==>"):
+            return PBin("==>", lhs, self.implies())
+        return lhs
+
+    def or_(self) -> PTerm:
+        lhs = self.and_()
+        while self.accept("||"):
+            lhs = PBin("||", lhs, self.and_())
+        return lhs
+
+    def and_(self) -> PTerm:
+        lhs = self.cmp()
+        while self.accept("&&"):
+            lhs = PBin("&&", lhs, self.cmp())
+        return lhs
+
+    def cmp(self) -> PTerm:
+        lhs = self.addsub()
+        t = self.peek()
+        if t is not None and t.text in ("==", "!=", "<=", "<", ">=", ">"):
+            self.next()
+            return PBin(t.text, lhs, self.addsub())
+        return lhs
+
+    def addsub(self) -> PTerm:
+        lhs = self.mul()
+        while True:
+            t = self.peek()
+            if t is not None and t.text in ("+", "-"):
+                self.next()
+                lhs = PBin(t.text, lhs, self.mul())
+            else:
+                return lhs
+
+    def mul(self) -> PTerm:
+        lhs = self.unary()
+        while self.accept("*"):
+            lhs = PBin("*", lhs, self.unary())
+        return lhs
+
+    def unary(self) -> PTerm:
+        if self.accept("^"):
+            return PFinal(self.unary())
+        if self.accept("!"):
+            return PNot(self.unary())
+        return self.postfix()
+
+    def postfix(self) -> PTerm:
+        t = self.atom()
+        while True:
+            tok = self.peek()
+            if tok is None:
+                return t
+            if tok.text == "@":
+                self.next()
+                t = PModel(t)
+            elif tok.text == ".":
+                self.next()
+                meth = self.next().text
+                if self.peek() is not None and self.peek().text == "(":
+                    self.next()
+                    args = self.args()
+                    self.eat(")")
+                    t = PCall(f".{meth}", (t, *args))
+                else:
+                    t = PField(t, meth)
+            else:
+                return t
+
+    def args(self) -> tuple[PTerm, ...]:
+        if self.peek() is not None and self.peek().text == ")":
+            return ()
+        out = [self.term()]
+        while self.accept(","):
+            out.append(self.term())
+        return tuple(out)
+
+    def atom(self) -> PTerm:
+        tok = self.next()
+        if tok.kind == "int":
+            return PInt(int(tok.text.replace("_", "")))
+        if tok.text == "(":
+            inner = self.term()
+            self.eat(")")
+            return inner
+        if tok.text == "true":
+            return PBool(True)
+        if tok.text == "false":
+            return PBool(False)
+        if tok.text == "match":
+            return self.match_()
+        if tok.kind == "path":
+            if self.peek() is not None and self.peek().text == "(":
+                self.next()
+                args = self.args()
+                self.eat(")")
+                return PCall(tok.text, args)
+            if "::" in tok.text:
+                return PCall(tok.text)  # nullary path: Seq::EMPTY, usize::MAX
+            return PVar(tok.text)
+        raise PearliteParseError(f"unexpected token {tok.text!r}")
+
+    def match_(self) -> PTerm:
+        scrutinee = self.term()
+        self.eat("{")
+        arms = []
+        while True:
+            ctor_tok = self.next()
+            if ctor_tok.kind != "path":
+                raise PearliteParseError(f"expected pattern, got {ctor_tok.text!r}")
+            binders: list[str] = []
+            if self.accept("("):
+                while True:
+                    binders.append(self.next().text)
+                    if not self.accept(","):
+                        break
+                self.eat(")")
+            self.eat("=>")
+            body = self.term()
+            arms.append(PMatchArm(ctor_tok.text.split("::")[-1], tuple(binders), body))
+            if not self.accept(","):
+                break
+            if self.peek() is not None and self.peek().text == "}":
+                break
+        self.eat("}")
+        return PMatch(scrutinee, tuple(arms))
+
+
+def parse_pearlite(src: str) -> PTerm:
+    """Parse one Pearlite term."""
+    p = _Parser(_tokenize(src))
+    t = p.term()
+    if p.peek() is not None:
+        raise PearliteParseError(f"trailing input at token {p.peek().text!r}")
+    return t

@@ -1,0 +1,61 @@
+"""Pearlite contracts for the LinkedList API (the Creusot axioms).
+
+These are the contracts Creusot assumes when verifying safe client
+code (§2.1) and that Gillian-Rust discharges against the real unsafe
+implementation via the §5.4 encoding — the keystone of the hybrid
+approach.
+"""
+
+from __future__ import annotations
+
+#: Function name -> {"requires": [...], "ensures": [...]} in Pearlite
+#: surface syntax.
+LINKED_LIST_CONTRACTS: dict[str, dict] = {
+    "LinkedList::new": {
+        "ensures": ["result@ == Seq::EMPTY"],
+    },
+    "LinkedList::push_front": {
+        "requires": ["self@.len() < usize::MAX"],
+        "ensures": ["(^self)@ == Seq::cons(elt@, self@)"],
+    },
+    "LinkedList::push_front_node": {
+        "requires": ["self@.len() < usize::MAX"],
+        "ensures": ["(^self)@ == Seq::cons(node@, self@)"],
+    },
+    "LinkedList::pop_front": {
+        "ensures": [
+            "match result {"
+            "  None => (^self)@ == Seq::EMPTY && self@ == Seq::EMPTY,"
+            "  Some(x) => self@ == Seq::cons(x@, (^self)@)"
+            "}"
+        ],
+    },
+    "LinkedList::pop_front_node": {
+        "ensures": [
+            "match result {"
+            "  None => (^self)@ == Seq::EMPTY && self@ == Seq::EMPTY,"
+            "  Some(x) => self@ == Seq::cons(x@, (^self)@)"
+            "}"
+        ],
+    },
+    "LinkedList::len": {
+        "ensures": ["result == self@.len()", "(^self)@ == self@"],
+    },
+    "LinkedList::is_empty": {
+        "ensures": [
+            "(result == true) == (self@.len() == 0)",
+            "(^self)@ == self@",
+        ],
+    },
+    # front_mut's functional contract needs borrow extraction in the
+    # presence of prophecies — unimplemented in the paper too (§7.1);
+    # it gets only the type-safety spec.
+    "LinkedList::front_mut": {},
+}
+
+#: Manually-extracted pure copies of observation knowledge (§7.3):
+#: needed until extraction from observations is automated.
+MANUAL_PURE_PRECONDITIONS: dict[str, list] = {
+    "LinkedList::push_front": ["self@.len() < usize::MAX"],
+    "LinkedList::push_front_node": ["self@.len() < usize::MAX"],
+}

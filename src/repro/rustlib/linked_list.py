@@ -1,0 +1,526 @@
+"""The Rust standard library ``LinkedList`` under verification (§2.2, §6).
+
+The structure definitions follow Fig. 2 of the paper; the function
+bodies are hand-translations of the std implementation (rustc commit
+``ad2b34d0``, as in §6) into our MIR, with ``Option::map`` calls
+manually inlined — the paper does exactly the same, as the
+Gillian-Rust compiler does not yet support closures (§7.1).
+
+The ownership predicate ``⌊LinkedList<T>⌋`` is the classic
+doubly-linked-list-segment predicate ``dllSeg`` (§3.3), parametric on
+the element type's ownership predicate.
+"""
+
+from __future__ import annotations
+
+from repro.gilsonite.ast import (
+    Exists,
+    Mode,
+    Param,
+    PointsTo,
+    Pred,
+    PredicateDef,
+    Pure,
+    star,
+)
+from repro.gilsonite.ownable import OwnableRegistry, own_pred_name
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import (
+    UNIT,
+    USIZE,
+    AdtTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    Ty,
+    box_ty,
+    option_ty,
+    struct_def,
+)
+from repro.solver.sorts import LFT, LOC, OptionSort, SeqSort
+from repro.solver.terms import (
+    Var,
+    eq,
+    intlit,
+    is_some,
+    none,
+    not_,
+    seq_cons,
+    seq_empty,
+    seq_len,
+    some,
+    tuple_get,
+    tuple_mk,
+)
+
+T = ParamTy("T")
+NODE = AdtTy("Node", (T,))
+LIST = AdtTy("LinkedList", (T,))
+NODE_PTR = RawPtrTy(NODE)
+OPT_NODE_PTR = option_ty(NODE_PTR)
+BOX_NODE = box_ty(NODE)
+MUT_LIST = RefTy(LIST, mutable=True)
+MUT_T = RefTy(T, mutable=True)
+
+DLL_SEG = "dllSeg"
+
+# Field indices.
+ELEM, NEXT, PREV = 0, 1, 2
+HEAD, TAIL, LEN = 0, 1, 2
+
+
+def define_types(program: Program) -> None:
+    program.registry.define(
+        struct_def(
+            "Node",
+            [("element", T), ("next", OPT_NODE_PTR), ("prev", OPT_NODE_PTR)],
+            params=("T",),
+        )
+    )
+    program.registry.define(
+        struct_def(
+            "LinkedList",
+            [("head", OPT_NODE_PTR), ("tail", OPT_NODE_PTR), ("len", USIZE)],
+            params=("T",),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ownership predicates (Fig. 2, §3.3)
+# ---------------------------------------------------------------------------
+
+
+def define_dll_seg(program: Program, ownables: OwnableRegistry) -> None:
+    """``dllSeg⟨T⟩(h, n, t, p, r)`` — §3.3 verbatim:
+
+    ``(h = n * t = p * r = []) ∨
+      (∃h' v z r_v r'. h = Some(h') * h' ↦ {v, z, p} * ⌊T⌋(v, r_v)
+                       * dllSeg(z, n, t, Some(h'), r') * r = r_v :: r')``
+    """
+    own_t = ownables.ensure_own(T)
+    repr_t = ownables.repr_sort(T)
+    from repro.core.heap.values import ty_to_sort
+
+    val_t = ty_to_sort(T, program.registry)
+    opt_loc = OptionSort(LOC)
+    seq_repr = SeqSort(repr_t)
+
+    kappa = Var("κ", LFT)
+    h = Var("h", opt_loc)
+    n = Var("n", opt_loc)
+    t = Var("t", opt_loc)
+    p = Var("p", opt_loc)
+    r = Var("r", seq_repr)
+
+    empty_case = star(
+        Pure(eq(h, n)),
+        Pure(eq(t, p)),
+        Pure(eq(r, seq_empty(repr_t))),
+    )
+
+    hp = Var("h_", LOC)
+    v = Var("v", val_t)
+    z = Var("z", opt_loc)
+    rv = Var("r_v", repr_t)
+    r2 = Var("r_", seq_repr)
+    cons_case = Exists(
+        (hp, v, z, rv, r2),
+        star(
+            Pure(eq(h, some(hp))),
+            PointsTo(hp, NODE, tuple_mk(v, z, p)),
+            Pred(own_t, (kappa, v, rv)),
+            Pred(DLL_SEG, (kappa, z, n, t, some(hp), r2)),
+            Pure(eq(r, seq_cons(rv, r2))),
+        ),
+    )
+
+    program.predicates[DLL_SEG] = PredicateDef(
+        name=DLL_SEG,
+        params=(
+            Param(kappa, Mode.IN),
+            Param(h, Mode.IN),
+            Param(n, Mode.IN),
+            Param(t, Mode.IN),
+            Param(p, Mode.IN),
+            Param(r, Mode.OUT),
+        ),
+        disjuncts=(empty_case, cons_case),
+    )
+
+
+def define_ownables(program: Program, ownables: OwnableRegistry) -> None:
+    """Register the Ownable impls for Node and LinkedList (Fig. 2)."""
+    define_dll_seg(program, ownables)
+
+    # Node<T>: a detached node owns its element; the link pointers are
+    # plain values (raw pointers carry no ownership).
+    def node_repr(ty: AdtTy):
+        return ownables.repr_sort(ty.args[0])
+
+    def node_build(reg: OwnableRegistry, ty: AdtTy, kappa, self_v, repr_v):
+        inner_own = reg.ensure_own(ty.args[0])
+        return [Pred(inner_own, (kappa, tuple_get(self_v, ELEM), repr_v))]
+
+    ownables.register_custom(NODE, node_repr, node_build)
+
+    # LinkedList<T> (Fig. 2): dllSeg over the whole list plus the
+    # length invariant.
+    def list_repr(ty: AdtTy):
+        return SeqSort(ownables.repr_sort(ty.args[0]))
+
+    def list_build(reg: OwnableRegistry, ty: AdtTy, kappa, self_v, repr_v):
+        elem_repr = reg.repr_sort(ty.args[0])
+        return [
+            star(
+                Pred(
+                    DLL_SEG,
+                    (
+                        kappa,
+                        tuple_get(self_v, HEAD),
+                        none(LOC),
+                        tuple_get(self_v, TAIL),
+                        none(LOC),
+                        repr_v,
+                    ),
+                ),
+                Pure(eq(tuple_get(self_v, LEN), seq_len(repr_v))),
+            )
+        ]
+
+    ownables.register_custom(LIST, list_repr, list_build)
+
+
+# ---------------------------------------------------------------------------
+# Function bodies (hand-translated from std, Option::map inlined)
+# ---------------------------------------------------------------------------
+
+
+def body_new() -> "Body":
+    """``pub fn new() -> LinkedList<T> { LinkedList { head: None,
+    tail: None, len: 0 } }``"""
+    fn = BodyBuilder("LinkedList::new", params=[], ret=LIST, generics=("T",))
+    bb0 = fn.block()
+    t_none = fn.temp(OPT_NODE_PTR)
+    bb0.assign(t_none, fn.aggregate(OPT_NODE_PTR, [], variant=0))
+    bb0.assign(
+        fn.ret_place,
+        fn.aggregate(
+            LIST,
+            [fn.copy(t_none), fn.copy(t_none), fn.const_int(0, USIZE)],
+        ),
+    )
+    bb0.ret()
+    return fn.finish()
+
+
+def body_push_front_node(resolve: bool = True) -> "Body":
+    """``fn push_front_node(&mut self, node: Box<Node<T>>)`` — the std
+    body: wire the new node in front, fix up head/tail, bump len."""
+    fn = BodyBuilder(
+        "LinkedList::push_front_node",
+        params=[("self", MUT_LIST), ("node", BOX_NODE)],
+        ret=UNIT,
+        generics=("T",),
+    )
+    bb0 = fn.block()
+    if resolve:
+        bb0.mutref_auto_resolve("self")
+    self_list = fn.place("self").deref()
+    node_obj = fn.place("node").deref()
+
+    t_head = fn.local("t_head", OPT_NODE_PTR)
+    bb0.assign(t_head, fn.copy(self_list.field(HEAD)))
+    # node.next = self.head; node.prev = None;
+    bb0.assign(node_obj.field(NEXT), fn.copy(t_head))
+    t_none = fn.local("t_none", OPT_NODE_PTR)
+    bb0.assign(t_none, fn.aggregate(OPT_NODE_PTR, [], variant=0))
+    bb0.assign(node_obj.field(PREV), fn.copy(t_none))
+    # let node = Some(Box::leak(node).into());
+    t_raw = fn.local("t_raw", NODE_PTR)
+    bb0.assign(t_raw, fn.cast(fn.move("node"), NODE_PTR))
+    t_node_opt = fn.local("t_node_opt", OPT_NODE_PTR)
+    bb0.assign(t_node_opt, fn.aggregate(OPT_NODE_PTR, [fn.copy(t_raw)], variant=1))
+    # match self.head { ... }
+    t_disc = fn.local("t_disc", USIZE)
+    bb0.assign(t_disc, fn.discriminant(t_head))
+    bb_none = fn.block("bb_none")
+    bb_some = fn.block("bb_some")
+    bb_join = fn.block("bb_join")
+    bb0.switch(fn.copy(t_disc), [(0, bb_none)], otherwise=bb_some)
+    # None => self.tail = node
+    bb_none.assign(self_list.field(TAIL), fn.copy(t_node_opt))
+    bb_none.goto(bb_join)
+    # Some(head) => (*head.as_ptr()).prev = node
+    t_headp = fn.local("t_headp", NODE_PTR)
+    bb_some.assign(t_headp, fn.copy(fn.place("t_head").downcast(1).field(0)))
+    bb_some.assign(
+        fn.place("t_headp").deref().field(PREV), fn.copy(t_node_opt)
+    )
+    bb_some.goto(bb_join)
+    # self.head = node; self.len += 1;
+    bb_join.assign(self_list.field(HEAD), fn.copy(t_node_opt))
+    t_len = fn.local("t_len", USIZE)
+    bb_join.assign(t_len, fn.copy(self_list.field(LEN)))
+    t_len2 = fn.local("t_len2", USIZE)
+    bb_join.assign(t_len2, fn.binop("add", fn.copy(t_len), fn.const_int(1, USIZE)))
+    bb_join.assign(self_list.field(LEN), fn.copy(t_len2))
+    bb_join.assign(fn.ret_place, fn.const_unit())
+    bb_join.ret()
+    return fn.finish()
+
+
+def body_pop_front_node(resolve: bool = True) -> "Body":
+    """``fn pop_front_node(&mut self) -> Option<Box<Node<T>>>`` — std
+    body with the ``Option::map`` closure inlined (§6)."""
+    ret_ty = option_ty(BOX_NODE)
+    fn = BodyBuilder(
+        "LinkedList::pop_front_node",
+        params=[("self", MUT_LIST)],
+        ret=ret_ty,
+        generics=("T",),
+    )
+    bb0 = fn.block()
+    if resolve:
+        bb0.mutref_auto_resolve("self")
+    self_list = fn.place("self").deref()
+    t_head = fn.local("t_head", OPT_NODE_PTR)
+    bb0.assign(t_head, fn.copy(self_list.field(HEAD)))
+    t_disc = fn.local("t_disc", USIZE)
+    bb0.assign(t_disc, fn.discriminant(t_head))
+    bb_none = fn.block("bb_none")
+    bb_some = fn.block("bb_some")
+    bb0.switch(fn.copy(t_disc), [(0, bb_none)], otherwise=bb_some)
+    # None => None
+    bb_none.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+    bb_none.ret()
+    # Some(node) => { let node = Box::from_raw(node.as_ptr()); ... }
+    t_node = fn.local("t_node", NODE_PTR)
+    bb_some.assign(t_node, fn.copy(fn.place("t_head").downcast(1).field(0)))
+    # self.head = node.next;
+    t_next = fn.local("t_next", OPT_NODE_PTR)
+    bb_some.assign(t_next, fn.copy(fn.place("t_node").deref().field(NEXT)))
+    bb_some.assign(self_list.field(HEAD), fn.copy(t_next))
+    # match self.head { None => self.tail = None, Some(h) => (*h).prev = None }
+    t_disc2 = fn.local("t_disc2", USIZE)
+    bb_some.assign(t_disc2, fn.discriminant(t_next))
+    bb_set_tail = fn.block("bb_set_tail")
+    bb_unset_prev = fn.block("bb_unset_prev")
+    bb_dec = fn.block("bb_dec")
+    bb_some.switch(fn.copy(t_disc2), [(0, bb_set_tail)], otherwise=bb_unset_prev)
+    t_none = fn.local("t_none", OPT_NODE_PTR)
+    bb_set_tail.assign(t_none, fn.aggregate(OPT_NODE_PTR, [], variant=0))
+    bb_set_tail.assign(self_list.field(TAIL), fn.copy(t_none))
+    bb_set_tail.goto(bb_dec)
+    t_h2 = fn.local("t_h2", NODE_PTR)
+    bb_unset_prev.assign(t_h2, fn.copy(fn.place("t_next").downcast(1).field(0)))
+    t_none2 = fn.local("t_none2", OPT_NODE_PTR)
+    bb_unset_prev.assign(t_none2, fn.aggregate(OPT_NODE_PTR, [], variant=0))
+    bb_unset_prev.assign(fn.place("t_h2").deref().field(PREV), fn.copy(t_none2))
+    bb_unset_prev.goto(bb_dec)
+    # self.len -= 1; Some(node)
+    t_len = fn.local("t_len", USIZE)
+    bb_dec.assign(t_len, fn.copy(self_list.field(LEN)))
+    t_len2 = fn.local("t_len2", USIZE)
+    bb_dec.assign(t_len2, fn.binop("sub", fn.copy(t_len), fn.const_int(1, USIZE)))
+    bb_dec.assign(self_list.field(LEN), fn.copy(t_len2))
+    t_box = fn.local("t_box", BOX_NODE)
+    bb_dec.assign(t_box, fn.cast(fn.copy(t_node), BOX_NODE))
+    bb_dec.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.copy(t_box)], variant=1))
+    bb_dec.ret()
+    return fn.finish()
+
+
+def body_push_front() -> "Body":
+    """``pub fn push_front(&mut self, elt: T)`` — allocate a node and
+    delegate to push_front_node (as std does)."""
+    fn = BodyBuilder(
+        "LinkedList::push_front",
+        params=[("self", MUT_LIST), ("elt", T)],
+        ret=UNIT,
+        generics=("T",),
+    )
+    bb0 = fn.block()
+    bb1 = fn.block("bb1")
+    bb2 = fn.block("bb2")
+    bb3 = fn.block("bb3")
+    # Node::new(elt) — constructor inlined.
+    t_none = fn.local("t_none", OPT_NODE_PTR)
+    bb0.assign(t_none, fn.aggregate(OPT_NODE_PTR, [], variant=0))
+    t_node_val = fn.local("t_node_val", NODE)
+    bb0.assign(
+        t_node_val,
+        fn.aggregate(NODE, [fn.move("elt"), fn.copy(t_none), fn.copy(t_none)]),
+    )
+    bb0.goto(bb1)
+    t_box = fn.local("t_box", BOX_NODE)
+    bb1.call(t_box, "Box::new", [fn.move(t_node_val)], bb2, ty_args=[NODE])
+    t_unit = fn.local("t_unit", UNIT)
+    bb2.call(
+        t_unit,
+        "LinkedList::push_front_node",
+        [fn.copy("self"), fn.move(t_box)],
+        bb3,
+    )
+    bb3.assign(fn.ret_place, fn.const_unit())
+    bb3.ret()
+    return fn.finish()
+
+
+def body_pop_front() -> "Body":
+    """``pub fn pop_front(&mut self) -> Option<T>`` — std:
+    ``self.pop_front_node().map(Node::into_element)`` with the map
+    (and ``into_element``) inlined (§6)."""
+    ret_ty = option_ty(T)
+    opt_box = option_ty(BOX_NODE)
+    fn = BodyBuilder(
+        "LinkedList::pop_front",
+        params=[("self", MUT_LIST)],
+        ret=ret_ty,
+        generics=("T",),
+    )
+    bb0 = fn.block()
+    bb1 = fn.block("bb1")
+    t_opt = fn.local("t_opt", opt_box)
+    bb0.call(t_opt, "LinkedList::pop_front_node", [fn.copy("self")], bb1)
+    t_disc = fn.local("t_disc", USIZE)
+    bb1.assign(t_disc, fn.discriminant(t_opt))
+    bb_none = fn.block("bb_none")
+    bb_some = fn.block("bb_some")
+    bb1.switch(fn.copy(t_disc), [(0, bb_none)], otherwise=bb_some)
+    bb_none.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+    bb_none.ret()
+    # Some(node) => Some(node.into_element())
+    t_box = fn.local("t_box", BOX_NODE)
+    bb_some.assign(t_box, fn.copy(fn.place("t_opt").downcast(1).field(0)))
+    t_elem = fn.local("t_elem", T)
+    bb_some.assign(t_elem, fn.move(fn.place("t_box").deref().field(ELEM)))
+    bb_free = fn.block("bb_free")
+    t_unit = fn.local("t_unit", UNIT)
+    bb_some.call(
+        t_unit, "intrinsic::box_free", [fn.copy(t_box)], bb_free, ty_args=[NODE]
+    )
+    bb_free.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.move(t_elem)], variant=1))
+    bb_free.ret()
+    return fn.finish()
+
+
+def body_len() -> "Body":
+    """``pub fn len(&mut self) -> usize`` — std takes ``&self``; shared
+    references are out of scope here and in the paper (§7.3), so we
+    verify the ``&mut`` variant, whose spec additionally promises the
+    list is unchanged (``(^self)@ == self@``)."""
+    fn = BodyBuilder(
+        "LinkedList::len", params=[("self", MUT_LIST)], ret=USIZE, generics=("T",)
+    )
+    bb0 = fn.block()
+    bb0.mutref_auto_resolve("self")
+    bb0.assign(fn.ret_place, fn.copy(fn.place("self").deref().field(LEN)))
+    bb0.ret()
+    return fn.finish()
+
+
+def body_is_empty() -> "Body":
+    """``pub fn is_empty(&mut self) -> bool`` (same ``&mut`` caveat)."""
+    from repro.lang.types import BOOL
+
+    fn = BodyBuilder(
+        "LinkedList::is_empty", params=[("self", MUT_LIST)], ret=BOOL, generics=("T",)
+    )
+    bb0 = fn.block()
+    bb0.mutref_auto_resolve("self")
+    t_len = fn.local("t_len", USIZE)
+    bb0.assign(t_len, fn.copy(fn.place("self").deref().field(LEN)))
+    bb0.assign(
+        fn.ret_place, fn.binop("eq", fn.copy(t_len), fn.const_int(0, USIZE))
+    )
+    bb0.ret()
+    return fn.finish()
+
+
+def body_front_mut() -> "Body":
+    """``pub fn front_mut(&mut self) -> Option<&mut T>`` — borrow
+    extraction (§4.3): requires the freezing and extraction lemmas,
+    manually applied, automatically proven."""
+    ret_ty = option_ty(MUT_T)
+    fn = BodyBuilder(
+        "LinkedList::front_mut",
+        params=[("self", MUT_LIST)],
+        ret=ret_ty,
+        generics=("T",),
+    )
+    bb0 = fn.block()
+    # Lemma 1: freeze the existentials of the list borrow (§4.3 fn. 8).
+    bb0.apply_lemma("freeze_linked_list", fn.copy("self"))
+    self_list = fn.place("self").deref()
+    t_head = fn.local("t_head", OPT_NODE_PTR)
+    bb0.assign(t_head, fn.copy(self_list.field(HEAD)))
+    t_disc = fn.local("t_disc", USIZE)
+    bb0.assign(t_disc, fn.discriminant(t_head))
+    bb_none = fn.block("bb_none")
+    bb_some = fn.block("bb_some")
+    bb0.switch(fn.copy(t_disc), [(0, bb_none)], otherwise=bb_some)
+    bb_none.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+    bb_none.ret()
+    # Lemma 2: extract &mut to the head element (BORROW-EXTRACT).
+    bb_some.apply_lemma("extract_head_element", fn.copy("self"))
+    t_node = fn.local("t_node", NODE_PTR)
+    bb_some.assign(t_node, fn.copy(fn.place("t_head").downcast(1).field(0)))
+    t_ref = fn.local("t_ref", MUT_T)
+    bb_some.assign(t_ref, fn.ref(fn.place("t_node").deref().field(ELEM), mutable=True))
+    bb_some.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.copy(t_ref)], variant=1))
+    bb_some.ret()
+    return fn.finish()
+
+
+def define_lemmas(program: Program, ownables: OwnableRegistry) -> None:
+    """Declare the freezing and extraction lemmas used by front_mut
+    (§4.3). Declaration is manual, the proofs are automatic (§6)."""
+    from repro.gilsonite.lemmas import ExtractHeadElementLemma, FreezeLinkedListLemma
+    from repro.gilsonite.ownable import mutref_inv_name, own_pred_name
+
+    ownables.ensure_own(MUT_LIST)  # also creates mutref_inv:LinkedList<T>
+    ownables.ensure_mutref_inv(T)  # mutref_inv:T for the extracted element
+    freeze = FreezeLinkedListLemma(
+        mutref_inv=mutref_inv_name(LIST),
+        own_mutref=own_pred_name(MUT_LIST),
+        frozen_pred="ll_frozen",
+        list_ty=LIST,
+        dll_seg=DLL_SEG,
+        elem_repr=ownables.repr_sort(T),
+    )
+    extract = ExtractHeadElementLemma(
+        frozen_pred="ll_frozen",
+        node_ty=NODE,
+        elem_ty=T,
+        elem_own=ownables.ensure_own(T),
+        mutref_inv_elem=mutref_inv_name(T),
+        elem_repr=ownables.repr_sort(T),
+    )
+    program.lemmas[freeze.name] = freeze
+    program.lemmas[extract.name] = extract
+
+
+def build_program() -> tuple[Program, OwnableRegistry]:
+    """The LinkedList crate: types, predicates, and function bodies."""
+    program = Program()
+    define_types(program)
+    ownables = OwnableRegistry(program)
+    define_ownables(program, ownables)
+    define_lemmas(program, ownables)
+    for body in (
+        body_new(),
+        body_push_front_node(),
+        body_pop_front_node(),
+        body_push_front(),
+        body_pop_front(),
+        body_front_mut(),
+        body_len(),
+        body_is_empty(),
+    ):
+        program.add_body(body)
+    return program, ownables
+
+
+from repro.lang.mir import Body  # noqa: E402  (typing only)

@@ -1,0 +1,287 @@
+"""A user-defined unsafe data structure: a raw-pointer stack.
+
+This is the "library user" story of the paper (§2.2 / Fig. 2): a crate
+author implements a singly-linked stack with raw pointers, writes an
+``Ownable`` instance connecting it to its pure representation (a
+sequence), and gets type-safety and functional-correctness
+verification from Gillian-Rust — without the tool knowing anything
+about stacks.
+
+```rust
+struct SNode<T> { elem: T, next: Option<*mut SNode<T>> }
+pub struct RawStack<T> { head: Option<*mut SNode<T>>, len: usize }
+
+impl<T: Ownable> Ownable for RawStack<T> {
+    type ReprTy = Seq<T::ReprTy>;
+    #[predicate]
+    fn own(self, repr: Self::ReprTy) -> Gilsonite {
+        gilsonite!(slSeg(self.head, None, repr) * (self.len == repr.len()))
+    }
+}
+```
+"""
+
+from __future__ import annotations
+
+from repro.gilsonite.ast import (
+    Exists,
+    Mode,
+    Param,
+    PointsTo,
+    Pred,
+    PredicateDef,
+    Pure,
+    star,
+)
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Body, Program
+from repro.lang.types import (
+    UNIT,
+    USIZE,
+    AdtTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    box_ty,
+    option_ty,
+    struct_def,
+)
+from repro.solver.sorts import LFT, LOC, OptionSort, SeqSort
+from repro.solver.terms import (
+    Var,
+    eq,
+    intlit,
+    none,
+    seq_cons,
+    seq_empty,
+    seq_len,
+    some,
+    tuple_get,
+    tuple_mk,
+)
+
+T = ParamTy("T")
+SNODE = AdtTy("SNode", (T,))
+STACK = AdtTy("RawStack", (T,))
+SNODE_PTR = RawPtrTy(SNODE)
+OPT_SNODE_PTR = option_ty(SNODE_PTR)
+BOX_SNODE = box_ty(SNODE)
+MUT_STACK = RefTy(STACK, mutable=True)
+
+SL_SEG = "slSeg"
+
+ELEM, NEXT = 0, 1
+HEAD, LEN = 0, 1
+
+
+def define_types(program: Program) -> None:
+    program.registry.define(
+        struct_def(
+            "SNode",
+            [("elem", T), ("next", OPT_SNODE_PTR)],
+            params=("T",),
+        )
+    )
+    program.registry.define(
+        struct_def(
+            "RawStack",
+            [("head", OPT_SNODE_PTR), ("len", USIZE)],
+            params=("T",),
+        )
+    )
+
+
+def define_ownables(program: Program, ownables: OwnableRegistry) -> None:
+    """The singly-linked list segment and the RawStack Ownable impl."""
+    own_t = ownables.ensure_own(T)
+    repr_t = ownables.repr_sort(T)
+    from repro.core.heap.values import ty_to_sort
+
+    val_t = ty_to_sort(T, program.registry)
+    opt_loc = OptionSort(LOC)
+    seq_repr = SeqSort(repr_t)
+
+    kappa = Var("κ", LFT)
+    h = Var("h", opt_loc)
+    r = Var("r", seq_repr)
+    empty_case = star(
+        Pure(eq(h, none(LOC))),
+        Pure(eq(r, seq_empty(repr_t))),
+    )
+    hp = Var("h_", LOC)
+    v = Var("v", val_t)
+    z = Var("z", opt_loc)
+    rv = Var("r_v", repr_t)
+    r2 = Var("r_", seq_repr)
+    cons_case = Exists(
+        (hp, v, z, rv, r2),
+        star(
+            Pure(eq(h, some(hp))),
+            PointsTo(hp, SNODE, tuple_mk(v, z)),
+            Pred(own_t, (kappa, v, rv)),
+            Pred(SL_SEG, (kappa, z, r2)),
+            Pure(eq(r, seq_cons(rv, r2))),
+        ),
+    )
+    program.predicates[SL_SEG] = PredicateDef(
+        name=SL_SEG,
+        params=(Param(kappa, Mode.IN), Param(h, Mode.IN), Param(r, Mode.OUT)),
+        disjuncts=(empty_case, cons_case),
+    )
+
+    def stack_repr(ty: AdtTy):
+        return SeqSort(ownables.repr_sort(ty.args[0]))
+
+    def stack_build(reg, ty, kappa_v, self_v, repr_v):
+        return [
+            star(
+                Pred(SL_SEG, (kappa_v, tuple_get(self_v, HEAD), repr_v)),
+                Pure(eq(tuple_get(self_v, LEN), seq_len(repr_v))),
+            )
+        ]
+
+    ownables.register_custom(STACK, stack_repr, stack_build)
+
+    def snode_repr(ty: AdtTy):
+        return ownables.repr_sort(ty.args[0])
+
+    def snode_build(reg, ty, kappa_v, self_v, repr_v):
+        inner = reg.ensure_own(ty.args[0])
+        return [Pred(inner, (kappa_v, tuple_get(self_v, ELEM), repr_v))]
+
+    ownables.register_custom(SNODE, snode_repr, snode_build)
+
+
+def body_new() -> Body:
+    fn = BodyBuilder("RawStack::new", params=[], ret=STACK, generics=("T",))
+    bb0 = fn.block()
+    t_none = fn.temp(OPT_SNODE_PTR)
+    bb0.assign(t_none, fn.aggregate(OPT_SNODE_PTR, [], variant=0))
+    bb0.assign(
+        fn.ret_place,
+        fn.aggregate(STACK, [fn.copy(t_none), fn.const_int(0, USIZE)]),
+    )
+    bb0.ret()
+    return fn.finish()
+
+
+def body_push() -> Body:
+    """``pub fn push(&mut self, elt: T)``:
+
+    ```rust
+    let node = Box::into_raw(Box::new(SNode { elem: elt, next: self.head }));
+    self.head = Some(node);
+    self.len += 1;
+    ```
+    """
+    fn = BodyBuilder(
+        "RawStack::push",
+        params=[("self", MUT_STACK), ("elt", T)],
+        ret=UNIT,
+        generics=("T",),
+    )
+    bb0 = fn.block()
+    bb1 = fn.block("bb1")
+    bb0.mutref_auto_resolve("self")
+    self_stack = fn.place("self").deref()
+    t_head = fn.local("t_head", OPT_SNODE_PTR)
+    bb0.assign(t_head, fn.copy(self_stack.field(HEAD)))
+    t_node_val = fn.local("t_node_val", SNODE)
+    bb0.assign(t_node_val, fn.aggregate(SNODE, [fn.move("elt"), fn.copy(t_head)]))
+    t_box = fn.local("t_box", BOX_SNODE)
+    bb0.call(t_box, "Box::new", [fn.move(t_node_val)], bb1, ty_args=[SNODE])
+    t_raw = fn.local("t_raw", SNODE_PTR)
+    bb1.assign(t_raw, fn.cast(fn.move(t_box), SNODE_PTR))
+    t_opt = fn.local("t_opt", OPT_SNODE_PTR)
+    bb1.assign(t_opt, fn.aggregate(OPT_SNODE_PTR, [fn.copy(t_raw)], variant=1))
+    bb1.assign(self_stack.field(HEAD), fn.copy(t_opt))
+    t_len = fn.local("t_len", USIZE)
+    bb1.assign(t_len, fn.copy(self_stack.field(LEN)))
+    t_len2 = fn.local("t_len2", USIZE)
+    bb1.assign(t_len2, fn.binop("add", fn.copy(t_len), fn.const_int(1, USIZE)))
+    bb1.assign(self_stack.field(LEN), fn.copy(t_len2))
+    bb1.assign(fn.ret_place, fn.const_unit())
+    bb1.ret()
+    return fn.finish()
+
+
+def body_pop() -> Body:
+    """``pub fn pop(&mut self) -> Option<T>``:
+
+    ```rust
+    match self.head {
+        None => None,
+        Some(node) => unsafe {
+            let node = Box::from_raw(node);
+            self.head = node.next;
+            self.len -= 1;
+            Some(node.elem)
+        },
+    }
+    ```
+    """
+    ret_ty = option_ty(T)
+    fn = BodyBuilder(
+        "RawStack::pop", params=[("self", MUT_STACK)], ret=ret_ty, generics=("T",)
+    )
+    bb0 = fn.block()
+    bb0.mutref_auto_resolve("self")
+    self_stack = fn.place("self").deref()
+    t_head = fn.local("t_head", OPT_SNODE_PTR)
+    bb0.assign(t_head, fn.copy(self_stack.field(HEAD)))
+    t_disc = fn.local("t_disc", USIZE)
+    bb0.assign(t_disc, fn.discriminant(t_head))
+    bb_none = fn.block("bb_none")
+    bb_some = fn.block("bb_some")
+    bb0.switch(fn.copy(t_disc), [(0, bb_none)], otherwise=bb_some)
+    bb_none.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+    bb_none.ret()
+    t_node = fn.local("t_node", SNODE_PTR)
+    bb_some.assign(t_node, fn.copy(fn.place("t_head").downcast(1).field(0)))
+    t_next = fn.local("t_next", OPT_SNODE_PTR)
+    bb_some.assign(t_next, fn.copy(fn.place("t_node").deref().field(NEXT)))
+    bb_some.assign(self_stack.field(HEAD), fn.copy(t_next))
+    t_len = fn.local("t_len", USIZE)
+    bb_some.assign(t_len, fn.copy(self_stack.field(LEN)))
+    t_len2 = fn.local("t_len2", USIZE)
+    bb_some.assign(t_len2, fn.binop("sub", fn.copy(t_len), fn.const_int(1, USIZE)))
+    bb_some.assign(self_stack.field(LEN), fn.copy(t_len2))
+    t_elem = fn.local("t_elem", T)
+    bb_some.assign(t_elem, fn.move(fn.place("t_node").deref().field(ELEM)))
+    bb_free = fn.block("bb_free")
+    t_unit = fn.local("t_unit", UNIT)
+    bb_some.call(
+        t_unit, "intrinsic::box_free", [fn.copy(t_node)], bb_free, ty_args=[SNODE]
+    )
+    bb_free.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.move(t_elem)], variant=1))
+    bb_free.ret()
+    return fn.finish()
+
+
+#: Pearlite contracts for the stack (the Creusot-facing axioms).
+RAW_STACK_CONTRACTS: dict[str, dict] = {
+    "RawStack::new": {"ensures": ["result@ == Seq::EMPTY"]},
+    "RawStack::push": {
+        "requires": ["self@.len() < usize::MAX"],
+        "ensures": ["(^self)@ == Seq::cons(elt@, self@)"],
+    },
+    "RawStack::pop": {
+        "ensures": [
+            "match result {"
+            "  None => (^self)@ == Seq::EMPTY && self@ == Seq::EMPTY,"
+            "  Some(x) => self@ == Seq::cons(x@, (^self)@)"
+            "}"
+        ],
+    },
+}
+
+
+def build_program() -> tuple[Program, OwnableRegistry]:
+    program = Program()
+    define_types(program)
+    ownables = OwnableRegistry(program)
+    define_ownables(program, ownables)
+    for body in (body_new(), body_push(), body_pop()):
+        program.add_body(body)
+    return program, ownables

@@ -1,0 +1,203 @@
+"""A third case study: ``RawVec<u64>`` — a vector over the raw
+allocator API, exercising laid-out nodes *inside* verification (§3.2).
+
+```rust
+pub struct RawVec { buf: *mut u64, cap: usize, len: usize }
+```
+
+The ownership predicate uses the slice points-to core predicates
+(§3.3's "variations on a theme"): the initialised prefix, the
+uninitialised tail, and the length/capacity invariants::
+
+    ⌊RawVec⌋(self, r) ≜ self.buf ↦_[u64; self.len] r
+                      * (self.buf + self.len) ↦_[u64; self.cap - self.len] ?
+                      * self.len = |r| * self.len ≤ self.cap
+
+Following the VeriFast-for-Rust precedent the paper cites (§6 fn. 11 —
+a monomorphised ``Cell<i32>``), the element type is monomorphic: a
+generic ``RawVec<T>`` would need an element-wise ownership lifting
+over symbolic sequences, which neither we nor the paper attempt.
+"""
+
+from __future__ import annotations
+
+from repro.core.address import ptr_offset
+from repro.gilsonite.ast import (
+    PointsToSlice,
+    PointsToSliceUninit,
+    Pure,
+    star,
+)
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Body, Program
+from repro.lang.types import U64, UNIT, USIZE, AdtTy, RawPtrTy, RefTy, option_ty, struct_def
+from repro.solver.sorts import SeqSort, INT
+from repro.solver.terms import eq, le, seq_len, sub, tuple_get
+
+VEC = AdtTy("RawVec")
+ELEM = U64
+BUF_PTR = RawPtrTy(ELEM)
+MUT_VEC = RefTy(VEC, mutable=True)
+
+BUF, CAP, LEN = 0, 1, 2
+
+
+def define_types(program: Program) -> None:
+    program.registry.define(
+        struct_def(
+            "RawVec",
+            [("buf", BUF_PTR), ("cap", USIZE), ("len", USIZE)],
+        )
+    )
+
+
+def define_ownables(program: Program, ownables: OwnableRegistry) -> None:
+    def vec_repr(ty: AdtTy):
+        return SeqSort(INT)
+
+    def vec_build(reg, ty, kappa, self_v, repr_v):
+        buf = tuple_get(self_v, BUF)
+        cap = tuple_get(self_v, CAP)
+        length = tuple_get(self_v, LEN)
+        return [
+            star(
+                PointsToSlice(buf, ELEM, length, repr_v),
+                PointsToSliceUninit(
+                    ptr_offset(buf, ELEM, length), ELEM, sub(cap, length)
+                ),
+                Pure(eq(length, seq_len(repr_v))),
+                Pure(le(length, cap)),
+            )
+        ]
+
+    ownables.register_custom(VEC, vec_repr, vec_build)
+
+
+def body_with_capacity() -> Body:
+    """``pub fn with_capacity(cap: usize) -> RawVec``."""
+    fn = BodyBuilder("RawVec::with_capacity", params=[("cap", USIZE)], ret=VEC)
+    bb0 = fn.block()
+    bb1 = fn.block("bb1")
+    buf = fn.local("buf", BUF_PTR)
+    bb0.call(buf, "intrinsic::alloc_array", [fn.copy("cap")], bb1, ty_args=[ELEM])
+    bb1.assign(
+        fn.ret_place,
+        fn.aggregate(VEC, [fn.copy(buf), fn.copy("cap"), fn.const_int(0, USIZE)]),
+    )
+    bb1.ret()
+    return fn.finish()
+
+
+def body_push_within_capacity() -> Body:
+    """``pub fn push_within_capacity(&mut self, v: u64) -> Option<u64>``:
+    returns ``Some(v)`` (giving the value back) when full, else writes
+    at the end — real pointer arithmetic at a symbolic offset (Fig. 5).
+
+    ```rust
+    if self.len == self.cap { return Some(v); }
+    unsafe { self.buf.add(self.len).write(v); }
+    self.len += 1;
+    None
+    ```
+    """
+    ret_ty = option_ty(ELEM)
+    fn = BodyBuilder(
+        "RawVec::push_within_capacity",
+        params=[("self", MUT_VEC), ("v", ELEM)],
+        ret=ret_ty,
+    )
+    bb0 = fn.block()
+    bb0.mutref_auto_resolve("self")
+    self_vec = fn.place("self").deref()
+    t_len = fn.local("t_len", USIZE)
+    bb0.assign(t_len, fn.copy(self_vec.field(LEN)))
+    t_cap = fn.local("t_cap", USIZE)
+    bb0.assign(t_cap, fn.copy(self_vec.field(CAP)))
+    t_full = fn.local("t_full", __import__("repro.lang.types", fromlist=["BOOL"]).BOOL)
+    bb0.assign(t_full, fn.binop("eq", fn.copy(t_len), fn.copy(t_cap)))
+    bb_full = fn.block("bb_full")
+    bb_push = fn.block("bb_push")
+    bb0.if_else(fn.copy(t_full), bb_full, bb_push)
+    bb_full.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.move("v")], variant=1))
+    bb_full.ret()
+    t_buf = fn.local("t_buf", BUF_PTR)
+    bb_push.assign(t_buf, fn.copy(self_vec.field(BUF)))
+    t_end = fn.local("t_end", BUF_PTR)
+    bb_push.assign(t_end, fn.binop("offset", fn.copy(t_buf), fn.copy(t_len)))
+    bb_push.assign(fn.place("t_end").deref(), fn.move("v"))
+    t_len2 = fn.local("t_len2", USIZE)
+    bb_push.assign(t_len2, fn.binop("add", fn.copy(t_len), fn.const_int(1, USIZE)))
+    bb_push.assign(self_vec.field(LEN), fn.copy(t_len2))
+    bb_push.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+    bb_push.ret()
+    return fn.finish()
+
+
+def body_pop() -> Body:
+    """``pub fn pop(&mut self) -> Option<u64>``:
+
+    ```rust
+    if self.len == 0 { return None; }
+    self.len -= 1;
+    Some(unsafe { self.buf.add(self.len).read() })
+    ```
+    """
+    ret_ty = option_ty(ELEM)
+    fn = BodyBuilder("RawVec::pop", params=[("self", MUT_VEC)], ret=ret_ty)
+    bb0 = fn.block()
+    bb0.mutref_auto_resolve("self")
+    self_vec = fn.place("self").deref()
+    t_len = fn.local("t_len", USIZE)
+    bb0.assign(t_len, fn.copy(self_vec.field(LEN)))
+    t_empty = fn.local("t_empty", __import__("repro.lang.types", fromlist=["BOOL"]).BOOL)
+    bb0.assign(t_empty, fn.binop("eq", fn.copy(t_len), fn.const_int(0, USIZE)))
+    bb_none = fn.block("bb_none")
+    bb_pop = fn.block("bb_pop")
+    bb0.if_else(fn.copy(t_empty), bb_none, bb_pop)
+    bb_none.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+    bb_none.ret()
+    t_len2 = fn.local("t_len2", USIZE)
+    bb_pop.assign(t_len2, fn.binop("sub", fn.copy(t_len), fn.const_int(1, USIZE)))
+    bb_pop.assign(self_vec.field(LEN), fn.copy(t_len2))
+    t_buf = fn.local("t_buf", BUF_PTR)
+    bb_pop.assign(t_buf, fn.copy(self_vec.field(BUF)))
+    t_end = fn.local("t_end", BUF_PTR)
+    bb_pop.assign(t_end, fn.binop("offset", fn.copy(t_buf), fn.copy(t_len2)))
+    t_val = fn.local("t_val", ELEM)
+    bb_pop.assign(t_val, fn.move(fn.place("t_end").deref()))
+    bb_pop.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.move(t_val)], variant=1))
+    bb_pop.ret()
+    return fn.finish()
+
+
+#: Pearlite contracts (push appends at the END of the sequence).
+RAW_VEC_CONTRACTS: dict[str, dict] = {
+    "RawVec::with_capacity": {"ensures": ["result@ == Seq::EMPTY"]},
+    "RawVec::push_within_capacity": {
+        "ensures": [
+            "match result {"
+            "  None => (^self)@ == Seq::concat(self@, Seq::cons(v, Seq::EMPTY)),"
+            "  Some(x) => x == v && (^self)@ == self@"
+            "}"
+        ],
+    },
+    "RawVec::pop": {
+        "ensures": [
+            "match result {"
+            "  None => (^self)@ == self@ && self@.len() == 0,"
+            "  Some(x) => self@ == Seq::concat((^self)@, Seq::cons(x, Seq::EMPTY))"
+            "}"
+        ],
+    },
+}
+
+
+def build_program() -> tuple[Program, OwnableRegistry]:
+    program = Program()
+    define_types(program)
+    ownables = OwnableRegistry(program)
+    define_ownables(program, ownables)
+    for body in (body_with_capacity(), body_push_within_capacity(), body_pop()):
+        program.add_body(body)
+    return program, ownables

@@ -1,0 +1,136 @@
+"""Specifications for the LinkedList API (§2.2, §5.4, §6).
+
+Two families, exactly as evaluated in the paper:
+
+* **type safety** (``#[show_safety]``, Fig. 3 left) for
+  ``new``, ``push_front``, ``pop_front`` and ``front_mut``;
+* **functional correctness** (``#[unsafe_spec]`` obtained from the
+  Pearlite specs by the §5.4 encoding) for ``new``,
+  ``push_front_node`` and ``pop_front_node``.
+
+``push_front_node`` carries the extra precondition
+``self@.len() < usize::MAX`` (§7.3). Its Pearlite form arrives as an
+*observation*; since knowledge cannot (yet) be extracted from
+observations, the manually-extracted pure copy is included as well —
+the E8 ablation drops it to reproduce the reported failure mode.
+"""
+
+from __future__ import annotations
+
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.gilsonite.specs import Spec, functional_spec, show_safety_spec
+from repro.gilsonite.ast import Pure
+from repro.lang.mir import Body, Program
+from repro.lang.types import USIZE
+from repro.rustlib import linked_list as ll
+from repro.solver.terms import (
+    Var,
+    and_,
+    eq,
+    intlit,
+    is_some,
+    ite,
+    lt,
+    seq_cons,
+    seq_empty,
+    seq_len,
+    some_val,
+    tuple_get,
+)
+
+
+def safety_specs(program: Program, ownables: OwnableRegistry) -> dict[str, Spec]:
+    """#[show_safety] for the four functions of the E1 experiment."""
+    out = {}
+    for name in (
+        "LinkedList::new",
+        "LinkedList::push_front",
+        "LinkedList::pop_front",
+        "LinkedList::front_mut",
+        "LinkedList::len",
+        "LinkedList::is_empty",
+        # Internal helpers also get safety specs so that the public
+        # functions can call them compositionally.
+        "LinkedList::push_front_node",
+        "LinkedList::pop_front_node",
+    ):
+        out[name] = show_safety_spec(ownables, program.bodies[name])
+    return out
+
+
+def functional_new(program: Program, ownables: OwnableRegistry) -> Spec:
+    """``ensures(result@ == Seq::EMPTY)``"""
+    body = program.bodies["LinkedList::new"]
+    elem_repr = ownables.repr_sort(ll.T)
+    m_ret = Var("m_ret", ownables.repr_sort(ll.LIST))
+    return functional_spec(
+        ownables,
+        body,
+        ensures_obs=eq(m_ret, seq_empty(elem_repr)),
+        ret_repr_var=m_ret,
+    )
+
+
+def functional_push_front_node(
+    program: Program,
+    ownables: OwnableRegistry,
+    with_extracted_precondition: bool = True,
+) -> Spec:
+    """``requires(self@.len() < usize::MAX)``
+    ``ensures((^self)@ == Seq::cons(node@, self@))``
+
+    The requires clause is encoded as an observation per §5.4; the E8
+    ablation is driven by ``with_extracted_precondition``, which adds
+    the manually-extracted pure copy that the overflow check needs
+    (§7.3: Gillian-Rust cannot extract knowledge from observations).
+    """
+    body = program.bodies["LinkedList::push_front_node"]
+    m_self = Var("m_self", ownables.repr_sort(ll.MUT_LIST))
+    m_node = Var("m_node", ownables.repr_sort(ll.BOX_NODE))
+    cur = tuple_get(m_self, 0)
+    fin = tuple_get(m_self, 1)
+    pre_obs = lt(seq_len(cur), intlit(USIZE.max_value))
+    extra_pre = [Pure(pre_obs)] if with_extracted_precondition else []
+    return functional_spec(
+        ownables,
+        body,
+        requires_obs=pre_obs,
+        ensures_obs=eq(fin, seq_cons(m_node, cur)),
+        repr_vars={"self": m_self, "node": m_node},
+        extra_pre=extra_pre,
+    )
+
+
+def functional_pop_front_node(
+    program: Program, ownables: OwnableRegistry
+) -> Spec:
+    """The Fig. 3 (right) specification, §5.4-encoded:
+
+    ``ensures(match result {
+        None => (^self)@ == Seq::EMPTY,
+        Some(x) => self@ == Seq::cons(x@, (^self)@) })``
+    """
+    body = program.bodies["LinkedList::pop_front_node"]
+    m_self = Var("m_self", ownables.repr_sort(ll.MUT_LIST))
+    m_ret = Var("m_ret", ownables.repr_sort(ll.option_ty(ll.BOX_NODE)))
+    elem_repr = ownables.repr_sort(ll.T)
+    cur = tuple_get(m_self, 0)
+    fin = tuple_get(m_self, 1)
+    ensures = ite(
+        is_some(m_ret),
+        eq(cur, seq_cons(some_val(m_ret), fin)),
+        eq(fin, seq_empty(elem_repr)),
+    )
+    return functional_spec(
+        ownables,
+        body,
+        ensures_obs=ensures,
+        repr_vars={"self": m_self},
+        ret_repr_var=m_ret,
+    )
+
+
+def install_callee_specs(program: Program, ownables: OwnableRegistry) -> None:
+    """Register the specs used when functions call each other."""
+    safety = safety_specs(program, ownables)
+    program.specs.update(safety)

@@ -1,0 +1,10 @@
+"""First-order solver substrate (replaces the paper's SMT backend).
+
+Public entry points: :class:`Solver`, :func:`default_solver`, the sort
+constructors in :mod:`repro.solver.sorts`, and the term smart
+constructors in :mod:`repro.solver.terms`.
+"""
+
+from repro.solver.core import Solver, Status, default_solver, reset_default_solver
+
+__all__ = ["Solver", "Status", "default_solver", "reset_default_solver"]

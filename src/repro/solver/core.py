@@ -1,0 +1,382 @@
+"""Satisfiability and entailment checking.
+
+The solver decides (a useful fragment of) quantifier-free first-order
+logic with equality, linear machine-integer arithmetic, sequences,
+options and tuples — the fragment that the Gillian-Rust pipeline emits.
+
+Architecture: a small DNF-style search splits formulas into conjunctive
+branches (disjunctions come from enum/`match` reasoning and are shallow
+in practice); each branch is decided by a *theory branch* combining
+
+* a congruence closure (:mod:`repro.solver.union_find`) for equality,
+  constructor injectivity/distinctness;
+* a linear store (:mod:`repro.solver.intervals`) for bounds;
+* structural propagation rules connecting the two (selectors compute
+  over constructors, ``len(s) = 0  ⇒  s = empty``, ...).
+
+Soundness contract: :data:`UNSAT` is only ever reported when a branch
+is *refuted* by sound inferences, so entailment answers are trustworthy.
+``SAT`` means "no refutation found" and is where the (deliberate)
+incompleteness lives — a verification that fails because of it is a
+false alarm, never a false proof.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.solver.intervals import LinearStore
+from repro.solver.sorts import BOOL, INT, OptionSort, SeqSort
+from repro.solver.terms import (
+    FALSE,
+    TRUE,
+    App,
+    BoolLit,
+    IntLit,
+    Term,
+    Var,
+    and_,
+    eq,
+    fresh_var,
+    intlit,
+    is_some,
+    le,
+    none,
+    not_,
+    or_,
+    rebuild,
+    seq_empty,
+    seq_len,
+    some,
+    substitute,
+    subterms,
+)
+
+
+class Status(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+_SELECTOR_OPS = {
+    "seq.head",
+    "seq.tail",
+    "seq.len",
+    "seq.at",
+    "seq.last",
+    "seq.append",
+    "some.val",
+    "is_some",
+}
+
+
+class TheoryBranch:
+    """One conjunctive branch of the search."""
+
+    def __init__(self) -> None:
+        from repro.solver.union_find import CongruenceClosure
+
+        self.cc = CongruenceClosure()
+        self.lin = LinearStore()
+        self._seq_terms: set[Term] = set()
+
+    # -- assertion ----------------------------------------------------------
+
+    def assert_literal(self, lit: Term) -> None:
+        if self.conflict():
+            return
+        self._register_subterms(lit)
+        if isinstance(lit, BoolLit):
+            if not lit.value:
+                self.lin.conflict = True
+                self.lin.conflict_reason = "literal false"
+            return
+        if isinstance(lit, App) and lit.op == "not":
+            self._assert_atom(lit.args[0], positive=False)
+        else:
+            self._assert_atom(lit, positive=True)
+
+    def _assert_atom(self, atom: Term, positive: bool) -> None:
+        if isinstance(atom, App) and atom.op == "=":
+            a, b = atom.args
+            if positive:
+                self.cc.union(a, b)
+                if a.sort.is_numeric():
+                    self.lin.assert_eq(a, b)
+            else:
+                self.cc.assert_diseq(a, b)
+            return
+        if isinstance(atom, App) and atom.op in ("<=", "<"):
+            a, b = atom.args
+            strict = atom.op == "<"
+            if positive:
+                self.lin.assert_le(a, b, strict)
+            else:
+                self.lin.assert_le(b, a, not strict)
+            return
+        if isinstance(atom, App) and atom.op == "is_some":
+            (x,) = atom.args
+            assert isinstance(x.sort, OptionSort)
+            if positive:
+                v = fresh_var("sk_some", x.sort.elem)
+                self.cc.union(x, some(v))
+            else:
+                self.cc.union(x, none(x.sort.elem))
+            return
+        # Generic boolean atom (including uninterpreted predicates).
+        self.cc.union(atom, TRUE if positive else FALSE)
+
+    def _register_subterms(self, lit: Term) -> None:
+        for s in subterms(lit):
+            # Intern everything so congruence and structural propagation
+            # see terms even when they only occur in arithmetic literals.
+            self.cc.find(s)
+            if isinstance(s.sort, SeqSort) and s not in self._seq_terms:
+                self._seq_terms.add(s)
+                self.lin.assert_le(intlit(0), seq_len(s), strict=False)
+
+    # -- closure ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Run theory combination to a bounded fixpoint."""
+        for _ in range(20):
+            if self.conflict():
+                return
+            changed = False
+            if self._exchange_equalities():
+                changed = True
+            if self.lin.propagate():
+                changed = True
+            if self._structural_propagation():
+                changed = True
+            if not changed:
+                return
+
+    def _exchange_equalities(self) -> bool:
+        changed = False
+        while self.lin.pending_eqs:
+            a, b = self.lin.pending_eqs.pop()
+            if not self.cc.are_equal(a, b):
+                self.cc.union(a, b)
+                changed = True
+        while self.cc.pending_arith:
+            a, b = self.cc.pending_arith.pop()
+            if a.sort == INT and not self.cc.conflict:
+                self.lin.assert_eq(a, b)
+                changed = True
+        return changed
+
+    def _structural_propagation(self) -> bool:
+        changed = False
+        terms = list(self.cc.known_terms())
+        for t in terms:
+            if not isinstance(t, App):
+                continue
+            if t.op in _SELECTOR_OPS or t.op.startswith("tuple."):
+                rep_args = tuple(self.cc.find(a) for a in t.args)
+                if rep_args != t.args:
+                    simplified = rebuild(t.op, rep_args, t.sort)
+                    if simplified != t and not self.cc.are_equal(t, simplified):
+                        self.cc.union(t, simplified)
+                        if (
+                            t.sort == INT
+                            and isinstance(simplified, (IntLit, App, Var))
+                        ):
+                            self.lin.assert_eq(t, simplified)
+                        changed = True
+            if t.op == "seq.len":
+                (s,) = t.args
+                if self.cc.are_equal(t, intlit(0)):
+                    empty = seq_empty(s.sort.elem)  # type: ignore[union-attr]
+                    if not self.cc.are_equal(s, empty):
+                        self.cc.union(s, empty)
+                        changed = True
+                elif self._unroll_nonempty(t, s):
+                    changed = True
+        return changed
+
+    def _unroll_nonempty(self, len_term: Term, s: Term) -> bool:
+        """``|s| ≥ 1 ⇒ s = cons(head s, tail s)`` with
+        ``|tail s| = |s| - 1`` — the sequence unrolling axiom. Bounded:
+        only fires when the length's lower bound is at least 1, and the
+        tail only unrolls further if its own bound still is."""
+        from repro.solver.terms import add, neg, seq_head, seq_tail, seq_cons
+
+        rep = self.cc.find(s)
+        if isinstance(rep, App) and rep.op in ("seq.cons", "seq.empty"):
+            return False
+        lo, _ = self.lin.value_range(len_term)
+        if lo is None or lo < 1:
+            return False
+        unrolled = seq_cons(seq_head(s), seq_tail(s))
+        if self.cc.are_equal(s, unrolled):
+            return False
+        self.cc.union(s, unrolled)
+        tail_len = seq_len(seq_tail(s))
+        self.lin.assert_eq(tail_len, add(len_term, intlit(-1)))
+        self._register_subterms(tail_len)
+        return True
+
+    def conflict(self) -> bool:
+        return self.cc.conflict or self.lin.conflict
+
+
+# ---------------------------------------------------------------------------
+# Formula decomposition / branch search
+# ---------------------------------------------------------------------------
+
+
+def _find_bool_ite(t: Term) -> Optional[App]:
+    """Find an ``ite`` application to lift, if any."""
+    for s in subterms(t):
+        if isinstance(s, App) and s.op == "ite":
+            return s
+    return None
+
+
+@dataclass
+class _SearchState:
+    pending: list[Term]
+    literals: list[Term] = field(default_factory=list)
+
+
+class BudgetExhausted(Exception):
+    pass
+
+
+class Solver:
+    """Facade: check satisfiability / entailment with caching."""
+
+    def __init__(self, branch_budget: int = 4096) -> None:
+        self.branch_budget = branch_budget
+        self._cache: dict[frozenset, Status] = {}
+        self.stats = {"checks": 0, "cache_hits": 0, "branches": 0}
+
+    # -- public API ----------------------------------------------------------
+
+    def check_sat(self, formulas: Iterable[Term]) -> Status:
+        fs = [f for f in formulas if f != TRUE]
+        key = frozenset(fs)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.stats["cache_hits"] += 1
+            return hit
+        self.stats["checks"] += 1
+        if FALSE in fs:
+            result = Status.UNSAT
+        else:
+            try:
+                result = self._search(fs)
+            except BudgetExhausted:
+                result = Status.UNKNOWN
+        self._cache[key] = result
+        return result
+
+    def is_sat(self, formulas: Iterable[Term]) -> bool:
+        return self.check_sat(formulas) != Status.UNSAT
+
+    def entails(self, pc: Sequence[Term], goal: Term) -> bool:
+        """``pc ⊨ goal`` — sound: True only when proven."""
+        if goal == TRUE:
+            return True
+        return self.check_sat(list(pc) + [not_(goal)]) == Status.UNSAT
+
+    def equal_under(self, pc: Sequence[Term], a: Term, b: Term) -> bool:
+        return self.entails(pc, eq(a, b))
+
+    # -- search --------------------------------------------------------------
+
+    def _search(self, formulas: list[Term]) -> Status:
+        budget = [self.branch_budget]
+        if self._branch_sat(list(formulas), [], budget):
+            return Status.SAT
+        return Status.UNSAT
+
+    def _branch_sat(
+        self, pending: list[Term], literals: list[Term], budget: list[int]
+    ) -> bool:
+        """Return True if some branch of the formula set looks satisfiable."""
+        budget[0] -= 1
+        if budget[0] <= 0:
+            raise BudgetExhausted()
+        self.stats["branches"] += 1
+        pending = list(pending)
+        literals = list(literals)
+        while pending:
+            f = pending.pop()
+            if f == TRUE:
+                continue
+            if f == FALSE:
+                return False
+            if isinstance(f, App) and f.op == "and":
+                pending.extend(f.args)
+                continue
+            if isinstance(f, App) and f.op == "or":
+                rest = pending
+                for d in f.args:
+                    if self._branch_sat(rest + [d], literals, budget):
+                        return True
+                return False
+            if isinstance(f, App) and f.op == "not":
+                inner = f.args[0]
+                if isinstance(inner, App) and inner.op == "and":
+                    pending.append(or_(*[not_(a) for a in inner.args]))
+                    continue
+                if isinstance(inner, App) and inner.op == "or":
+                    pending.extend(not_(a) for a in inner.args)
+                    continue
+                if isinstance(inner, App) and inner.op == "ite" and inner.sort == BOOL:
+                    c, t, e = inner.args
+                    pending.append(or_(and_(c, not_(t)), and_(not_(c), not_(e))))
+                    continue
+            if isinstance(f, App) and f.op == "ite" and f.sort == BOOL:
+                c, t, e = f.args
+                pending.append(or_(and_(c, t), and_(not_(c), e)))
+                continue
+            # Literal-level ite lifting (ite embedded in an atom).
+            # Numeric disequality: split into strict orderings so the
+            # linear layer can participate in refutation.
+            if (
+                isinstance(f, App)
+                and f.op == "not"
+                and isinstance(f.args[0], App)
+                and f.args[0].op == "="
+                and f.args[0].args[0].sort.is_numeric()
+            ):
+                a, b = f.args[0].args
+                pending.append(or_(App("<", (a, b), BOOL), App("<", (b, a), BOOL)))
+                continue
+            ite_term = _find_bool_ite(f)
+            if ite_term is not None and ite_term is not f:
+                c, t, e = ite_term.args
+                then_f = and_(c, substitute(f, {ite_term: t}))
+                else_f = and_(not_(c), substitute(f, {ite_term: e}))
+                pending.append(or_(then_f, else_f))
+                continue
+            literals.append(f)
+        branch = TheoryBranch()
+        for lit in literals:
+            branch.assert_literal(lit)
+            if branch.conflict():
+                return False
+        branch.close()
+        return not branch.conflict()
+
+
+_DEFAULT_SOLVER: Optional[Solver] = None
+
+
+def default_solver() -> Solver:
+    """Process-wide shared solver (shared cache across the pipeline)."""
+    global _DEFAULT_SOLVER
+    if _DEFAULT_SOLVER is None:
+        _DEFAULT_SOLVER = Solver()
+    return _DEFAULT_SOLVER
+
+
+def reset_default_solver() -> None:
+    global _DEFAULT_SOLVER
+    _DEFAULT_SOLVER = None

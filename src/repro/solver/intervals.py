@@ -1,0 +1,331 @@
+"""Linear integer/real arithmetic by interval (bound) propagation.
+
+The verification conditions emitted by the Gillian-Rust pipeline only
+need a light arithmetic theory: machine-integer range invariants
+(``0 <= x < 2^64``), sequence length facts (``len >= 0``), capacity
+bounds (``k < n``) and lifetime-token fractions (``0 < q <= 1``). All
+of these are conjunctions of linear inequalities, which bound
+propagation decides well in practice.
+
+A constraint is stored in the normal form ``sum(c_i * a_i) + k <= 0``
+(or ``< 0``), where the atoms ``a_i`` are canonical representatives of
+non-literal terms from the congruence closure. Propagation repeatedly
+derives variable bounds from constraints whose other atoms are bounded;
+collapsed bounds (``lo == hi``) are exported back to the equality core.
+
+All inferences are sound, so an UNSAT answer is trustworthy; the store
+is deliberately incomplete (it is not a simplex) and may fail to detect
+some unsatisfiable constraint sets, which only makes the verifier more
+conservative, never wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from repro.solver.sorts import INT, REAL
+from repro.solver.terms import App, IntLit, RealLit, Term, intlit
+
+_MAX_ROUNDS = 30
+_MAX_CONSTRAINTS = 400
+
+
+@dataclass
+class LinConstraint:
+    """``sum(coeffs[a] * a) + const {<=,<} 0``."""
+
+    coeffs: dict[Term, Fraction]
+    const: Fraction
+    strict: bool
+    #: Fourier-Motzkin derivation depth (0 = asserted directly).
+    depth: int = 0
+
+    def key(self) -> tuple:
+        return (frozenset(self.coeffs.items()), self.const, self.strict)
+
+
+@dataclass
+class Bounds:
+    lo: Optional[Fraction] = None
+    hi: Optional[Fraction] = None
+    lo_strict: bool = False
+    hi_strict: bool = False
+
+    def empty(self, integral: bool) -> bool:
+        if self.lo is None or self.hi is None:
+            return False
+        if integral:
+            lo = _int_floor_lo(self)
+            hi = _int_ceil_hi(self)
+            return lo is not None and hi is not None and lo > hi
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_strict or self.hi_strict)
+
+
+def _int_floor_lo(b: Bounds) -> Optional[int]:
+    if b.lo is None:
+        return None
+    import math
+
+    lo = math.ceil(b.lo)
+    if b.lo_strict and lo == b.lo:
+        lo += 1
+    return lo
+
+
+def _int_ceil_hi(b: Bounds) -> Optional[int]:
+    if b.hi is None:
+        return None
+    import math
+
+    hi = math.floor(b.hi)
+    if b.hi_strict and hi == b.hi:
+        hi -= 1
+    return hi
+
+
+def linearize(t: Term) -> tuple[dict[Term, Fraction], Fraction]:
+    """Decompose a numeric term into ``(atom coefficients, constant)``.
+
+    Non-linear subterms (products of two non-literals, div, mod, len
+    applications, ...) are kept opaque as atoms.
+    """
+    coeffs: dict[Term, Fraction] = {}
+    const = Fraction(0)
+
+    def go(u: Term, scale: Fraction) -> None:
+        nonlocal const
+        if isinstance(u, IntLit):
+            const += scale * u.value
+        elif isinstance(u, RealLit):
+            const += scale * u.value
+        elif isinstance(u, App) and u.op == "+":
+            for a in u.args:
+                go(a, scale)
+        elif isinstance(u, App) and u.op == "neg":
+            go(u.args[0], -scale)
+        elif isinstance(u, App) and u.op == "*":
+            lhs, rhs = u.args
+            if isinstance(rhs, (IntLit, RealLit)):
+                value = rhs.value if isinstance(rhs, IntLit) else rhs.value
+                go(lhs, scale * Fraction(value))
+            elif isinstance(lhs, (IntLit, RealLit)):
+                value = lhs.value if isinstance(lhs, IntLit) else lhs.value
+                go(rhs, scale * Fraction(value))
+            else:
+                coeffs[u] = coeffs.get(u, Fraction(0)) + scale
+        else:
+            coeffs[u] = coeffs.get(u, Fraction(0)) + scale
+
+    go(t, Fraction(1))
+    return {a: c for a, c in coeffs.items() if c != 0}, const
+
+
+@dataclass
+class LinearStore:
+    """Constraint store with bound propagation."""
+
+    constraints: list[LinConstraint] = field(default_factory=list)
+    bounds: dict[Term, Bounds] = field(default_factory=dict)
+    conflict: bool = False
+    conflict_reason: Optional[str] = None
+    # Equalities discovered by bound collapse, to feed back to the CC.
+    pending_eqs: list[tuple[Term, Term]] = field(default_factory=list)
+    _seen: set = field(default_factory=set)
+    # Constraints before this index have been pairwise-combined.
+    _fm_frontier: int = 0
+
+    def assert_le(self, lhs: Term, rhs: Term, strict: bool) -> None:
+        """Assert ``lhs <= rhs`` (or ``<``)."""
+        coeffs_l, const_l = linearize(lhs)
+        coeffs_r, const_r = linearize(rhs)
+        coeffs = dict(coeffs_l)
+        for a, c in coeffs_r.items():
+            coeffs[a] = coeffs.get(a, Fraction(0)) - c
+        coeffs = {a: c for a, c in coeffs.items() if c != 0}
+        const = const_l - const_r
+        integral = lhs.sort == INT and rhs.sort == INT
+        if integral and strict:
+            # a < b over Z is a <= b - 1.
+            const += 1
+            strict = False
+        self._add(LinConstraint(coeffs, const, strict), integral)
+
+    def assert_eq(self, lhs: Term, rhs: Term) -> None:
+        self.assert_le(lhs, rhs, strict=False)
+        self.assert_le(rhs, lhs, strict=False)
+
+    def _add(self, c: LinConstraint, integral: bool) -> None:
+        if self.conflict:
+            return
+        key = c.key()
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if not c.coeffs:
+            if c.const > 0 or (c.strict and c.const == 0):
+                self.conflict = True
+                self.conflict_reason = f"trivially false: {c.const} <= 0"
+            return
+        self.constraints.append(c)
+        for a in c.coeffs:
+            self.bounds.setdefault(a, Bounds())
+
+    # -- propagation --------------------------------------------------------
+
+    def propagate(self) -> bool:
+        """Run bound propagation to (bounded) fixpoint.
+
+        Returns True if any bound changed in the final round (meaning
+        callers may want to re-run after feeding back equalities).
+        """
+        changed_any = False
+        for _ in range(_MAX_ROUNDS):
+            if self.conflict:
+                return changed_any
+            changed = False
+            for c in self.constraints:
+                if self._propagate_constraint(c):
+                    changed = True
+                if self.conflict:
+                    return True
+            if self._fourier_motzkin():
+                changed = True
+            if not changed:
+                break
+            changed_any = True
+        self._collapse_equalities()
+        return changed_any
+
+    def _fourier_motzkin(self) -> bool:
+        """Incremental pairwise variable elimination.
+
+        Bound propagation alone cannot refute relational systems such as
+        ``x - y <= 4  ∧  y - x <= -5`` when both variables are unbounded;
+        combining opposite-signed occurrences closes that gap. Each
+        constraint is combined against the ones before it exactly once
+        (a frontier index), so repeated propagate() calls stay cheap.
+        """
+        if len(self.constraints) > _MAX_CONSTRAINTS:
+            return False
+        added = False
+        while self._fm_frontier < len(self.constraints):
+            c1 = self.constraints[self._fm_frontier]
+            self._fm_frontier += 1
+            for c2 in self.constraints[: self._fm_frontier - 1]:
+                if c1.depth + c2.depth >= 4:
+                    continue  # bound the combination closure
+                shared = [
+                    a
+                    for a in c1.coeffs
+                    if a in c2.coeffs and (c1.coeffs[a] > 0) != (c2.coeffs[a] > 0)
+                ]
+                for a in shared:
+                    k1, k2 = abs(c2.coeffs[a]), abs(c1.coeffs[a])
+                    coeffs: dict[Term, Fraction] = {}
+                    for atom, c in c1.coeffs.items():
+                        coeffs[atom] = coeffs.get(atom, Fraction(0)) + k1 * c
+                    for atom, c in c2.coeffs.items():
+                        coeffs[atom] = coeffs.get(atom, Fraction(0)) + k2 * c
+                    coeffs = {x: c for x, c in coeffs.items() if c != 0}
+                    if len(coeffs) > 4:
+                        continue
+                    const = k1 * c1.const + k2 * c2.const
+                    combined = LinConstraint(
+                        coeffs, const, c1.strict or c2.strict,
+                        depth=c1.depth + c2.depth + 1,
+                    )
+                    if combined.key() not in self._seen:
+                        self._add(combined, integral=False)
+                        added = True
+                        if self.conflict:
+                            return True
+        return added
+
+    def _propagate_constraint(self, c: LinConstraint) -> bool:
+        # sum(ci * ai) + k <= 0  =>  cj*aj <= -k - sum_{i!=j}(ci*ai)
+        changed = False
+        for target, ct in c.coeffs.items():
+            rhs_hi = -c.const
+            rhs_strict = c.strict
+            feasible = True
+            for a, ca in c.coeffs.items():
+                if a is target:
+                    continue
+                b = self.bounds[a]
+                if ca > 0:
+                    # need lower bound of ca*a -> uses a.lo
+                    if b.lo is None:
+                        feasible = False
+                        break
+                    rhs_hi -= ca * b.lo
+                    rhs_strict = rhs_strict or b.lo_strict
+                else:
+                    if b.hi is None:
+                        feasible = False
+                        break
+                    rhs_hi -= ca * b.hi
+                    rhs_strict = rhs_strict or b.hi_strict
+            if not feasible:
+                continue
+            tb = self.bounds[target]
+            if ct > 0:
+                new_hi = rhs_hi / ct
+                if _tighten_hi(tb, new_hi, rhs_strict):
+                    changed = True
+            else:
+                new_lo = rhs_hi / ct
+                if _tighten_lo(tb, new_lo, rhs_strict):
+                    changed = True
+            if tb.empty(integral=target.sort == INT):
+                self.conflict = True
+                self.conflict_reason = f"empty bounds for {target}: {tb}"
+                return True
+        return changed
+
+    def _collapse_equalities(self) -> None:
+        for a, b in self.bounds.items():
+            if a.sort != INT:
+                continue
+            lo = _int_floor_lo(b)
+            hi = _int_ceil_hi(b)
+            if lo is not None and hi is not None and lo == hi:
+                if not isinstance(a, IntLit):
+                    self.pending_eqs.append((a, intlit(lo)))
+
+    # -- queries ------------------------------------------------------------
+
+    def value_range(self, t: Term) -> tuple[Optional[Fraction], Optional[Fraction]]:
+        coeffs, const = linearize(t)
+        lo: Optional[Fraction] = const
+        hi: Optional[Fraction] = const
+        for a, c in coeffs.items():
+            b = self.bounds.get(a)
+            if b is None:
+                return (None, None)
+            if c > 0:
+                lo = None if (lo is None or b.lo is None) else lo + c * b.lo
+                hi = None if (hi is None or b.hi is None) else hi + c * b.hi
+            else:
+                lo = None if (lo is None or b.hi is None) else lo + c * b.hi
+                hi = None if (hi is None or b.lo is None) else hi + c * b.lo
+        return (lo, hi)
+
+
+def _tighten_hi(b: Bounds, hi: Fraction, strict: bool) -> bool:
+    if b.hi is None or hi < b.hi or (hi == b.hi and strict and not b.hi_strict):
+        b.hi = hi
+        b.hi_strict = strict
+        return True
+    return False
+
+
+def _tighten_lo(b: Bounds, lo: Fraction, strict: bool) -> bool:
+    if b.lo is None or lo > b.lo or (lo == b.lo and strict and not b.lo_strict):
+        b.lo = lo
+        b.lo_strict = strict
+        return True
+    return False

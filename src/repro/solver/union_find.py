@@ -1,0 +1,177 @@
+"""Congruence closure over terms.
+
+This is the equality core of the theory solver: a union-find whose
+elements are terms, extended with congruence propagation (if ``a = b``
+then ``f(a) = f(b)``) and constructor reasoning for the container
+operators used by representation types:
+
+* injectivity — ``some(x) = some(y)`` entails ``x = y``; likewise for
+  ``seq.cons`` and ``tuple``;
+* distinctness — distinct constructors never alias (``some ≠ none``,
+  ``seq.cons ≠ seq.empty``), and distinct literals never alias.
+
+The closure reports conflicts through the :attr:`conflict` flag rather
+than exceptions so the surrounding search can treat a conflicting
+branch as refuted and move on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.solver.terms import App, Term
+
+_INJECTIVE = {"some", "seq.cons", "tuple"}
+_CONSTRUCTOR_OPS = {"some", "none", "seq.cons", "seq.empty", "tuple"}
+
+
+class CongruenceClosure:
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+        # Map from representative to the App terms that mention it.
+        self._uses: dict[Term, list[App]] = {}
+        # Signature table: canonical (op, arg reps) -> a known App term.
+        self._sigs: dict[tuple, App] = {}
+        self._diseqs: list[tuple[Term, Term, object]] = []
+        self.conflict = False
+        self.conflict_reason: Optional[str] = None
+        # Equalities derived by the closure that the arithmetic layer
+        # should also learn (pairs of representatives).
+        self.pending_arith: list[tuple[Term, Term]] = []
+
+    # -- basic union-find ---------------------------------------------------
+
+    def find(self, t: Term) -> Term:
+        self._intern(t)
+        root = t
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[t] != root:
+            self._parent[t], t = root, self._parent[t]
+        return root
+
+    def _intern(self, t: Term) -> None:
+        if t in self._parent:
+            return
+        self._parent[t] = t
+        self._uses[t] = []
+        if isinstance(t, App):
+            for a in t.args:
+                self._intern(a)
+                self._uses[self.find(a)].append(t)
+            self._insert_sig(t)
+
+    def _sig(self, t: App) -> tuple:
+        return (t.op, tuple(self.find(a) for a in t.args))
+
+    def _insert_sig(self, t: App) -> None:
+        sig = self._sig(t)
+        other = self._sigs.get(sig)
+        if other is None:
+            self._sigs[sig] = t
+        elif self.find(other) != self.find(t):
+            self._merge(other, t)
+
+    # -- merging ------------------------------------------------------------
+
+    def union(self, a: Term, b: Term, reason: object = None) -> None:
+        """Assert ``a = b`` and propagate to closure."""
+        if self.conflict:
+            return
+        self._intern(a)
+        self._intern(b)
+        self._merge(a, b)
+        if not self.conflict:
+            self._check_diseqs()
+
+    def _merge(self, a: Term, b: Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb or self.conflict:
+            return
+        if self._clash(ra, rb):
+            self.conflict = True
+            self.conflict_reason = f"{ra} = {rb}"
+            return
+        # Prefer keeping literals / constructors as representatives so
+        # downstream layers see the most concrete form.
+        if self._weight(rb) < self._weight(ra):
+            ra, rb = rb, ra
+        # ra becomes the representative.
+        self._parent[rb] = ra
+        self.pending_arith.append((ra, rb))
+        # Injectivity: unify arguments of matching constructors.
+        if (
+            isinstance(ra, App)
+            and isinstance(rb, App)
+            and ra.op == rb.op
+            and ra.op in _INJECTIVE
+            and len(ra.args) == len(rb.args)
+        ):
+            for x, y in zip(ra.args, rb.args):
+                self._merge(x, y)
+                if self.conflict:
+                    return
+        # Congruence: re-canonicalise users of rb.
+        uses = self._uses.pop(rb, [])
+        for u in uses:
+            self._insert_sig(u)
+            if self.conflict:
+                return
+        self._uses.setdefault(ra, []).extend(uses)
+
+    def _weight(self, t: Term) -> int:
+        if t.is_lit():
+            return 0
+        if isinstance(t, App) and t.op in _CONSTRUCTOR_OPS:
+            return 1
+        return 2
+
+    def _clash(self, ra: Term, rb: Term) -> bool:
+        """Would identifying these representatives be absurd?"""
+        if ra.is_lit() and rb.is_lit() and ra != rb:
+            return True
+        if (
+            isinstance(ra, App)
+            and isinstance(rb, App)
+            and ra.op in _CONSTRUCTOR_OPS
+            and rb.op in _CONSTRUCTOR_OPS
+            and (ra.op != rb.op or len(ra.args) != len(rb.args))
+        ):
+            return True
+        return False
+
+    # -- disequalities ------------------------------------------------------
+
+    def assert_diseq(self, a: Term, b: Term, reason: object = None) -> None:
+        if self.conflict:
+            return
+        self._intern(a)
+        self._intern(b)
+        self._diseqs.append((a, b, reason))
+        self._check_diseqs()
+
+    def _check_diseqs(self) -> None:
+        for a, b, reason in self._diseqs:
+            if self.find(a) == self.find(b):
+                self.conflict = True
+                self.conflict_reason = f"{a} != {b} violated"
+                return
+
+    # -- queries ------------------------------------------------------------
+
+    def are_equal(self, a: Term, b: Term) -> bool:
+        return self.find(a) == self.find(b)
+
+    def must_differ(self, a: Term, b: Term) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if self._clash(ra, rb):
+            return True
+        for x, y, _ in self._diseqs:
+            rx, ry = self.find(x), self.find(y)
+            if {rx, ry} == {ra, rb}:
+                return True
+        return False
+
+    def known_terms(self) -> Iterable[Term]:
+        return self._parent.keys()

@@ -1,0 +1,119 @@
+"""Tests for layout-independent addresses (§3.1)."""
+
+import pytest
+
+from repro.core.address import (
+    GLOBAL_TYPE_KEYS,
+    Address,
+    FieldElem,
+    OffsetElem,
+    decode_pointer,
+    encode_address,
+    interpret_projection,
+    ptr_field,
+    ptr_offset,
+    ptr_variant_field,
+)
+from repro.lang.layout import ALL_STRATEGIES, LayoutEngine
+from repro.lang.types import U8, U32, U64, AdtTy, TypeRegistry, struct_def
+from repro.solver import Solver
+from repro.solver.sorts import LOC
+from repro.solver.terms import Var, eq, intlit
+
+
+@pytest.fixture()
+def registry():
+    reg = TypeRegistry()
+    reg.define(struct_def("S", [("x", U32), ("y", U64)]))
+    reg.define(struct_def("T3", [("a", U8), ("b", U8), ("c", U64)]))
+    return reg
+
+
+base = Var("l", LOC)
+
+
+class TestPointerTerms:
+    def test_roundtrip_field(self, registry):
+        s = AdtTy("S")
+        p = ptr_field(base, s, 1)
+        view = decode_pointer(p, GLOBAL_TYPE_KEYS)
+        assert view.base == base
+        assert view.projection == (FieldElem(s, 1),)
+
+    def test_roundtrip_chain(self, registry):
+        s = AdtTy("S")
+        t = AdtTy("T3")
+        p = ptr_field(ptr_field(base, t, 2), s, 0)
+        view = decode_pointer(p, GLOBAL_TYPE_KEYS)
+        assert view.projection == (FieldElem(t, 2), FieldElem(s, 0))
+
+    def test_variant_field(self, registry):
+        opt = AdtTy("Option", (U64,))
+        p = ptr_variant_field(base, opt, 1, 0)
+        view = decode_pointer(p, GLOBAL_TYPE_KEYS)
+        assert view.projection[0].variant == 1
+        assert view.projection[0].index == 0
+
+    def test_offset_collapses_zero(self, registry):
+        assert ptr_offset(base, U8, intlit(0)) == base
+
+    def test_offsets_merge(self, registry):
+        p = ptr_offset(ptr_offset(base, U8, intlit(3)), U8, intlit(4))
+        view = decode_pointer(p, GLOBAL_TYPE_KEYS)
+        assert len(view.projection) == 1
+        assert view.projection[0].offset == intlit(7)
+
+    def test_encode_is_inverse(self, registry):
+        s = AdtTy("S")
+        addr = Address(base).field(s, 1).offset(U8, intlit(4))
+        p = encode_address(addr, GLOBAL_TYPE_KEYS)
+        view = decode_pointer(p, GLOBAL_TYPE_KEYS)
+        assert view.base == base
+        assert view.projection == addr.projection
+
+    def test_pointer_equality_is_term_equality(self, registry):
+        s = AdtTy("S")
+        solver = Solver()
+        p1 = ptr_field(base, s, 0)
+        p2 = ptr_field(base, s, 0)
+        assert solver.entails([], eq(p1, p2))
+
+
+class TestInterpretation:
+    """§3.1: interpretation is parametric on the layout and
+    position-independent within a projection."""
+
+    def test_field_offsets_follow_layout(self, registry):
+        s = AdtTy("S")
+        for strat in ALL_STRATEGIES:
+            eng = LayoutEngine(registry, strat)
+            lo = eng.struct_layout(s)
+            off = interpret_projection((FieldElem(s, 1),), eng)
+            assert off == intlit(lo.field_offset(1))
+
+    def test_projection_order_irrelevant(self, registry):
+        # [.^T i, .^S j] interprets equal to [.^S j, .^T i].
+        s = AdtTy("S")
+        t = AdtTy("T3")
+        eng = LayoutEngine(registry)
+        p1 = (FieldElem(t, 2), FieldElem(s, 0))
+        p2 = (FieldElem(s, 0), FieldElem(t, 2))
+        assert interpret_projection(p1, eng) == interpret_projection(p2, eng)
+
+    def test_symbolic_index_interpretation(self, registry):
+        eng = LayoutEngine(registry)
+        n = Var("n", __import__("repro.solver.sorts", fromlist=["INT"]).INT)
+        off = interpret_projection((OffsetElem(U64, n),), eng)
+        # n * size_of::<u64>() = n * 8
+        solver = Solver()
+        from repro.solver.terms import mul
+
+        assert solver.entails([], eq(off, mul(n, intlit(8))))
+
+    def test_interpretations_differ_across_strategies(self, registry):
+        s = AdtTy("S")
+        offs = {
+            interpret_projection((FieldElem(s, 0),), LayoutEngine(registry, st))
+            for st in ALL_STRATEGIES
+        }
+        assert len(offs) > 1

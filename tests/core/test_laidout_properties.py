@@ -1,0 +1,109 @@
+"""Property tests for laid-out nodes (Fig. 5): carving/writing at
+concrete offsets must agree with a brute-force byte-array model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.address import ptr_offset
+from repro.core.heap.heap import SymbolicHeap
+from repro.core.heap.laidout import Entry, LaidOutNode, SeqContent, UninitContent
+from repro.core.heap.structural import HeapCtx
+from repro.lang.types import U64, TypeRegistry
+from repro.solver import Solver
+from repro.solver.sorts import INT, LOC
+from repro.solver.terms import Var, eq, intlit, seq_cons, seq_empty
+
+
+def make_node(values, cap):
+    """[0, len(values)) initialised, [len, cap) uninit."""
+    s = seq_empty(INT)
+    for v in reversed(values):
+        s = seq_cons(intlit(v), s)
+    entries = []
+    if values:
+        entries.append(Entry(intlit(0), intlit(len(values)), SeqContent(U64, s)))
+    if len(values) < cap:
+        entries.append(Entry(intlit(len(values)), intlit(cap), UninitContent()))
+    return LaidOutNode(U64, tuple(entries))
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return HeapCtx(TypeRegistry(), Solver(), ())
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 255), min_size=0, max_size=4),
+    data=st.data(),
+)
+def test_write_then_read_everywhere(values, data):
+    """Model check: after writing at a concrete index, every in-bounds
+    read agrees with a plain Python list model."""
+    ctx = HeapCtx(TypeRegistry(), Solver(), ())
+    cap = len(values) + data.draw(st.integers(0, 2))
+    if cap == 0:
+        return
+    node = make_node(values, cap)
+    base = Var("buf", LOC)
+    heap = SymbolicHeap({base: node}, SymbolicHeap().types)
+    model = list(values) + [None] * (cap - len(values))
+    idx = data.draw(st.integers(0, cap - 1))
+    val = data.draw(st.integers(0, 1000))
+    outs = [
+        o
+        for o in heap.store(ptr_offset(base, U64, intlit(idx)), U64, intlit(val), ctx)
+        if o.error is None
+    ]
+    assert outs, f"store at {idx} failed"
+    heap = outs[0].heap
+    ctx = ctx.with_facts(outs[0].facts)
+    model[idx] = val
+    for i in range(cap):
+        res = heap.load(ptr_offset(base, U64, intlit(i)), U64, ctx)
+        good = [o for o in res if o.error is None]
+        if model[i] is None:
+            assert not good, f"read of uninit index {i} succeeded"
+        else:
+            assert good, f"read at {i} failed"
+            rctx = ctx.with_facts(good[0].facts)
+            assert rctx.solver.entails(rctx.pc, eq(good[0].value, intlit(model[i])))
+
+
+@settings(max_examples=12, deadline=None)
+@given(values=st.lists(st.integers(0, 255), min_size=1, max_size=4))
+def test_reads_preserve_contents(values):
+    ctx = HeapCtx(TypeRegistry(), Solver(), ())
+    node = make_node(values, len(values))
+    base = Var("buf", LOC)
+    heap = SymbolicHeap({base: node}, SymbolicHeap().types)
+    for i, v in enumerate(values):
+        [ld] = [
+            o
+            for o in heap.load(ptr_offset(base, U64, intlit(i)), U64, ctx)
+            if o.error is None
+        ]
+        heap = ld.heap
+        ctx = ctx.with_facts(ld.facts)
+        assert ctx.solver.entails(ctx.pc, eq(ld.value, intlit(v)))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 255), min_size=2, max_size=4),
+    data=st.data(),
+)
+def test_range_read_concatenates(values, data):
+    ctx = HeapCtx(TypeRegistry(), Solver(), ())
+    node = make_node(values, len(values))
+    lo = data.draw(st.integers(0, len(values) - 1))
+    hi = data.draw(st.integers(lo + 1, len(values)))
+    outs = node.read_range(intlit(lo), intlit(hi), ctx)
+    good = [o for o in outs if o.error is None]
+    assert good
+    # The value must be a sequence equal to values[lo:hi].
+    expected = seq_empty(INT)
+    for v in reversed(values[lo:hi]):
+        expected = seq_cons(intlit(v), expected)
+    solver = ctx.solver
+    assert solver.entails(good[0].facts, eq(good[0].value, expected))

@@ -1,0 +1,66 @@
+"""Tests for the observation context φ (§5.2, Figs. 9–10)."""
+
+import pytest
+
+from repro.core.observations import ObservationCtx
+from repro.solver import Solver
+from repro.solver.sorts import INT
+from repro.solver.terms import Var, and_, eq, intlit, le, lt
+
+x = Var("x", INT)
+y = Var("y", INT)
+
+
+@pytest.fixture()
+def solver():
+    return Solver()
+
+
+class TestProduce:
+    def test_produce_merges(self, solver):
+        # Obs-merge: ⟨ψ⟩ * ⟨ψ'⟩ ⊢ ⟨ψ ∧ ψ'⟩.
+        ctx = ObservationCtx()
+        ctx = ctx.produce(eq(x, intlit(1)), solver, ()).ctx
+        out = ctx.produce(le(y, x), solver, ())
+        assert out.ctx is not None
+        assert out.ctx.holds(and_(eq(x, intlit(1)), le(y, intlit(1))), solver, ())
+
+    def test_unsatisfiable_production_vanishes(self, solver):
+        # Proph-Sat: an observation must admit a prophecy assignment.
+        ctx = ObservationCtx().produce(eq(x, intlit(1)), solver, ()).ctx
+        out = ctx.produce(eq(x, intlit(2)), solver, ())
+        assert out.inconsistent
+
+    def test_production_checks_against_pc(self, solver):
+        ctx = ObservationCtx()
+        out = ctx.produce(eq(x, intlit(5)), solver, (lt(x, intlit(3)),))
+        assert out.inconsistent
+
+
+class TestConsume:
+    def test_consume_entailed(self, solver):
+        ctx = ObservationCtx().produce(eq(x, intlit(1)), solver, ()).ctx
+        out = ctx.consume(le(x, intlit(1)), solver, ())
+        assert out.ctx is not None
+
+    def test_consume_is_duplicable(self, solver):
+        ctx = ObservationCtx().produce(eq(x, intlit(1)), solver, ()).ctx
+        ctx.consume(eq(x, intlit(1)), solver, ())
+        out = ctx.consume(eq(x, intlit(1)), solver, ())
+        assert out.ctx is not None
+
+    def test_consume_uses_path_condition(self, solver):
+        # Proph-True / Observation-Consume: π flows into observations.
+        ctx = ObservationCtx()
+        out = ctx.consume(le(x, intlit(3)), solver, (eq(x, intlit(2)),))
+        assert out.ctx is not None
+
+    def test_consume_not_entailed_fails(self, solver):
+        ctx = ObservationCtx()
+        out = ctx.consume(eq(x, intlit(2)), solver, ())
+        assert out.ctx is None
+
+    def test_mixed_pc_and_obs(self, solver):
+        ctx = ObservationCtx().produce(eq(x, y), solver, ()).ctx
+        out = ctx.consume(eq(y, intlit(7)), solver, (eq(x, intlit(7)),))
+        assert out.ctx is not None

@@ -1,0 +1,98 @@
+"""Tests for the prophecy context χ: VO/PC resource algebra (§5.3, Fig. 11)."""
+
+import pytest
+
+from repro.core.prophecies import ProphecyCtx, fresh_prophecy
+from repro.solver import Solver
+from repro.solver.sorts import INT
+from repro.solver.terms import Var, eq, intlit
+
+a = Var("a", INT)
+b = Var("b", INT)
+
+
+@pytest.fixture()
+def x():
+    return fresh_prophecy("t", INT)
+
+
+class TestProduce:
+    def test_vo_without_controller(self, x):
+        # VObs-Produce-Without-Controller.
+        out = ProphecyCtx().produce_vo(x, a)
+        assert out.ctx is not None
+        assert out.ctx.entries[x].vo
+        assert not out.ctx.entries[x].pc_
+        assert out.facts == ()
+
+    def test_vo_with_controller_learns_agreement(self, x):
+        # VObs-Produce-With-Controller automates MUT-AGREE.
+        ctx = ProphecyCtx().produce_pc(x, a).ctx
+        out = ctx.produce_vo(x, b)
+        assert out.ctx is not None
+        assert out.facts == (eq(b, a),)
+
+    def test_pc_with_observer_learns_agreement(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        out = ctx.produce_pc(x, b)
+        assert out.facts == (eq(b, a),)
+
+    def test_duplicate_vo_rejected(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        out = ctx.produce_vo(x, b)
+        assert out.ctx is None
+
+    def test_duplicate_pc_rejected(self, x):
+        ctx = ProphecyCtx().produce_pc(x, a).ctx
+        out = ctx.produce_pc(x, b)
+        assert out.ctx is None
+
+
+class TestConsume:
+    def test_consume_vo_returns_value(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        out = ctx.consume_vo(x)
+        assert out.value == a
+        assert not out.ctx.entries[x].vo
+
+    def test_consume_missing_vo_fails(self, x):
+        out = ProphecyCtx().consume_vo(x)
+        assert out.ctx is None
+
+    def test_consume_pc(self, x):
+        ctx = ProphecyCtx().produce_pc(x, a).ctx
+        out = ctx.consume_pc(x)
+        assert out.value == a
+        assert not out.ctx.entries[x].pc_
+
+
+class TestGhostRules:
+    def test_mut_update_needs_both(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        out = ctx.update(x, b)
+        assert out.ctx is None  # controller missing
+
+    def test_mut_update(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        ctx = ctx.produce_pc(x, a).ctx
+        out = ctx.update(x, b)
+        assert out.ctx is not None
+        assert out.ctx.entries[x].value == b
+
+    def test_resolve_yields_future_equality(self, x):
+        # PROPH-RESOLVE: ⟨↑x = current⟩.
+        ctx = ProphecyCtx().produce_pc(x, a).ctx
+        out = ctx.resolve(x)
+        assert out.facts == (eq(x, a),)
+
+    def test_resolve_without_controller_fails(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        out = ctx.resolve(x)
+        assert out.ctx is None
+
+    def test_update_then_resolve(self, x):
+        ctx = ProphecyCtx().produce_vo(x, a).ctx
+        ctx = ctx.produce_pc(x, a).ctx
+        ctx = ctx.update(x, b).ctx
+        out = ctx.resolve(x)
+        assert out.facts == (eq(x, b),)

@@ -1,0 +1,116 @@
+"""Property tests for structural nodes: for random struct shapes and
+values, whole-store → field-reads and field-stores → whole-read agree
+with a plain Python record model (§3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.address import ptr_field
+from repro.core.heap.heap import SymbolicHeap
+from repro.core.heap.structural import HeapCtx
+from repro.lang.types import (
+    U8,
+    U16,
+    U32,
+    U64,
+    AdtTy,
+    BoolTy,
+    TypeRegistry,
+    struct_def,
+)
+from repro.solver import Solver
+from repro.solver.terms import boollit, eq, intlit, tuple_mk
+
+FIELD_TYPES = [U8, U16, U32, U64, BoolTy()]
+
+
+@st.composite
+def struct_shapes(draw):
+    n = draw(st.integers(1, 4))
+    tys = [draw(st.sampled_from(FIELD_TYPES)) for _ in range(n)]
+    values = []
+    for t in tys:
+        if isinstance(t, BoolTy):
+            values.append(draw(st.booleans()))
+        else:
+            values.append(draw(st.integers(0, t.max_value)))
+    return tys, values
+
+
+def lit(ty, v):
+    return boollit(v) if isinstance(ty, BoolTy) else intlit(v)
+
+
+_counter = [0]
+
+
+def fresh_struct(registry, tys):
+    _counter[0] += 1
+    name = f"S{_counter[0]}"
+    registry.define(struct_def(name, [(f"f{i}", t) for i, t in enumerate(tys)]))
+    return AdtTy(name)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=struct_shapes())
+def test_whole_store_field_reads(shape):
+    tys, values = shape
+    registry = TypeRegistry()
+    ctx = HeapCtx(registry, Solver(), ())
+    s_ty = fresh_struct(registry, tys)
+    heap = SymbolicHeap()
+    heap, p = heap.alloc_typed(s_ty)
+    whole = tuple_mk(*[lit(t, v) for t, v in zip(tys, values)])
+    [st_] = [o for o in heap.store(p, s_ty, whole, ctx) if o.error is None]
+    heap = st_.heap
+    for i, (t, v) in enumerate(zip(tys, values)):
+        good = [o for o in heap.load(ptr_field(p, s_ty, i), t, ctx) if o.error is None]
+        assert good, f"field {i} read failed"
+        assert ctx.solver.entails(good[0].facts, eq(good[0].value, lit(t, v)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=struct_shapes(), data=st.data())
+def test_field_stores_whole_read(shape, data):
+    tys, values = shape
+    registry = TypeRegistry()
+    ctx = HeapCtx(registry, Solver(), ())
+    s_ty = fresh_struct(registry, tys)
+    heap = SymbolicHeap()
+    heap, p = heap.alloc_typed(s_ty)
+    order = data.draw(st.permutations(range(len(tys))))
+    for i in order:
+        [st_] = [
+            o
+            for o in heap.store(ptr_field(p, s_ty, i), tys[i], lit(tys[i], values[i]), ctx)
+            if o.error is None
+        ]
+        heap = st_.heap
+    [whole] = [o for o in heap.load(p, s_ty, ctx) if o.error is None]
+    expected = tuple_mk(*[lit(t, v) for t, v in zip(tys, values)])
+    assert ctx.solver.entails(whole.facts, eq(whole.value, expected))
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=struct_shapes(), data=st.data())
+def test_partial_init_whole_read_fails(shape, data):
+    tys, values = shape
+    if len(tys) < 2:
+        return
+    registry = TypeRegistry()
+    ctx = HeapCtx(registry, Solver(), ())
+    s_ty = fresh_struct(registry, tys)
+    heap = SymbolicHeap()
+    heap, p = heap.alloc_typed(s_ty)
+    skip = data.draw(st.integers(0, len(tys) - 1))
+    for i in range(len(tys)):
+        if i == skip:
+            continue
+        [st_] = [
+            o
+            for o in heap.store(ptr_field(p, s_ty, i), tys[i], lit(tys[i], values[i]), ctx)
+            if o.error is None
+        ]
+        heap = st_.heap
+    outs = heap.load(p, s_ty, ctx)
+    assert all(o.error is not None for o in outs)

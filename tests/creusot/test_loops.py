@@ -1,0 +1,136 @@
+"""Loop invariants in the Creusot half (invariant-cut semantics)."""
+
+import pytest
+
+from repro.creusot.vcgen import CreusotVerifier
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import BOOL, U64, UNIT
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS
+from repro.rustlib.linked_list import LIST, MUT_LIST, T, build_program
+from repro.solver import Solver
+
+
+def count_body(name="count_to_n", invariant="acc == i && i <= n"):
+    fn = BodyBuilder(name, params=[("n", U64)], ret=U64, is_safe=True)
+    bb0 = fn.block()
+    head = fn.block("head")
+    loop_body = fn.block("body")
+    done = fn.block("done")
+    i = fn.local("i", U64)
+    acc = fn.local("acc", U64)
+    bb0.assign(i, fn.const_int(0, U64))
+    bb0.assign(acc, fn.const_int(0, U64))
+    bb0.goto(head)
+    head.invariant(invariant, modifies=["i", "acc"])
+    t = fn.local("t", BOOL)
+    head.assign(t, fn.binop("eq", fn.copy(i), fn.copy("n")))
+    head.if_else(fn.copy(t), done, loop_body)
+    loop_body.assign(acc, fn.binop("add", fn.copy(acc), fn.const_int(1, U64)))
+    loop_body.assign(i, fn.binop("add", fn.copy(i), fn.const_int(1, U64)))
+    loop_body.goto(head)
+    done.assign(fn.ret_place, fn.copy(acc))
+    done.ret()
+    return fn.finish()
+
+
+class TestScalarLoops:
+    def test_count_to_n(self):
+        program = Program()
+        ownables = OwnableRegistry(program)
+        body = count_body()
+        program.add_body(body)
+        v = CreusotVerifier(
+            program, ownables, {"count_to_n": {"ensures": ["result == n"]}}, Solver()
+        )
+        r = v.verify(body)
+        assert r.ok, [str(i) for i in r.issues]
+        # Establishment + preservation + exit all happen: >= 3 VCs.
+        assert r.vcs >= 3
+
+    def test_unpreserved_invariant_rejected(self):
+        program = Program()
+        ownables = OwnableRegistry(program)
+        body = count_body(name="bad", invariant="acc == i && i == 0")
+        program.add_body(body)
+        v = CreusotVerifier(program, ownables, {"bad": {}}, Solver())
+        r = v.verify(body)
+        assert not r.ok
+        assert any("not preserved" in str(i) for i in r.issues)
+
+    def test_unestablished_invariant_rejected(self):
+        program = Program()
+        ownables = OwnableRegistry(program)
+        body = count_body(name="bad2", invariant="i == 1")
+        program.add_body(body)
+        v = CreusotVerifier(program, ownables, {"bad2": {}}, Solver())
+        r = v.verify(body)
+        assert not r.ok
+        assert any("not established" in str(i) for i in r.issues)
+
+    def test_too_weak_invariant_fails_post(self):
+        # "true" is preserved but does not imply the postcondition.
+        program = Program()
+        ownables = OwnableRegistry(program)
+        body = count_body(name="weak", invariant="true")
+        program.add_body(body)
+        v = CreusotVerifier(
+            program, ownables, {"weak": {"ensures": ["result == n"]}}, Solver()
+        )
+        r = v.verify(body)
+        assert not r.ok
+
+
+class TestLoopsOverUnsafeAPIs:
+    def test_push_n_times(self):
+        """A safe loop pushing into the (unsafe) LinkedList, verified
+        against its axioms: l@.len() == i is the cut invariant."""
+        program, ownables = build_program()
+        fn = BodyBuilder(
+            "client::push_n",
+            params=[("l", MUT_LIST), ("x", T), ("n", U64)],
+            ret=UNIT,
+            generics=("T",),
+            is_safe=True,
+        )
+        bb0 = fn.block()
+        head = fn.block("head")
+        loop_body = fn.block("body")
+        cont = fn.block("cont")
+        done = fn.block("done")
+        i = fn.local("i", U64)
+        bb0.assign(i, fn.const_int(0, U64))
+        bb0.goto(head)
+        head.invariant("i <= n && l@.len() == i", modifies=["i", "l"])
+        t = fn.local("t", BOOL)
+        head.assign(t, fn.binop("eq", fn.copy(i), fn.copy("n")))
+        head.if_else(fn.copy(t), done, loop_body)
+        r = fn.local("r", MUT_LIST)
+        loop_body.assign(r, fn.ref(fn.place("l").deref(), mutable=True))
+        u = fn.local("u", UNIT)
+        loop_body.call(u, "LinkedList::push_front", [fn.move(r), fn.copy("x")], cont)
+        cont.assign(i, fn.binop("add", fn.copy(i), fn.const_int(1, U64)))
+        cont.goto(head)
+        done.ghost_assert("l@.len() == n")
+        done.mutref_auto_resolve("l")
+        done.assign(fn.ret_place, fn.const_unit())
+        done.ret()
+        body = fn.finish()
+        program.add_body(body)
+        v = CreusotVerifier(
+            program,
+            ownables,
+            dict(
+                LINKED_LIST_CONTRACTS,
+                **{
+                    "client::push_n": {
+                        "requires": ["l@.len() == 0", "n < 1000"],
+                        "ensures": ["(^l)@.len() == n"],
+                    }
+                },
+            ),
+            Solver(),
+        )
+        r = v.verify(body)
+        assert r.ok, [str(i) for i in r.issues]

@@ -1,0 +1,203 @@
+"""Tests for the Creusot half: safe-Rust verification over pure models
+with prophetic borrows (§2.1, RustHorn-style encoding)."""
+
+import pytest
+
+import repro.rustlib.linked_list as ll
+from repro.creusot.vcgen import CreusotVerifier
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import BOOL, U64, UNIT, USIZE, RefTy, option_ty
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS
+from repro.rustlib.linked_list import LIST, MUT_LIST, T, build_program
+from repro.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def env():
+    program, ownables = build_program()
+    return program, ownables
+
+
+def make_verifier(program, ownables, extra_contracts=None):
+    contracts = dict(LINKED_LIST_CONTRACTS)
+    contracts.update(extra_contracts or {})
+    return CreusotVerifier(program, ownables, contracts, Solver())
+
+
+class TestPureCode:
+    def test_arithmetic_with_contract(self, env):
+        program, ownables = env
+        fn = BodyBuilder("double", params=[("x", U64)], ret=U64, is_safe=True)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.binop("add", fn.copy("x"), fn.copy("x")))
+        bb.ret()
+        body = fn.finish()
+        program.bodies.setdefault("double", body)
+        v = make_verifier(program, ownables, {"double": {
+            "requires": ["x < 1000"],
+            "ensures": ["result == x + x"],
+        }})
+        r = v.verify(body)
+        assert r.ok, [str(i) for i in r.issues]
+
+    def test_overflow_rejected_without_requires(self, env):
+        program, ownables = env
+        fn = BodyBuilder("double2", params=[("x", U64)], ret=U64, is_safe=True)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.binop("add", fn.copy("x"), fn.copy("x")))
+        bb.ret()
+        body = fn.finish()
+        v = make_verifier(program, ownables, {"double2": {}})
+        r = v.verify(body)
+        assert not r.ok
+        assert any("panic" in str(i) for i in r.issues)
+
+    def test_wrong_ensures_rejected(self, env):
+        program, ownables = env
+        fn = BodyBuilder("ident", params=[("x", U64)], ret=U64, is_safe=True)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.copy("x"))
+        bb.ret()
+        body = fn.finish()
+        v = make_verifier(program, ownables, {"ident": {"ensures": ["result == x + 1"]}})
+        r = v.verify(body)
+        assert not r.ok
+
+    def test_unsafe_body_rejected(self, env):
+        # Creusot's defining limitation: unsafe code is out of reach.
+        program, ownables = env
+        v = make_verifier(program, ownables)
+        r = v.verify(program.bodies["LinkedList::pop_front_node"])
+        assert not r.ok
+        assert any("unsafe" in str(i) for i in r.issues)
+
+
+class TestPropheticBorrows:
+    def build_client(self, program):
+        """l = new(); push_front(&mut l, x); push_front(&mut l, y);
+        o = pop_front(&mut l); assert o == Some(y)."""
+        fn = BodyBuilder(
+            "client", params=[("x", T), ("y", T)], ret=option_ty(T),
+            generics=("T",), is_safe=True,
+        )
+        bbs = [fn.block() if i == 0 else fn.block(f"bb{i}") for i in range(5)]
+        l = fn.local("l", LIST)
+        bbs[0].call(l, "LinkedList::new", [], bbs[1])
+        for i, arg in ((1, "x"), (2, "y")):
+            r = fn.local(f"r{i}", MUT_LIST)
+            bbs[i].assign(r, fn.ref("l", mutable=True))
+            u = fn.local(f"u{i}", UNIT)
+            bbs[i].call(u, "LinkedList::push_front", [fn.move(r), fn.copy(arg)], bbs[i + 1])
+        r3 = fn.local("r3", MUT_LIST)
+        bbs[3].assign(r3, fn.ref("l", mutable=True))
+        o = fn.local("o", option_ty(T))
+        bbs[3].call(o, "LinkedList::pop_front", [fn.move(r3)], bbs[4])
+        bbs[4].ghost_assert("match o { None => false, Some(v) => v == y }")
+        bbs[4].assign(fn.ret_place, fn.copy("o"))
+        bbs[4].ret()
+        return fn.finish()
+
+    def test_push_push_pop(self, env):
+        program, ownables = env
+        body = self.build_client(program)
+        v = make_verifier(program, ownables)
+        r = v.verify(body)
+        assert r.ok, [str(i) for i in r.issues]
+
+    def test_wrong_assertion_fails(self, env):
+        program, ownables = env
+        fn = BodyBuilder(
+            "client_bad", params=[("x", T), ("y", T)], ret=option_ty(T),
+            generics=("T",), is_safe=True,
+        )
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        bb2 = fn.block("bb2")
+        bb3 = fn.block("bb3")
+        l = fn.local("l", LIST)
+        bb0.call(l, "LinkedList::new", [], bb1)
+        r1 = fn.local("r1", MUT_LIST)
+        bb1.assign(r1, fn.ref("l", mutable=True))
+        u1 = fn.local("u1", UNIT)
+        bb1.call(u1, "LinkedList::push_front", [fn.move(r1), fn.copy("x")], bb2)
+        r2 = fn.local("r2", MUT_LIST)
+        bb2.assign(r2, fn.ref("l", mutable=True))
+        o = fn.local("o", option_ty(T))
+        bb2.call(o, "LinkedList::pop_front", [fn.move(r2)], bb3)
+        # Wrong: the popped element is x, not y.
+        bb3.ghost_assert("match o { None => false, Some(v) => v == y }")
+        bb3.assign(fn.ret_place, fn.copy("o"))
+        bb3.ret()
+        body = fn.finish()
+        v = make_verifier(program, ownables)
+        r = v.verify(body)
+        assert not r.ok
+
+    def test_pop_of_empty_is_none(self, env):
+        program, ownables = env
+        fn = BodyBuilder("client_empty", params=[], ret=option_ty(T),
+                         generics=("T",), is_safe=True)
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        bb2 = fn.block("bb2")
+        l = fn.local("l", LIST)
+        bb0.call(l, "LinkedList::new", [], bb1)
+        r1 = fn.local("r1", MUT_LIST)
+        bb1.assign(r1, fn.ref("l", mutable=True))
+        o = fn.local("o", option_ty(T))
+        bb1.call(o, "LinkedList::pop_front", [fn.move(r1)], bb2)
+        bb2.ghost_assert("match o { None => true, Some(v) => false }")
+        bb2.assign(fn.ret_place, fn.copy("o"))
+        bb2.ret()
+        v = make_verifier(program, ownables)
+        r = v.verify(fn.finish())
+        assert r.ok, [str(i) for i in r.issues]
+
+    def test_push_precondition_checked(self, env):
+        # Without knowing len < usize::MAX, push_front's requires must fail.
+        program, ownables = env
+        fn = BodyBuilder(
+            "client_nopre", params=[("l", MUT_LIST), ("x", T)], ret=UNIT,
+            generics=("T",), is_safe=True,
+        )
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        r1 = fn.local("r1", MUT_LIST)
+        bb0.assign(r1, fn.ref(fn.place("l").deref(), mutable=True))
+        u = fn.local("u", UNIT)
+        bb0.call(u, "LinkedList::push_front", [fn.move(r1), fn.copy("x")], bb1)
+        bb1.assign(fn.ret_place, fn.const_unit())
+        bb1.ret()
+        v = make_verifier(program, ownables)
+        r = v.verify(fn.finish())
+        assert not r.ok
+        assert any("precondition" in str(i) for i in r.issues)
+
+    def test_reborrow_chain(self, env):
+        # Borrowing through an incoming &mut works via reborrows.
+        program, ownables = env
+        fn = BodyBuilder(
+            "client_reborrow", params=[("l", MUT_LIST), ("x", T)], ret=UNIT,
+            generics=("T",), is_safe=True,
+        )
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        bb2 = fn.block("bb2")
+        r1 = fn.local("r1", MUT_LIST)
+        bb0.assign(r1, fn.ref(fn.place("l").deref(), mutable=True))
+        u = fn.local("u", UNIT)
+        bb0.call(u, "LinkedList::push_front", [fn.move(r1), fn.copy("x")], bb1)
+        r2 = fn.local("r2", MUT_LIST)
+        bb1.assign(r2, fn.ref(fn.place("l").deref(), mutable=True))
+        o = fn.local("o", option_ty(T))
+        bb1.call(o, "LinkedList::pop_front", [fn.move(r2)], bb2)
+        bb2.ghost_assert("match o { None => false, Some(v) => v == x }")
+        bb2.mutref_auto_resolve("l")
+        bb2.assign(fn.ret_place, fn.const_unit())
+        bb2.ret()
+        v = make_verifier(
+            program, ownables,
+            {"client_reborrow": {"requires": ["l@.len() < usize::MAX"]}},
+        )
+        r = v.verify(fn.finish())
+        assert r.ok, [str(i) for i in r.issues]

@@ -1,0 +1,202 @@
+"""Unit tests for the assertion-level producer and consumer (§2.3):
+matching plans, out-parameter learning, fold/unfold-on-the-fly."""
+
+import pytest
+
+from repro.core.state import RustState, RustStateModel
+from repro.gillian.consume import ConsumeFailure, consume
+from repro.gillian.produce import ProduceError, produce
+from repro.gilsonite.ast import (
+    AliveLft,
+    DeadLft,
+    Exists,
+    Mode,
+    Observation,
+    Param,
+    PointsTo,
+    PointsToUninit,
+    Pred,
+    PredicateDef,
+    Pure,
+    star,
+)
+from repro.lang.mir import Program
+from repro.lang.types import U64, AdtTy, struct_def
+from repro.solver import Solver
+from repro.solver.sorts import INT, LFT, LOC, REAL
+from repro.solver.terms import (
+    Var,
+    add,
+    eq,
+    fresh_var,
+    intlit,
+    le,
+    lt,
+    reallit,
+    tuple_get,
+    tuple_mk,
+)
+
+
+@pytest.fixture()
+def model():
+    program = Program()
+    program.registry.define(struct_def("Pair", [("a", U64), ("b", U64)]))
+    return RustStateModel(program, Solver())
+
+
+def loc(name):
+    return Var(name, LOC)
+
+
+class TestProduce:
+    def test_points_to_then_consume(self, model):
+        p = loc("p1")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(5)))
+        [m] = consume(model, s, PointsTo(p, U64, intlit(5)))
+        assert m.state.heap.allocs  # region framed off, slot remains
+
+    def test_pure_extends_pc(self, model):
+        x = Var("x", INT)
+        [s] = produce(model, RustState(), Pure(eq(x, intlit(3))))
+        assert model.solver.entails(s.pc, lt(x, intlit(4)))
+
+    def test_contradictory_pure_vanishes(self, model):
+        x = Var("x", INT)
+        s0 = RustState(pc=(eq(x, intlit(1)),))
+        out = produce(model, s0, Pure(eq(x, intlit(2))))
+        assert out == []
+
+    def test_exists_freshens(self, model):
+        p = loc("p2")
+        v = Var("v", INT)
+        a = Exists((v,), star(PointsTo(p, U64, v), Pure(le(intlit(0), v))))
+        [s] = produce(model, RustState(), a)
+        ctx = model.heap_ctx(s)
+        [ld] = [o for o in s.heap.load(p, U64, ctx) if o.error is None]
+        assert ld.value != v  # the bound var was renamed
+
+    def test_double_points_to_errors(self, model):
+        p = loc("p3")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(5)))
+        with pytest.raises(ProduceError):
+            produce(model, s, PointsTo(p, U64, intlit(6)))
+
+    def test_observation_and_token(self, model):
+        x = Var("x", INT)
+        kappa = Var("κ", LFT)
+        q = Var("q", REAL)
+        a = star(
+            AliveLft(kappa, q),
+            Observation(eq(x, intlit(1))),
+        )
+        [s] = produce(model, RustState(), a)
+        assert s.lifetimes.is_alive(kappa, model.solver, s.pc)
+        assert s.obs.holds(eq(x, intlit(1)), model.solver, s.pc)
+
+    def test_dead_token_kills_alive_production(self, model):
+        kappa = Var("κ", LFT)
+        [s] = produce(model, RustState(), DeadLft(kappa))
+        out = produce(model, s, AliveLft(kappa, reallit(1)))
+        assert out == []
+
+
+class TestConsume:
+    def test_out_value_learned(self, model):
+        p = loc("p4")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(42)))
+        v = Var("out_v", INT)
+        [m] = consume(model, s, PointsTo(p, U64, v), {}, {v})
+        assert m.bindings[v] == intlit(42)
+
+    def test_structured_unification(self, model):
+        pair = AdtTy("Pair")
+        p = loc("p5")
+        value = tuple_mk(intlit(1), intlit(2))
+        [s] = produce(model, RustState(), PointsTo(p, pair, value))
+        a = Var("ua", INT)
+        b = Var("ub", INT)
+        [m] = consume(model, s, PointsTo(p, pair, tuple_mk(a, b)), {}, {a, b})
+        assert m.bindings[a] == intlit(1)
+        assert m.bindings[b] == intlit(2)
+
+    def test_pure_solving_binds_variable(self, model):
+        p = loc("p6")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(10)))
+        v = Var("v6", INT)
+        w = Var("w6", INT)
+        a = star(
+            PointsTo(p, U64, v),
+            Pure(eq(w, add(v, intlit(1)))),
+            Pure(lt(w, intlit(100))),
+        )
+        [m] = consume(model, s, a, {}, {v, w})
+        assert model.solver.entails([], eq(m.bindings[w], intlit(11)))
+
+    def test_failed_entailment_raises(self, model):
+        p = loc("p7")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(1)))
+        with pytest.raises(ConsumeFailure):
+            consume(model, s, PointsTo(p, U64, intlit(2)))
+
+    def test_missing_resource_raises(self, model):
+        with pytest.raises(ConsumeFailure):
+            consume(model, RustState(), PointsTo(loc("p8"), U64, intlit(1)))
+
+    def test_uninit_variant(self, model):
+        p = loc("p9")
+        [s] = produce(model, RustState(), PointsToUninit(p, U64))
+        ctx = model.heap_ctx(s)
+        [out] = s.heap.load(p, U64, ctx)
+        assert out.error is not None  # uninit: cannot read
+        [m] = consume(model, s, PointsToUninit(p, U64))
+        assert m is not None
+
+
+class TestNamedPredicates:
+    def _install_pred(self, model):
+        """pred two(p In, s Out) := ∃v. p ↦ v * s = v + v"""
+        p = Var("p", LOC)
+        s = Var("s", INT)
+        v = Var("v", INT)
+        model.program.predicates["two"] = PredicateDef(
+            name="two",
+            params=(Param(p, Mode.IN), Param(s, Mode.OUT)),
+            disjuncts=(
+                Exists((v,), star(PointsTo(p, U64, v), Pure(eq(s, add(v, v))))),
+            ),
+        )
+
+    def test_folded_instance_matches(self, model):
+        self._install_pred(model)
+        p = loc("pa")
+        [s] = produce(model, RustState(), Pred("two", (p, intlit(4))))
+        out = Var("o", INT)
+        [m] = consume(model, s, Pred("two", (p, out)), {}, {out})
+        assert m.bindings[out] == intlit(4)
+
+    def test_fold_on_the_fly(self, model):
+        # No folded instance: the consumer folds from the definition.
+        self._install_pred(model)
+        p = loc("pb")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(3)))
+        out = Var("o2", INT)
+        [m] = consume(model, s, Pred("two", (p, out)), {}, {out})
+        assert model.solver.entails([], eq(m.bindings[out], intlit(6)))
+
+    def test_unfold_on_the_fly(self, model):
+        # Points-to hidden inside a folded predicate gets exposed.
+        self._install_pred(model)
+        p = loc("pc")
+        [s] = produce(model, RustState(), PointsTo(p, U64, intlit(3)))
+        [m0] = consume(model, s, Pred("two", (p, Var("o3", INT))), {}, {Var("o3", INT)})
+        folded = m0.state.add_pred(
+            __import__("repro.gilsonite.ast", fromlist=["PredInstance"]).PredInstance(
+                "two", (p, intlit(6))
+            )
+        )
+        v = Var("v3", INT)
+        [m] = consume(model, folded, PointsTo(p, U64, v), {}, {v})
+        # The learned value is the definition's existential, equal to 3
+        # under the path condition (6 = v + v).
+        assert model.solver.entails(m.state.pc, eq(m.bindings[v], intlit(3)))

@@ -1,0 +1,254 @@
+"""Unit tests for the symbolic execution engine: operands, rvalues,
+branching, moves, panics, calls, heap-backed locals."""
+
+import pytest
+
+from repro.core.state import RustState, RustStateModel
+from repro.gillian.engine import Config, Engine, Terminal, borrowed_locals
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.gilsonite.specs import show_safety_spec
+from repro.gillian.verifier import verify_function
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import BOOL, U8, U64, UNIT, USIZE, AdtTy, option_ty, struct_def
+from repro.solver import Solver
+from repro.solver.terms import (
+    Var,
+    eq,
+    intlit,
+    is_some,
+    le,
+    lt,
+    not_,
+    some,
+    tuple_get,
+    tuple_mk,
+)
+
+
+@pytest.fixture()
+def setup():
+    program = Program()
+    program.registry.define(struct_def("Pair", [("a", U64), ("b", U64)]))
+    solver = Solver()
+    model = RustStateModel(program, solver)
+    return program, model, Engine(program, model)
+
+
+def run(engine, body, args=None, state=None):
+    locals0 = dict(args or {})
+    locals0.setdefault("'a", Var("κ", __import__("repro.solver.sorts", fromlist=["LFT"]).LFT))
+    return engine.run_body(body, Config(state or RustState(), locals0))
+
+
+class TestStraightLine:
+    def test_constant_return(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[], ret=U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.const_int(7, U64))
+        bb.ret()
+        [t] = run(engine, fn.finish())
+        assert t.ret == intlit(7)
+
+    def test_arith_chain(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[("x", U8)], ret=U8)
+        bb = fn.block()
+        t1 = fn.local("t1", U8)
+        bb.assign(t1, fn.binop("mul", fn.copy("x"), fn.const_int(2, U8)))
+        bb.assign(fn.ret_place, fn.binop("sub", fn.copy(t1), fn.copy("x")))
+        bb.ret()
+        x = Var("x", __import__("repro.solver.sorts", fromlist=["INT"]).INT)
+        state = RustState(pc=(le(intlit(0), x), lt(x, intlit(100))))
+        terms = run(engine, fn.finish(), {"x": x}, state)
+        rets = [t for t in terms if not t.panic]
+        assert len(rets) == 1
+        assert model.solver.entails(rets[0].config.state.pc, eq(rets[0].ret, x))
+
+    def test_struct_aggregate_and_frame_field(self, setup):
+        program, model, engine = setup
+        pair = AdtTy("Pair")
+        fn = BodyBuilder("f", params=[], ret=U64)
+        bb = fn.block()
+        p = fn.local("p", pair)
+        bb.assign(p, fn.aggregate(pair, [fn.const_int(3, U64), fn.const_int(4, U64)]))
+        bb.assign(fn.ret_place, fn.copy(fn.place("p").field(1)))
+        bb.ret()
+        [t] = run(engine, fn.finish())
+        assert t.ret == intlit(4)
+
+    def test_frame_subplace_update(self, setup):
+        program, model, engine = setup
+        pair = AdtTy("Pair")
+        fn = BodyBuilder("f", params=[], ret=U64)
+        bb = fn.block()
+        p = fn.local("p", pair)
+        bb.assign(p, fn.aggregate(pair, [fn.const_int(3, U64), fn.const_int(4, U64)]))
+        bb.assign(fn.place("p").field(0), fn.const_int(9, U64))
+        bb.assign(fn.ret_place, fn.copy(fn.place("p").field(0)))
+        bb.ret()
+        [t] = run(engine, fn.finish())
+        assert model.solver.entails([], eq(t.ret, intlit(9)))
+
+
+class TestPanics:
+    def test_definite_overflow_panics(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[], ret=U8)
+        bb = fn.block()
+        t = fn.local("t", U8)
+        bb.assign(t, fn.const_int(255, U8))
+        bb.assign(fn.ret_place, fn.binop("add", fn.copy(t), fn.const_int(1, U8)))
+        bb.ret()
+        [term] = run(engine, fn.finish())
+        assert term.panic
+
+    def test_possible_overflow_branches(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[("x", U8)], ret=U8)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.binop("add", fn.copy("x"), fn.const_int(1, U8)))
+        bb.ret()
+        x = Var("x8", __import__("repro.solver.sorts", fromlist=["INT"]).INT)
+        state = RustState(pc=(le(intlit(0), x), le(x, intlit(255))))
+        terms = run(engine, fn.finish(), {"x": x}, state)
+        assert {t.panic for t in terms} == {True, False}
+
+    def test_division_by_possible_zero(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[("x", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.binop("div", fn.const_int(10, U64), fn.copy("x")))
+        bb.ret()
+        x = Var("xd", __import__("repro.solver.sorts", fromlist=["INT"]).INT)
+        state = RustState(pc=(le(intlit(0), x), le(x, intlit(5))))
+        terms = run(engine, fn.finish(), {"x": x}, state)
+        assert any(t.panic for t in terms)
+        assert any(not t.panic for t in terms)
+
+    def test_unchecked_never_panics(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[("x", U8)], ret=U8)
+        bb = fn.block()
+        bb.assign(
+            fn.ret_place, fn.binop("add_unchecked", fn.copy("x"), fn.const_int(1, U8))
+        )
+        bb.ret()
+        x = Var("xu", __import__("repro.solver.sorts", fromlist=["INT"]).INT)
+        state = RustState(pc=(le(intlit(0), x), le(x, intlit(255))))
+        terms = run(engine, fn.finish(), {"x": x}, state)
+        assert all(not t.panic for t in terms)
+
+
+class TestBranching:
+    def test_switch_on_option(self, setup):
+        program, model, engine = setup
+        opt = option_ty(U64)
+        fn = BodyBuilder("f", params=[("o", opt)], ret=U64)
+        bb0 = fn.block()
+        d = fn.local("d", USIZE)
+        bb0.assign(d, fn.discriminant("o"))
+        bb_none = fn.block("bb_none")
+        bb_some = fn.block("bb_some")
+        bb0.switch(fn.copy(d), [(0, bb_none)], otherwise=bb_some)
+        bb_none.assign(fn.ret_place, fn.const_int(0, U64))
+        bb_none.ret()
+        bb_some.assign(fn.ret_place, fn.copy(fn.place("o").downcast(1).field(0)))
+        bb_some.ret()
+        from repro.solver.sorts import INT, OptionSort
+
+        o = Var("o", OptionSort(INT))
+        state = RustState(pc=(le(intlit(0), Var("dummy", INT)),))
+        terms = run(engine, fn.finish(), {"o": o}, state)
+        assert len(terms) == 2
+        facts = {
+            model.solver.entails(t.config.state.pc, is_some(o)) for t in terms
+        }
+        assert facts == {True, False}
+
+    def test_decided_switch_single_branch(self, setup):
+        program, model, engine = setup
+        opt = option_ty(U64)
+        fn = BodyBuilder("f", params=[("o", opt)], ret=U64)
+        bb0 = fn.block()
+        d = fn.local("d", USIZE)
+        bb0.assign(d, fn.discriminant("o"))
+        bb_none = fn.block("bb_none")
+        bb_some = fn.block("bb_some")
+        bb0.switch(fn.copy(d), [(0, bb_none)], otherwise=bb_some)
+        bb_none.assign(fn.ret_place, fn.const_int(0, U64))
+        bb_none.ret()
+        bb_some.assign(fn.ret_place, fn.const_int(1, U64))
+        bb_some.ret()
+        terms = run(engine, fn.finish(), {"o": some(intlit(5))})
+        assert len(terms) == 1
+        assert terms[0].ret == intlit(1)
+
+
+class TestHeapBackedLocals:
+    def test_borrowed_local_detection(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[], ret=UNIT)
+        bb = fn.block()
+        x = fn.local("x", U64)
+        bb.assign(x, fn.const_int(1, U64))
+        r = fn.local("r", __import__("repro.lang.types", fromlist=["RefTy"]).RefTy(U64, True))
+        bb.assign(r, fn.ref("x", mutable=True))
+        bb.assign(fn.ret_place, fn.const_unit())
+        bb.ret()
+        body = fn.finish()
+        assert borrowed_locals(body) == {"x"}
+
+    def test_write_through_reference(self, setup):
+        from repro.lang.types import RefTy
+
+        program, model, engine = setup
+        fn = BodyBuilder("f", params=[], ret=U64)
+        bb = fn.block()
+        x = fn.local("x", U64)
+        bb.assign(x, fn.const_int(1, U64))
+        r = fn.local("r", RefTy(U64, True))
+        bb.assign(r, fn.ref("x", mutable=True))
+        bb.assign(fn.place("r").deref(), fn.const_int(42, U64))
+        bb.assign(fn.ret_place, fn.copy(fn.place("r").deref()))
+        bb.ret()
+        [t] = run(engine, fn.finish())
+        assert t.ret == intlit(42)
+
+
+class TestCalls:
+    def test_call_uses_spec_compositionally(self, setup):
+        """The callee body is never executed — only its spec."""
+        program, model, engine = setup
+        ownables = OwnableRegistry(program)
+        # Callee: a bodyless (spec-only) function with a safety spec.
+        callee = BodyBuilder("mystery", params=[("x", U64)], ret=U64)
+        cb = callee.block()
+        cb.unreachable()  # would fail if ever executed
+        cbody = callee.finish()
+        program.add_body(cbody)
+        program.specs["mystery"] = show_safety_spec(ownables, cbody)
+        fn = BodyBuilder("caller", params=[("x", U64)], ret=U64)
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        t = fn.local("t", U64)
+        bb0.call(t, "mystery", [fn.copy("x")], bb1)
+        bb1.assign(fn.ret_place, fn.copy(t))
+        bb1.ret()
+        program.add_body(fn.finish())
+        spec = show_safety_spec(ownables, program.bodies["caller"])
+        r = verify_function(program, program.bodies["caller"], spec, model.solver)
+        assert r.ok, [str(i) for i in r.issues]
+
+    def test_missing_spec_is_an_issue(self, setup):
+        program, model, engine = setup
+        fn = BodyBuilder("caller2", params=[], ret=U64)
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        t = fn.local("t", U64)
+        bb0.call(t, "nonexistent", [], bb1)
+        bb1.assign(fn.ret_place, fn.copy(t))
+        bb1.ret()
+        terms = run(engine, fn.finish())
+        assert all(t.issue is not None for t in terms)

@@ -1,0 +1,139 @@
+"""Verification of the user-defined RawStack (the Fig. 2 API story):
+the Gilsonite API generalises beyond the std LinkedList."""
+
+import pytest
+
+from repro.gillian.verifier import verify_function
+from repro.gilsonite.specs import show_safety_spec
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import USIZE, option_ty
+from repro.pearlite.encode import PearliteEncoder
+from repro.pearlite.parser import parse_pearlite
+from repro.rustlib import raw_stack as rs
+from repro.rustlib.raw_stack import RAW_STACK_CONTRACTS, build_program
+from repro.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def env():
+    program, ownables = build_program()
+    for name in list(program.bodies):
+        program.specs[name] = show_safety_spec(ownables, program.bodies[name])
+    return program, ownables, Solver()
+
+
+API = ["RawStack::new", "RawStack::push", "RawStack::pop"]
+
+
+class TestTypeSafety:
+    @pytest.mark.parametrize("name", API)
+    def test_verifies(self, env, name):
+        program, ownables, solver = env
+        r = verify_function(program, program.bodies[name], program.specs[name], solver)
+        assert r.ok, [str(i) for i in r.issues]
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("name", API)
+    def test_verifies(self, env, name):
+        program, ownables, solver = env
+        contract = RAW_STACK_CONTRACTS[name]
+        manual = [parse_pearlite(s) for s in contract.get("requires", [])]
+        spec = PearliteEncoder(ownables).encode_contract(
+            program.bodies[name], contract, manual_pure_pre=manual
+        )
+        r = verify_function(program, program.bodies[name], spec, solver)
+        assert r.ok, [str(i) for i in r.issues]
+
+    def test_wrong_order_spec_rejected(self, env):
+        # pop claiming to return the *bottom* element must fail.
+        program, ownables, solver = env
+        spec = PearliteEncoder(ownables).encode_contract(
+            program.bodies["RawStack::pop"],
+            {
+                "ensures": [
+                    "match result {"
+                    "  None => (^self)@ == Seq::EMPTY,"
+                    "  Some(x) => (^self)@ == Seq::cons(x@, self@)"
+                    "}"
+                ]
+            },
+        )
+        r = verify_function(program, program.bodies["RawStack::pop"], spec, solver)
+        assert not r.ok
+
+
+class TestNegative:
+    def test_push_without_len_update_rejected(self, env):
+        """Forgetting len += 1 breaks the slSeg length invariant."""
+        program, ownables, solver = env
+        fn = BodyBuilder(
+            "RawStack::bad_push",
+            params=[("self", rs.MUT_STACK), ("elt", rs.T)],
+            ret=rs.UNIT,
+            generics=("T",),
+        )
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        self_stack = fn.place("self").deref()
+        t_head = fn.local("t_head", rs.OPT_SNODE_PTR)
+        bb0.assign(t_head, fn.copy(self_stack.field(rs.HEAD)))
+        t_node_val = fn.local("t_node_val", rs.SNODE)
+        bb0.assign(
+            t_node_val, fn.aggregate(rs.SNODE, [fn.move("elt"), fn.copy(t_head)])
+        )
+        t_box = fn.local("t_box", rs.BOX_SNODE)
+        bb0.call(t_box, "Box::new", [fn.move(t_node_val)], bb1, ty_args=[rs.SNODE])
+        t_raw = fn.local("t_raw", rs.SNODE_PTR)
+        bb1.assign(t_raw, fn.cast(fn.move(t_box), rs.SNODE_PTR))
+        t_opt = fn.local("t_opt", rs.OPT_SNODE_PTR)
+        bb1.assign(t_opt, fn.aggregate(rs.OPT_SNODE_PTR, [fn.copy(t_raw)], variant=1))
+        bb1.assign(self_stack.field(rs.HEAD), fn.copy(t_opt))
+        # BUG: no len update.
+        bb1.assign(fn.ret_place, fn.const_unit())
+        bb1.ret()
+        body = fn.finish()
+        program.add_body(body)
+        spec = show_safety_spec(ownables, body)
+        r = verify_function(program, body, spec, solver)
+        assert not r.ok
+
+    def test_leaking_node_rejected_functionally(self, env):
+        """pop that reads the element but forgets to relink head:
+        the functional spec must fail."""
+        program, ownables, solver = env
+        ret_ty = option_ty(rs.T)
+        fn = BodyBuilder(
+            "RawStack::bad_pop",
+            params=[("self", rs.MUT_STACK)],
+            ret=ret_ty,
+            generics=("T",),
+        )
+        bb0 = fn.block()
+        bb0.mutref_auto_resolve("self")
+        self_stack = fn.place("self").deref()
+        t_head = fn.local("t_head", rs.OPT_SNODE_PTR)
+        bb0.assign(t_head, fn.copy(self_stack.field(rs.HEAD)))
+        t_disc = fn.local("t_disc", USIZE)
+        bb0.assign(t_disc, fn.discriminant(t_head))
+        bb_none = fn.block("bb_none")
+        bb_some = fn.block("bb_some")
+        bb0.switch(fn.copy(t_disc), [(0, bb_none)], otherwise=bb_some)
+        bb_none.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+        bb_none.ret()
+        t_node = fn.local("t_node", rs.SNODE_PTR)
+        bb_some.assign(t_node, fn.copy(fn.place("t_head").downcast(1).field(0)))
+        t_elem = fn.local("t_elem", rs.T)
+        # BUG: copies the element out but leaves head unchanged.
+        bb_some.assign(t_elem, fn.move(fn.place("t_node").deref().field(rs.ELEM)))
+        bb_some.assign(
+            fn.ret_place, fn.aggregate(ret_ty, [fn.move(t_elem)], variant=1)
+        )
+        bb_some.ret()
+        body = fn.finish()
+        program.add_body(body)
+        spec = PearliteEncoder(ownables).encode_contract(
+            body, RAW_STACK_CONTRACTS["RawStack::pop"]
+        )
+        r = verify_function(program, body, spec, solver)
+        assert not r.ok

@@ -1,0 +1,105 @@
+"""Verification of RawVec — laid-out nodes and pointer arithmetic
+inside full proofs (§3.2 exercised end-to-end)."""
+
+import pytest
+
+from repro.gillian.verifier import verify_function
+from repro.gilsonite.specs import show_safety_spec
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import BOOL, USIZE, option_ty
+from repro.pearlite.encode import PearliteEncoder
+from repro.rustlib import raw_vec as rv
+from repro.rustlib.raw_vec import RAW_VEC_CONTRACTS, build_program
+from repro.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def env():
+    program, ownables = build_program()
+    return program, ownables, Solver()
+
+
+API = ["RawVec::with_capacity", "RawVec::push_within_capacity", "RawVec::pop"]
+
+
+class TestTypeSafety:
+    @pytest.mark.parametrize("name", API)
+    def test_verifies(self, env, name):
+        program, ownables, solver = env
+        spec = show_safety_spec(ownables, program.bodies[name])
+        r = verify_function(program, program.bodies[name], spec, solver)
+        assert r.ok, [str(i) for i in r.issues]
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("name", API)
+    def test_verifies(self, env, name):
+        program, ownables, solver = env
+        spec = PearliteEncoder(ownables).encode_contract(
+            program.bodies[name], RAW_VEC_CONTRACTS[name]
+        )
+        r = verify_function(program, program.bodies[name], spec, solver)
+        assert r.ok, [str(i) for i in r.issues]
+
+
+class TestNegative:
+    def test_unchecked_push_rejected(self, env):
+        """Writing without the capacity check can write past the
+        allocation — the proof must fail (out-of-bounds / missing)."""
+        program, ownables, solver = env
+        ret_ty = option_ty(rv.ELEM)
+        fn = BodyBuilder(
+            "RawVec::bad_push", params=[("self", rv.MUT_VEC), ("v", rv.ELEM)],
+            ret=ret_ty,
+        )
+        bb0 = fn.block()
+        self_vec = fn.place("self").deref()
+        t_len = fn.local("t_len", USIZE)
+        bb0.assign(t_len, fn.copy(self_vec.field(rv.LEN)))
+        t_buf = fn.local("t_buf", rv.BUF_PTR)
+        bb0.assign(t_buf, fn.copy(self_vec.field(rv.BUF)))
+        t_end = fn.local("t_end", rv.BUF_PTR)
+        bb0.assign(t_end, fn.binop("offset", fn.copy(t_buf), fn.copy(t_len)))
+        # BUG: no len == cap check before the write.
+        bb0.assign(fn.place("t_end").deref(), fn.move("v"))
+        t_len2 = fn.local("t_len2", USIZE)
+        bb0.assign(t_len2, fn.binop("add", fn.copy(t_len), fn.const_int(1, USIZE)))
+        bb0.assign(self_vec.field(rv.LEN), fn.copy(t_len2))
+        bb0.assign(fn.ret_place, fn.aggregate(ret_ty, [], variant=0))
+        bb0.ret()
+        body = fn.finish()
+        program.add_body(body)
+        spec = show_safety_spec(ownables, body)
+        r = verify_function(program, body, spec, solver)
+        assert not r.ok
+
+    def test_pop_without_len_check_rejected(self, env):
+        """pop on a possibly-empty vector underflows len (panics) or
+        reads out of bounds — type safety tolerates the panic branch
+        but the uninitialised read must be caught."""
+        program, ownables, solver = env
+        ret_ty = option_ty(rv.ELEM)
+        fn = BodyBuilder("RawVec::bad_pop", params=[("self", rv.MUT_VEC)], ret=ret_ty)
+        bb0 = fn.block()
+        self_vec = fn.place("self").deref()
+        t_len = fn.local("t_len", USIZE)
+        bb0.assign(t_len, fn.copy(self_vec.field(rv.LEN)))
+        # BUG: no emptiness check; read at len - 1 directly.
+        t_len2 = fn.local("t_len2", USIZE)
+        bb0.assign(t_len2, fn.binop("sub", fn.copy(t_len), fn.const_int(1, USIZE)))
+        t_buf = fn.local("t_buf", rv.BUF_PTR)
+        bb0.assign(t_buf, fn.copy(self_vec.field(rv.BUF)))
+        t_end = fn.local("t_end", rv.BUF_PTR)
+        bb0.assign(t_end, fn.binop("offset", fn.copy(t_buf), fn.copy(t_len2)))
+        t_val = fn.local("t_val", rv.ELEM)
+        bb0.assign(t_val, fn.move(fn.place("t_end").deref()))
+        bb0.assign(self_vec.field(rv.LEN), fn.copy(t_len2))
+        bb0.assign(fn.ret_place, fn.aggregate(ret_ty, [fn.move(t_val)], variant=1))
+        bb0.ret()
+        body = fn.finish()
+        program.add_body(body)
+        spec = PearliteEncoder(ownables).encode_contract(
+            body, RAW_VEC_CONTRACTS["RawVec::pop"]
+        )
+        r = verify_function(program, body, spec, solver)
+        assert not r.ok

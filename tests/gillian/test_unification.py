@@ -1,0 +1,168 @@
+"""Unit tests for the consumer's unification (§7.2's In/Out dataflow):
+binding plain variables, destructuring constructors, entailment checks
+for ground expressions, and borrow-argument learning."""
+
+import pytest
+
+from repro.core.borrows import BorrowInstance
+from repro.core.state import RustState, RustStateModel
+from repro.gillian.consume import ConsumeFailure, consume, unify
+from repro.gilsonite.ast import Borrow, Mode, Param, PredicateDef, Pure, star
+from repro.lang.mir import Program
+from repro.solver import Solver
+from repro.solver.sorts import INT, LFT, LOC, OptionSort, SeqSort
+from repro.solver.terms import (
+    Var,
+    eq,
+    fresh_var,
+    intlit,
+    none,
+    seq_cons,
+    seq_empty,
+    some,
+    tuple_get,
+    tuple_mk,
+)
+
+
+@pytest.fixture()
+def model():
+    return RustStateModel(Program(), Solver())
+
+
+def state(*pc):
+    return RustState(pc=tuple(pc))
+
+
+class TestUnify:
+    def test_bind_plain_variable(self, model):
+        v = Var("u1", INT)
+        res = unify(model, state(), v, intlit(3), {}, {v})
+        assert res is not None
+        b, u = res
+        assert b[v] == intlit(3)
+        assert v not in u
+
+    def test_ground_checked_by_entailment(self, model):
+        x = Var("x", INT)
+        s = state(eq(x, intlit(5)))
+        assert unify(model, s, intlit(5), x, {}, set()) is not None
+        assert unify(model, s, intlit(6), x, {}, set()) is None
+
+    def test_destructure_some(self, model):
+        v = Var("u2", INT)
+        o = Var("o", OptionSort(INT))
+        s = state(eq(o, some(intlit(9))))
+        res = unify(model, s, some(v), o, {}, {v})
+        assert res is not None
+        b, _ = res
+        assert model.solver.entails(s.pc, eq(b[v], intlit(9)))
+
+    def test_some_against_none_fails(self, model):
+        v = Var("u3", INT)
+        o = Var("o2", OptionSort(INT))
+        s = state(eq(o, none(INT)))
+        assert unify(model, s, some(v), o, {}, {v}) is None
+
+    def test_destructure_tuple(self, model):
+        a = Var("ua", INT)
+        b = Var("ub", INT)
+        actual = tuple_mk(intlit(1), intlit(2))
+        res = unify(model, state(), tuple_mk(a, b), actual, {}, {a, b})
+        assert res is not None
+        bindings, _ = res
+        assert bindings[a] == intlit(1)
+        assert bindings[b] == intlit(2)
+
+    def test_partial_tuple_mixed_ground(self, model):
+        a = Var("uc", INT)
+        actual = tuple_mk(intlit(1), intlit(2))
+        ok = unify(model, state(), tuple_mk(a, intlit(2)), actual, {}, {a})
+        assert ok is not None
+        bad = unify(model, state(), tuple_mk(a, intlit(3)), actual, {}, {a})
+        assert bad is None
+
+    def test_destructure_cons_needs_nonempty(self, model):
+        h = Var("uh", INT)
+        t = Var("ut", SeqSort(INT))
+        s_var = Var("sq", SeqSort(INT))
+        known = state(eq(s_var, seq_cons(intlit(4), seq_empty(INT))))
+        res = unify(model, known, seq_cons(h, t), s_var, {}, {h, t})
+        assert res is not None
+        bindings, _ = res
+        assert model.solver.entails(known.pc, eq(bindings[h], intlit(4)))
+        # Possibly-empty sequence: refuse to destructure.
+        unknown = state()
+        assert unify(model, unknown, seq_cons(h, t), s_var, {}, {h, t}) is None
+
+    def test_bound_variable_behaves_ground(self, model):
+        v = Var("ud", INT)
+        res = unify(model, state(), v, intlit(7), {v: intlit(7)}, set())
+        assert res is not None
+        assert unify(model, state(), v, intlit(8), {v: intlit(7)}, set()) is None
+
+
+class TestBorrowArgumentLearning:
+    def test_unbound_borrow_args_learned(self, model):
+        """Consuming &κ δ(p, x) with x unbound binds it from γ — the
+        mechanism that recovers prophecy variables from ⌊&mut T⌋."""
+        kappa = fresh_var("κ", LFT)
+        p = fresh_var("p", LOC)
+        x_actual = fresh_var("x", INT)
+        model.program.predicates["δ"] = PredicateDef(
+            name="δ",
+            params=(
+                Param(Var("κp", LFT), Mode.IN),
+                Param(Var("pp", LOC), Mode.IN),
+                Param(Var("xp", INT), Mode.IN),
+            ),
+            guard="κp",
+        )
+        st = RustState(
+            borrows=RustState().borrows.add_borrow(
+                BorrowInstance("δ", kappa, (p, x_actual))
+            )
+        )
+        x_unbound = Var("x_learn", INT)
+        matches = consume(
+            model, st, Borrow(kappa, "δ", (p, x_unbound)), {}, {x_unbound}
+        )
+        assert matches
+        assert matches[0].bindings[x_unbound] == x_actual
+        assert not matches[0].state.borrows.borrows
+
+    def test_wrong_lifetime_not_matched(self, model):
+        kappa = fresh_var("κ1", LFT)
+        other = fresh_var("κ2", LFT)
+        p = fresh_var("p2", LOC)
+        st = RustState(
+            borrows=RustState().borrows.add_borrow(BorrowInstance("δ2", kappa, (p,)))
+        )
+        with pytest.raises(ConsumeFailure):
+            consume(model, st, Borrow(other, "δ2", (p,)), {}, set())
+
+
+class TestPureSolving:
+    def test_chained_equations(self, model):
+        # v = 3 * 1  then  w = v + 1 — both solved in plan order.
+        from repro.solver.terms import add, mul
+
+        v = Var("pv", INT)
+        w = Var("pw", INT)
+        a = star(
+            Pure(eq(v, mul(intlit(3), intlit(1)))),
+            Pure(eq(w, add(v, intlit(1)))),
+        )
+        matches = consume(model, RustState(), a, {}, {v, w})
+        assert matches
+        assert model.solver.entails([], eq(matches[0].bindings[w], intlit(4)))
+
+    def test_unsolvable_plan_fails(self, model):
+        # Two unknowns in one equation: no matching plan exists.
+        from repro.solver.terms import add
+
+        v = Var("qv", INT)
+        w = Var("qw", INT)
+        a = Pure(eq(add(v, w), intlit(3)))
+        with pytest.raises(ConsumeFailure):
+            consume(model, RustState(), a, {}, {v, w})

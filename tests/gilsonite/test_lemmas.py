@@ -1,0 +1,126 @@
+"""Unit tests for the freezing and extraction lemmas (§4.3).
+
+The flow mirrors front_mut: the state holds the *folded* mutable-
+reference ownership (as produced by a `#[show_safety]` precondition)
+plus a lifetime token; the freeze lemma unfolds it, learns the frozen
+existentials, and swaps the borrow; the extraction lemma then needs
+the persistent fact ``head = Some(_)`` (established by the branch on
+the loaded head) to exchange the list borrow for an element borrow.
+"""
+
+import pytest
+
+import repro.rustlib.linked_list as ll
+from repro.core.state import RustState, RustStateModel
+from repro.gillian.matcher import TacticError
+from repro.gillian.produce import produce
+from repro.gilsonite.ast import Pred
+from repro.gilsonite.ownable import mutref_inv_name, own_pred_name
+from repro.rustlib.linked_list import build_program
+from repro.solver import Solver
+from repro.solver.sorts import LFT, LOC
+from repro.solver.terms import Var, eq, fresh_var, is_some, none, not_, reallit
+
+
+@pytest.fixture()
+def setup():
+    program, ownables = build_program()
+    solver = Solver()
+    model = RustStateModel(program, solver)
+    kappa = fresh_var("κ", LFT)
+    self_ptr = fresh_var("self", LOC)
+    m = fresh_var("m", ownables.repr_sort(ll.MUT_LIST))
+    own_name = ownables.ensure_own(ll.MUT_LIST)
+    state = RustState(lifetimes=RustState().lifetimes.new_lifetime(kappa))
+    [state] = produce(model, state, Pred(own_name, (kappa, self_ptr, m)))
+    return program, ownables, model, state, kappa, self_ptr
+
+
+def frozen_head(state):
+    [b] = [b for b in state.borrows.borrows if b.pred == "ll_frozen"]
+    return b, b.args[3 - 1]  # args = (self, x, h, t, l)
+
+
+class TestFreeze:
+    def test_freeze_swaps_the_borrow(self, setup):
+        program, ownables, model, state, kappa, self_ptr = setup
+        freeze = program.lemmas["freeze_linked_list"]
+        outs = freeze.apply(model, state, [self_ptr])
+        assert outs
+        s = outs[0]
+        assert [b for b in s.borrows.borrows if b.pred == "ll_frozen"]
+        assert not [
+            b for b in s.borrows.borrows if b.pred == mutref_inv_name(ll.LIST)
+        ]
+        assert not s.borrows.tokens  # nothing left open
+
+    def test_freeze_preserves_token(self, setup):
+        program, ownables, model, state, kappa, self_ptr = setup
+        freeze = program.lemmas["freeze_linked_list"]
+        [s] = freeze.apply(model, state, [self_ptr])
+        held = s.lifetimes.held_fraction(kappa, model.solver, s.pc)
+        assert model.solver.entails(s.pc, eq(held, reallit(1)))
+
+    def test_frozen_length_invariant_learned(self, setup):
+        program, ownables, model, state, kappa, self_ptr = setup
+        freeze = program.lemmas["freeze_linked_list"]
+        [s] = freeze.apply(model, state, [self_ptr])
+        from repro.solver.terms import intlit, le
+
+        b, _ = frozen_head(s)
+        length = b.args[4]
+        assert model.solver.entails(s.pc, le(intlit(0), length))
+
+    def test_freeze_without_borrow_fails(self, setup):
+        program, ownables, model, state, kappa, self_ptr = setup
+        freeze = program.lemmas["freeze_linked_list"]
+        with pytest.raises(TacticError):
+            freeze.apply(model, state, [fresh_var("other", LOC)])
+
+
+class TestExtract:
+    def _frozen_with_fact(self, setup, empty: bool):
+        program, ownables, model, state, kappa, self_ptr = setup
+        freeze = program.lemmas["freeze_linked_list"]
+        [s] = freeze.apply(model, state, [self_ptr])
+        b, h = frozen_head(s)
+        fact = eq(h, none(LOC)) if empty else is_some(h)
+        return program, model, s.assume((fact,)), self_ptr, kappa
+
+    def test_extract_nonempty(self, setup):
+        program, model, s, self_ptr, kappa = self._frozen_with_fact(setup, False)
+        extract = program.lemmas["extract_head_element"]
+        outs = extract.apply(model, s, [self_ptr])
+        assert outs
+        s2 = outs[0]
+        assert not [b for b in s2.borrows.borrows if b.pred == "ll_frozen"]
+        elem = [b for b in s2.borrows.borrows if b.pred == mutref_inv_name(ll.T)]
+        assert len(elem) == 1
+        # The new prophecy has its value observer in the state.
+        x_elem = elem[0].args[1]
+        assert s2.proph.entries[x_elem].vo
+        assert not s2.proph.entries[x_elem].pc_
+
+    def test_extract_empty_fails(self, setup):
+        """The persistent fact F (head != None) is required (§4.3)."""
+        program, model, s, self_ptr, kappa = self._frozen_with_fact(setup, True)
+        extract = program.lemmas["extract_head_element"]
+        with pytest.raises(TacticError, match="head"):
+            extract.apply(model, s, [self_ptr])
+
+    def test_extract_undecided_emptiness_fails(self, setup):
+        """Without the branch fact the hypothesis cannot be shown."""
+        program, ownables, model, state, kappa, self_ptr = setup
+        freeze = program.lemmas["freeze_linked_list"]
+        [s] = freeze.apply(model, state, [self_ptr])
+        extract = program.lemmas["extract_head_element"]
+        with pytest.raises(TacticError):
+            extract.apply(model, s, [self_ptr])
+
+    def test_extract_preserves_token(self, setup):
+        program, model, s, self_ptr, kappa = self._frozen_with_fact(setup, False)
+        before = s.lifetimes.held_fraction(kappa, model.solver, s.pc)
+        extract = program.lemmas["extract_head_element"]
+        [s2] = extract.apply(model, s, [self_ptr])
+        after = s2.lifetimes.held_fraction(kappa, model.solver, s2.pc)
+        assert model.solver.entails(s2.pc, eq(before, after))

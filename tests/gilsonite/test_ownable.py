@@ -1,0 +1,134 @@
+"""Tests for the Ownable registry: repr types and own predicates (§5.1)."""
+
+import pytest
+
+import repro.rustlib.linked_list as ll
+from repro.gilsonite.ast import Borrow, Exists, Mode, Pred, iter_parts
+from repro.gilsonite.ownable import OwnableRegistry, mutref_inv_name, own_pred_name
+from repro.lang.mir import Program
+from repro.lang.types import (
+    BOOL,
+    U8,
+    U64,
+    UNIT,
+    USIZE,
+    AdtTy,
+    ParamTy,
+    RefTy,
+    TupleTy,
+    option_ty,
+)
+from repro.rustlib.linked_list import build_program
+from repro.solver.sorts import (
+    BOOL as BOOL_SORT,
+    INT,
+    LOC,
+    OptionSort,
+    SeqSort,
+    TupleSort,
+    UninterpSort,
+)
+
+
+@pytest.fixture()
+def fresh():
+    program = Program()
+    return program, OwnableRegistry(program)
+
+
+class TestReprSorts:
+    """⌊·⌋ — the representation-type function (§5.1)."""
+
+    def test_machine_ints(self, fresh):
+        _, reg = fresh
+        assert reg.repr_sort(U64) == INT
+        assert reg.repr_sort(USIZE) == INT
+
+    def test_bool_unit(self, fresh):
+        _, reg = fresh
+        assert reg.repr_sort(BOOL) == BOOL_SORT
+        assert reg.repr_sort(UNIT) == TupleSort(())
+
+    def test_param_is_opaque(self, fresh):
+        _, reg = fresh
+        assert reg.repr_sort(ParamTy("T")) == UninterpSort("repr:T")
+
+    def test_mut_ref_is_pair(self, fresh):
+        # ⌊&mut T⌋ = ⌊T⌋ × ⌊T⌋ (§5.1).
+        _, reg = fresh
+        s = reg.repr_sort(RefTy(U64, mutable=True))
+        assert s == TupleSort((INT, INT))
+
+    def test_option(self, fresh):
+        _, reg = fresh
+        assert reg.repr_sort(option_ty(U64)) == OptionSort(INT)
+
+    def test_box_is_transparent(self, fresh):
+        _, reg = fresh
+        from repro.lang.types import box_ty
+
+        assert reg.repr_sort(box_ty(U64)) == INT
+
+    def test_linked_list_is_seq(self):
+        # ⌊LinkedList<T>⌋ = Seq<⌊T⌋> (§5.1).
+        program, ownables = build_program()
+        s = ownables.repr_sort(ll.LIST)
+        assert s == SeqSort(UninterpSort("repr:T"))
+
+    def test_unregistered_adt_rejected(self, fresh):
+        program, reg = fresh
+        from repro.lang.types import struct_def
+
+        program.registry.define(struct_def("Mystery", [("a", U8)]))
+        with pytest.raises(KeyError):
+            reg.repr_sort(AdtTy("Mystery"))
+
+
+class TestOwnPredicates:
+    def test_int_own_carries_validity(self, fresh):
+        _, reg = fresh
+        name = reg.ensure_own(U8)
+        pdef = reg.program.predicates[name]
+        text = str(pdef.disjuncts[0])
+        assert "255" in text  # the u8 range is part of ownership
+
+    def test_param_own_is_abstract(self, fresh):
+        # §4.2: ownership of type parameters compiles to abstract preds.
+        _, reg = fresh
+        name = reg.ensure_own(ParamTy("T"))
+        assert reg.program.predicates[name].abstract
+
+    def test_modes_are_in_in_out(self, fresh):
+        # §7.2: (κ, self) In, repr Out — the ty_own_proph discipline.
+        _, reg = fresh
+        name = reg.ensure_own(option_ty(U64))
+        pdef = reg.program.predicates[name]
+        assert [p.mode for p in pdef.params] == [Mode.IN, Mode.IN, Mode.OUT]
+
+    def test_mutref_own_contains_borrow_and_vo(self, fresh):
+        _, reg = fresh
+        name = reg.ensure_own(RefTy(U64, mutable=True))
+        pdef = reg.program.predicates[name]
+        [body] = pdef.disjuncts
+        assert isinstance(body, Exists)
+        parts = list(iter_parts(body.body))
+        assert any(isinstance(p, Borrow) for p in parts)
+
+    def test_mutref_inv_is_guarded(self, fresh):
+        _, reg = fresh
+        reg.ensure_own(RefTy(U64, mutable=True))
+        inv = reg.program.predicates[mutref_inv_name(U64)]
+        assert inv.guard == "κ"
+
+    def test_idempotent(self, fresh):
+        _, reg = fresh
+        a = reg.ensure_own(U64)
+        b = reg.ensure_own(U64)
+        assert a == b
+
+    def test_recursive_type_terminates(self):
+        # Node<T> refers to Node<T> through pointers; ensure_own must
+        # not loop.
+        program, ownables = build_program()
+        name = ownables.ensure_own(ll.NODE)
+        assert name in program.predicates

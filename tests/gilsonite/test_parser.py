@@ -1,0 +1,208 @@
+"""Tests for the textual gilsonite! front-end (§2.2, Fig. 2) and the
+Rust type parser behind it."""
+
+import pytest
+
+import repro.rustlib.linked_list as ll
+from repro.core.heap.values import ty_to_sort
+from repro.gilsonite.ast import (
+    Emp,
+    Exists,
+    Observation,
+    PointsTo,
+    PointsToUninit,
+    Pred,
+    Pure,
+    Star,
+    iter_parts,
+)
+from repro.gilsonite.parser import (
+    GilsoniteParseError,
+    TypedTerm,
+    parse_gilsonite,
+    typed_env,
+)
+from repro.lang.parser import TypeParseError, parse_type
+from repro.lang.types import (
+    BOOL,
+    U8,
+    U64,
+    UNIT,
+    USIZE,
+    AdtTy,
+    ArrayTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+)
+from repro.rustlib.linked_list import build_program
+from repro.solver.sorts import LFT, LOC
+from repro.solver.terms import Var
+
+
+class TestTypeParser:
+    def test_primitives(self):
+        assert parse_type("u64") == U64
+        assert parse_type("bool") == BOOL
+        assert parse_type("usize") == USIZE
+        assert parse_type("()") == UNIT
+
+    def test_generic_param(self):
+        assert parse_type("T") == ParamTy("T")
+        assert parse_type("T", generics=()) == AdtTy("T")
+
+    def test_adt_with_args(self):
+        assert parse_type("Node<T>") == AdtTy("Node", (ParamTy("T"),))
+        assert parse_type("Option<*mut Node<T>>") == AdtTy(
+            "Option", (RawPtrTy(AdtTy("Node", (ParamTy("T"),))),)
+        )
+
+    def test_pointers_and_refs(self):
+        assert parse_type("*mut u8") == RawPtrTy(U8)
+        assert parse_type("*const u8") == RawPtrTy(U8, mutable=False)
+        assert parse_type("&mut u64") == RefTy(U64, True, "'a")
+        assert parse_type("&'k mut u64") == RefTy(U64, True, "'k")
+
+    def test_tuple_and_array(self):
+        assert parse_type("(u8, u64)") == TupleTy((U8, U64))
+        assert parse_type("[u8; 4]") == ArrayTy(U8, 4)
+
+    def test_errors(self):
+        with pytest.raises(TypeParseError):
+            parse_type("Option<")
+        with pytest.raises(TypeParseError):
+            parse_type("u64 extra")
+
+
+@pytest.fixture(scope="module")
+def env_setup():
+    program, ownables = build_program()
+    kappa = Var("κv", LFT)
+    self_v = Var("selfv", ty_to_sort(ll.LIST, program.registry))
+    repr_v = Var("reprv", ownables.repr_sort(ll.LIST))
+    env = typed_env(program, ownables, kappa, self=(ll.LIST, self_v))
+    env["repr"] = TypedTerm(None, repr_v)
+    return program, ownables, env, kappa, self_v, repr_v
+
+
+class TestAssertionParser:
+    def test_fig2_linked_list_own(self, env_setup):
+        """The Fig. 2 predicate body parses to dllSeg + length fact."""
+        program, ownables, env, kappa, self_v, repr_v = env_setup
+        a = parse_gilsonite(
+            "dllSeg(self.head, None, self.tail, None, repr)"
+            " * (self.len == repr.len())",
+            program, ownables, env,
+        )
+        parts = list(iter_parts(a))
+        assert isinstance(parts[0], Pred) and parts[0].name == "dllSeg"
+        # Implicit leading lifetime argument.
+        assert parts[0].args[0] == kappa
+        assert isinstance(parts[1], Pure)
+
+    def test_mutref_body(self, env_setup):
+        """§4.2: ``<exists v> self -> v * v.own()``-style borrow body."""
+        program, ownables, env, kappa, *_ = env_setup
+        p = Var("pv", LOC)
+        env2 = typed_env(program, ownables, kappa, self=(RefTy(U64, True), p))
+        a = parse_gilsonite("<exists v: u64> self -> v * v.own(_)", program, ownables, env2)
+        assert isinstance(a, Exists)
+        parts = list(iter_parts(a.body))
+        assert isinstance(parts[0], PointsTo)
+        assert parts[0].ptr == p
+        assert parts[0].ty == U64
+        assert isinstance(parts[1], Pred) and parts[1].name == "own:u64"
+
+    def test_uninit_points_to(self, env_setup):
+        program, ownables, env, kappa, *_ = env_setup
+        p = Var("pq", LOC)
+        env2 = typed_env(program, ownables, kappa, p=(RawPtrTy(U64), p))
+        a = parse_gilsonite("p -> _", program, ownables, env2)
+        assert a == PointsToUninit(p, U64)
+
+    def test_observation(self, env_setup):
+        program, ownables, env, *_ = env_setup
+        a = parse_gilsonite("$ repr.len() < 10 $", program, ownables, env)
+        assert isinstance(a, Observation)
+
+    def test_emp(self, env_setup):
+        program, ownables, env, *_ = env_setup
+        assert isinstance(parse_gilsonite("emp", program, ownables, env), Emp)
+
+    def test_repr_sorted_binder(self, env_setup):
+        program, ownables, env, *_ = env_setup
+        a = parse_gilsonite(
+            "<exists r: @LinkedList<T>> $ r.len() < 3 $", program, ownables, env
+        )
+        assert isinstance(a, Exists)
+        assert str(a.vars[0].sort) == "Seq<repr:T>"
+
+    def test_unbound_var_rejected(self, env_setup):
+        program, ownables, env, *_ = env_setup
+        with pytest.raises(GilsoniteParseError):
+            parse_gilsonite("(nope == 3)", program, ownables, env)
+
+    def test_bad_points_to_lhs_rejected(self, env_setup):
+        program, ownables, env, *_ = env_setup
+        with pytest.raises(GilsoniteParseError):
+            parse_gilsonite("(3) -> 4", program, ownables, env)
+
+
+class TestParsedPredicateVerifies:
+    def test_linked_list_own_from_text(self):
+        """Install the own predicate for LinkedList *from its textual
+        Fig. 2 form* and re-verify type safety of pop_front_node: the
+        textual front-end and the programmatic API agree."""
+        from repro.gillian.verifier import verify_function
+        from repro.gilsonite.specs import show_safety_spec
+        from repro.lang.mir import Program
+        from repro.rustlib.linked_list import (
+            body_new,
+            body_pop_front_node,
+            define_dll_seg,
+            define_types,
+        )
+        from repro.gilsonite.ownable import OwnableRegistry
+        from repro.solver import Solver
+        from repro.solver.sorts import SeqSort
+
+        program = Program()
+        define_types(program)
+        ownables = OwnableRegistry(program)
+        define_dll_seg(program, ownables)
+
+        def list_repr(ty):
+            return SeqSort(ownables.repr_sort(ty.args[0]))
+
+        def list_build(reg, ty, kappa, self_v, repr_v):
+            env = typed_env(program, reg, kappa, self=(ty, self_v))
+            env["repr"] = TypedTerm(None, repr_v)
+            return [
+                parse_gilsonite(
+                    "dllSeg(self.head, None, self.tail, None, repr)"
+                    " * (self.len == repr.len())",
+                    program, reg, env,
+                )
+            ]
+
+        ownables.register_custom(ll.LIST, list_repr, list_build)
+
+        def node_repr(ty):
+            return ownables.repr_sort(ty.args[0])
+
+        def node_build(reg, ty, kappa, self_v, repr_v):
+            env = typed_env(program, reg, kappa, self=(ty, self_v))
+            env["repr"] = TypedTerm(None, repr_v)
+            return [
+                parse_gilsonite("self.element.own(repr)", program, reg, env)
+            ]
+
+        ownables.register_custom(ll.NODE, node_repr, node_build)
+        program.add_body(body_new())
+        program.add_body(body_pop_front_node())
+        solver = Solver()
+        for name in ("LinkedList::new", "LinkedList::pop_front_node"):
+            spec = show_safety_spec(ownables, program.bodies[name])
+            r = verify_function(program, program.bodies[name], spec, solver)
+            assert r.ok, [str(i) for i in r.issues]

@@ -1,0 +1,60 @@
+"""Hybrid pipeline over the user-defined RawStack: the same split
+(safe client via Creusot axioms / unsafe impl via Gillian-Rust) works
+for any crate, not just the std LinkedList."""
+
+import pytest
+
+import repro.rustlib.raw_stack as rs
+from repro.hybrid.pipeline import HybridVerifier
+from repro.lang.builder import BodyBuilder
+from repro.lang.types import UNIT, option_ty
+from repro.rustlib.raw_stack import RAW_STACK_CONTRACTS, build_program
+from repro.solver import Solver
+
+
+def client_body():
+    """Safe LIFO client over the stack."""
+    fn = BodyBuilder(
+        "client::lifo", params=[("a", rs.T), ("b", rs.T)], ret=option_ty(rs.T),
+        generics=("T",), is_safe=True,
+    )
+    bbs = [fn.block() if i == 0 else fn.block(f"bb{i}") for i in range(5)]
+    s = fn.local("s", rs.STACK)
+    bbs[0].call(s, "RawStack::new", [], bbs[1])
+    for i, arg in ((1, "a"), (2, "b")):
+        r = fn.local(f"r{i}", rs.MUT_STACK)
+        bbs[i].assign(r, fn.ref("s", mutable=True))
+        u = fn.local(f"u{i}", UNIT)
+        bbs[i].call(u, "RawStack::push", [fn.move(r), fn.copy(arg)], bbs[i + 1])
+    r3 = fn.local("r3", rs.MUT_STACK)
+    bbs[3].assign(r3, fn.ref("s", mutable=True))
+    top = fn.local("top", option_ty(rs.T))
+    bbs[3].call(top, "RawStack::pop", [fn.move(r3)], bbs[4])
+    bbs[4].ghost_assert("match top { None => false, Some(v) => v == b }")
+    bbs[4].assign(fn.ret_place, fn.copy("top"))
+    bbs[4].ret()
+    return fn.finish()
+
+
+@pytest.fixture(scope="module")
+def env():
+    program, ownables = build_program()
+    program.add_body(client_body())
+    return program, ownables
+
+
+def test_hybrid_over_user_crate(env):
+    program, ownables = env
+    hv = HybridVerifier(
+        program,
+        ownables,
+        RAW_STACK_CONTRACTS,
+        solver=Solver(),
+        manual_pure_pre={"RawStack::push": ["self@.len() < usize::MAX"]},
+    )
+    report = hv.run(
+        ["client::lifo", "RawStack::new", "RawStack::push", "RawStack::pop"]
+    )
+    assert report.ok, report.render()
+    halves = {e.half for e in report.entries}
+    assert halves == {"creusot", "gillian-rust"}

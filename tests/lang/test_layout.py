@@ -1,0 +1,164 @@
+"""Tests for the layout engine: strategies, padding, niche optimisation.
+
+These pin down the behaviour that Fig. 4 of the paper illustrates: the
+same structure admits several layouts depending on compiler choices.
+"""
+
+import pytest
+
+from repro.lang.layout import (
+    ALL_STRATEGIES,
+    DECLARED,
+    LARGEST_FIRST,
+    LayoutEngine,
+    SMALLEST_FIRST,
+    UnsizedTypeError,
+)
+from repro.lang.types import (
+    BOOL,
+    CHAR,
+    U8,
+    U16,
+    U32,
+    U64,
+    UNIT,
+    AdtTy,
+    ArrayTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    TypeRegistry,
+    enum_def,
+    option_ty,
+    struct_def,
+)
+
+
+@pytest.fixture()
+def registry():
+    reg = TypeRegistry()
+    # The Fig. 4 structure: struct S { x: u32, y: u64 }
+    reg.define(struct_def("S", [("x", U32), ("y", U64)]))
+    reg.define(
+        struct_def(
+            "Node",
+            [
+                ("elem", ParamTy("T")),
+                ("next", option_ty(RawPtrTy(AdtTy("Node", (ParamTy("T"),))))),
+                ("prev", option_ty(RawPtrTy(AdtTy("Node", (ParamTy("T"),))))),
+            ],
+            params=("T",),
+        )
+    )
+    return reg
+
+
+class TestPrimitiveSizes:
+    def test_ints(self, registry):
+        eng = LayoutEngine(registry)
+        assert eng.size_of(U8) == 1
+        assert eng.size_of(U32) == 4
+        assert eng.size_of(U64) == 8
+
+    def test_bool_char_unit(self, registry):
+        eng = LayoutEngine(registry)
+        assert eng.size_of(BOOL) == 1
+        assert eng.size_of(CHAR) == 4
+        assert eng.size_of(UNIT) == 0
+
+    def test_pointers(self, registry):
+        eng = LayoutEngine(registry)
+        assert eng.size_of(RawPtrTy(U8)) == 8
+        assert eng.size_of(RefTy(U64, mutable=True)) == 8
+
+    def test_array(self, registry):
+        eng = LayoutEngine(registry)
+        assert eng.size_of(ArrayTy(U32, 5)) == 20
+
+    def test_param_unsized(self, registry):
+        eng = LayoutEngine(registry)
+        with pytest.raises(UnsizedTypeError):
+            eng.size_of(ParamTy("T"))
+
+
+class TestFig4Structure:
+    """struct S { x: u32, y: u64 } — both orderings from Fig. 4."""
+
+    def test_size_is_16_under_all_strategies(self, registry):
+        # 4 + 8 plus padding to align u64: always 16 bytes.
+        for strat in ALL_STRATEGIES:
+            eng = LayoutEngine(registry, strat)
+            assert eng.size_of(AdtTy("S")) == 16
+
+    def test_largest_first_puts_y_first(self, registry):
+        eng = LayoutEngine(registry, LARGEST_FIRST)
+        lo = eng.struct_layout(AdtTy("S"))
+        assert lo.field_offset(1) == 0  # y: u64 first
+        assert lo.field_offset(0) == 8  # x: u32 after
+
+    def test_smallest_first_puts_x_first(self, registry):
+        eng = LayoutEngine(registry, SMALLEST_FIRST)
+        lo = eng.struct_layout(AdtTy("S"))
+        assert lo.field_offset(0) == 0
+        assert lo.field_offset(1) == 8  # padded to 8
+
+    def test_declared_matches_c_like(self, registry):
+        eng = LayoutEngine(registry, DECLARED)
+        lo = eng.struct_layout(AdtTy("S"))
+        assert lo.field_offset(0) == 0
+        assert lo.field_offset(1) == 8
+
+    def test_offsets_differ_between_strategies(self, registry):
+        # The essence of Fig. 4: interpretations genuinely differ.
+        offs = set()
+        for strat in ALL_STRATEGIES:
+            eng = LayoutEngine(registry, strat)
+            lo = eng.struct_layout(AdtTy("S"))
+            offs.add((lo.field_offset(0), lo.field_offset(1)))
+        assert len(offs) > 1
+
+
+class TestNicheOptimisation:
+    def test_option_raw_ptr_is_pointer_sized(self, registry):
+        # §3: niche optimisation — Option<*mut T> takes 8 bytes.
+        eng = LayoutEngine(registry)
+        ty = option_ty(RawPtrTy(AdtTy("Node", (U64,))))
+        assert eng.size_of(ty) == 8
+        assert eng.enum_layout(ty).niche
+
+    def test_option_u64_is_tagged(self, registry):
+        eng = LayoutEngine(registry)
+        ty = option_ty(U64)
+        lo = eng.enum_layout(ty)
+        assert not lo.niche
+        assert lo.tag_offset == 0
+        assert eng.size_of(ty) == 16  # 1-byte tag padded to u64 align
+
+    def test_multi_variant_enum_tagged(self, registry):
+        registry.define(
+            enum_def(
+                "Tri",
+                [("A", []), ("B", [("0", U8)]), ("C", [("0", U64)])],
+            )
+        )
+        eng = LayoutEngine(registry)
+        lo = eng.enum_layout(AdtTy("Tri"))
+        assert not lo.niche
+        assert lo.tag_size == 1
+        assert lo.size == 16
+
+
+class TestNodeLayout:
+    def test_node_u64(self, registry):
+        eng = LayoutEngine(registry)
+        # Node<u64>: elem u64 + 2 niche-optimised Option<*mut _> = 24.
+        assert eng.size_of(AdtTy("Node", (U64,))) == 24
+
+    def test_tuple_layout(self, registry):
+        eng = LayoutEngine(registry)
+        assert eng.size_of(TupleTy((U8, U64, U8))) == 16
+
+    def test_alignment_of_aggregate(self, registry):
+        eng = LayoutEngine(registry)
+        assert eng.align_of(AdtTy("S")) == 8

@@ -1,0 +1,148 @@
+"""Tests for MIR construction, the builder, and place typing."""
+
+import pytest
+
+from repro.lang.builder import RETURN_PLACE, BodyBuilder
+from repro.lang.mir import Place, Program
+from repro.lang.pretty import pretty_body
+from repro.lang.types import (
+    BOOL,
+    U32,
+    U64,
+    USIZE,
+    AdtTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TypeRegistry,
+    option_ty,
+    struct_def,
+)
+from repro.lang.typing import TypingError, operand_ty, place_ty, rvalue_ty
+
+
+@pytest.fixture()
+def program():
+    prog = Program()
+    prog.registry.define(
+        struct_def(
+            "Pair",
+            [("a", U32), ("b", U64)],
+        )
+    )
+    prog.registry.define(
+        struct_def(
+            "Node",
+            [
+                ("elem", ParamTy("T")),
+                ("next", option_ty(RawPtrTy(AdtTy("Node", (ParamTy("T"),))))),
+            ],
+            params=("T",),
+        )
+    )
+    return prog
+
+
+def build_simple_body():
+    fn = BodyBuilder("double", params=[("x", U64)], ret=U64)
+    bb0 = fn.block()
+    bb0.assign(fn.ret_place, fn.binop("add", fn.copy("x"), fn.copy("x")))
+    bb0.ret()
+    return fn.finish()
+
+
+class TestBuilder:
+    def test_simple_body(self):
+        body = build_simple_body()
+        assert body.entry == "bb0"
+        assert body.return_ty == U64
+        assert len(body.blocks["bb0"].statements) == 1
+
+    def test_unterminated_block_rejected(self):
+        fn = BodyBuilder("f", params=[], ret=U64)
+        fn.block()
+        with pytest.raises(ValueError):
+            fn.finish()
+
+    def test_duplicate_local_rejected(self):
+        fn = BodyBuilder("f", params=[], ret=U64)
+        fn.local("x", U64)
+        with pytest.raises(ValueError):
+            fn.local("x", U32)
+
+    def test_double_termination_rejected(self):
+        fn = BodyBuilder("f", params=[], ret=U64)
+        bb = fn.block()
+        bb.ret()
+        with pytest.raises(ValueError):
+            bb.ret()
+
+    def test_if_else_switch(self):
+        fn = BodyBuilder("f", params=[("c", BOOL)], ret=U64)
+        bb0 = fn.block()
+        then = fn.block()
+        els = fn.block()
+        bb0.if_else(fn.copy("c"), then, els)
+        then.assign(fn.ret_place, fn.const_int(1, U64))
+        then.ret()
+        els.assign(fn.ret_place, fn.const_int(0, U64))
+        els.ret()
+        body = fn.finish()
+        term = body.blocks["bb0"].terminator
+        assert term.otherwise == "bb1"
+        assert term.targets == ((0, "bb2"),)
+
+    def test_pretty_printer_roundtrips_names(self):
+        text = pretty_body(build_simple_body())
+        assert "fn double" in text
+        assert "add(copy x, copy x)" in text
+
+
+class TestPlaceTyping:
+    def test_struct_field(self, program):
+        fn = BodyBuilder("f", params=[("p", AdtTy("Pair"))], ret=U64)
+        bb = fn.block()
+        bb.ret()
+        body = fn.finish()
+        assert place_ty(program, body, Place("p").field(1)).ty == U64
+
+    def test_deref_raw_ptr(self, program):
+        ptr = RawPtrTy(AdtTy("Pair"))
+        fn = BodyBuilder("f", params=[("p", ptr)], ret=U64)
+        fn.block().ret()
+        body = fn.finish()
+        assert place_ty(program, body, Place("p").deref()).ty == AdtTy("Pair")
+        assert place_ty(program, body, Place("p").deref().field(0)).ty == U32
+
+    def test_deref_ref(self, program):
+        r = RefTy(U64, mutable=True)
+        fn = BodyBuilder("f", params=[("r", r)], ret=U64)
+        fn.block().ret()
+        body = fn.finish()
+        assert place_ty(program, body, Place("r").deref()).ty == U64
+
+    def test_enum_needs_downcast(self, program):
+        fn = BodyBuilder("f", params=[("o", option_ty(U64))], ret=U64)
+        fn.block().ret()
+        body = fn.finish()
+        with pytest.raises(TypingError):
+            place_ty(program, body, Place("o").field(0))
+        ok = place_ty(program, body, Place("o").downcast(1).field(0))
+        assert ok.ty == U64
+
+    def test_recursive_node(self, program):
+        node = AdtTy("Node", (U64,))
+        fn = BodyBuilder("f", params=[("n", RawPtrTy(node))], ret=U64)
+        fn.block().ret()
+        body = fn.finish()
+        next_ty = place_ty(program, body, Place("n").deref().field(1)).ty
+        assert str(next_ty) == "Option<*mut Node<u64>>"
+
+    def test_operand_and_rvalue_ty(self, program):
+        fn = BodyBuilder("f", params=[("x", U64)], ret=BOOL)
+        fn.block().ret()
+        body = fn.finish()
+        assert operand_ty(program, body, fn.copy("x")) == U64
+        assert rvalue_ty(program, body, fn.binop("lt", fn.copy("x"), fn.copy("x"))) == BOOL
+        assert rvalue_ty(program, body, fn.ref("x", mutable=True)) == RefTy(U64, True, "'a")
+        assert rvalue_ty(program, body, fn.addr_of("x")) == RawPtrTy(U64, True)

@@ -1,0 +1,51 @@
+"""Tests for the MIR pretty-printer."""
+
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.pretty import pretty_body, pretty_program
+from repro.lang.types import U64, USIZE, option_ty
+
+
+def sample_body():
+    fn = BodyBuilder("demo", params=[("x", U64)], ret=option_ty(U64), generics=("T",))
+    bb0 = fn.block()
+    t = fn.local("t", U64)
+    bb0.assign(t, fn.binop("add", fn.copy("x"), fn.const_int(1, U64)))
+    bb_none = fn.block("bb_none")
+    bb_some = fn.block("bb_some")
+    d = fn.local("d", USIZE)
+    bb0.assign(d, fn.binop("eq", fn.copy(t), fn.const_int(0, U64)))
+    bb0.if_else(fn.copy(d), bb_none, bb_some)
+    bb_none.assign(fn.ret_place, fn.aggregate(option_ty(U64), [], variant=0))
+    bb_none.ret()
+    bb_some.mutref_auto_resolve("x")
+    bb_some.assign(fn.ret_place, fn.aggregate(option_ty(U64), [fn.copy(t)], variant=1))
+    bb_some.ret()
+    return fn.finish()
+
+
+class TestPrettyBody:
+    def test_signature_line(self):
+        text = pretty_body(sample_body())
+        assert "fn demo<T>(x: u64) -> Option<u64>" in text
+
+    def test_locals_declared(self):
+        text = pretty_body(sample_body())
+        assert "let t: u64;" in text
+
+    def test_blocks_and_terminators(self):
+        text = pretty_body(sample_body())
+        assert "bb0:" in text
+        assert "switch" in text
+        assert text.count("return;") == 2
+
+    def test_ghost_statement_rendered(self):
+        text = pretty_body(sample_body())
+        assert "mutref_auto_resolve!(x)" in text
+
+    def test_program_lists_adts(self):
+        program = Program()
+        program.add_body(sample_body())
+        text = pretty_program(program)
+        assert "enum Option<T>;" in text
+        assert "fn demo" in text

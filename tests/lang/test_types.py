@@ -1,0 +1,138 @@
+"""Tests for the Rust-like type grammar and registry."""
+
+import pytest
+
+from repro.lang.types import (
+    ALL_INT_TYPES,
+    BOOL,
+    I8,
+    I32,
+    I128,
+    U8,
+    U64,
+    UNIT,
+    USIZE,
+    AdtTy,
+    ArrayTy,
+    IntTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    TypeRegistry,
+    enum_def,
+    is_zero_sized,
+    option_ty,
+    struct_def,
+)
+
+
+class TestIntTypes:
+    def test_twelve_kinds(self):
+        # The paper stresses that Rust has 12 primitive machine integer
+        # types taking between 1 and 16 bytes (§3).
+        assert len(ALL_INT_TYPES) == 12
+        sizes = {t.size for t in ALL_INT_TYPES}
+        assert min(sizes) == 1
+        assert max(sizes) == 16
+
+    def test_signed_ranges(self):
+        assert I8.min_value == -128
+        assert I8.max_value == 127
+        assert I32.max_value == 2**31 - 1
+
+    def test_unsigned_ranges(self):
+        assert U8.min_value == 0
+        assert U8.max_value == 255
+        assert U64.max_value == 2**64 - 1
+        assert USIZE.max_value == 2**64 - 1
+
+    def test_i128_is_16_bytes(self):
+        assert I128.size == 16
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            IntTy("i7")
+
+
+class TestTypeDisplay:
+    def test_option(self):
+        assert str(option_ty(U64)) == "Option<u64>"
+
+    def test_raw_ptr(self):
+        assert str(RawPtrTy(AdtTy("Node", (ParamTy("T"),)))) == "*mut Node<T>"
+
+    def test_ref(self):
+        assert str(RefTy(U8, mutable=True, lifetime="'k")) == "&'k mut u8"
+
+    def test_array(self):
+        assert str(ArrayTy(U8, 16)) == "[u8; 16]"
+
+
+class TestRegistry:
+    def test_builtin_option(self):
+        reg = TypeRegistry()
+        d = reg.lookup("Option")
+        assert not d.is_struct
+        assert [v.name for v in d.variants] == ["None", "Some"]
+
+    def test_define_and_instantiate_struct(self):
+        reg = TypeRegistry()
+        reg.define(
+            struct_def(
+                "Node",
+                [
+                    ("elem", ParamTy("T")),
+                    ("next", option_ty(RawPtrTy(AdtTy("Node", (ParamTy("T"),))))),
+                ],
+                params=("T",),
+            )
+        )
+        ty = AdtTy("Node", (U64,))
+        assert str(reg.field_ty(ty, 0, 0)) == "u64"
+        assert str(reg.field_ty(ty, 0, 1)) == "Option<*mut Node<u64>>"
+
+    def test_field_index_by_name(self):
+        reg = TypeRegistry()
+        reg.define(struct_def("P", [("x", U8), ("y", U64)]))
+        assert reg.field_index(AdtTy("P"), "y") == 1
+
+    def test_duplicate_rejected(self):
+        reg = TypeRegistry()
+        reg.define(struct_def("S", [("a", U8)]))
+        with pytest.raises(ValueError):
+            reg.define(struct_def("S", [("a", U8)]))
+
+    def test_wrong_arity_rejected(self):
+        reg = TypeRegistry()
+        with pytest.raises(ValueError):
+            reg.instantiate(AdtTy("Option"))
+
+    def test_enum_variant_index(self):
+        reg = TypeRegistry()
+        d = reg.lookup("Option")
+        assert d.variant_index("None") == 0
+        assert d.variant_index("Some") == 1
+        with pytest.raises(KeyError):
+            d.variant_index("Neither")
+
+    def test_subst_nested(self):
+        reg = TypeRegistry()
+        t = option_ty(RawPtrTy(AdtTy("Node", (ParamTy("T"),))))
+        out = reg.subst(t, {"T": U64})
+        assert str(out) == "Option<*mut Node<u64>>"
+
+
+class TestZeroSized:
+    def test_unit(self):
+        assert is_zero_sized(UNIT)
+
+    def test_empty_tuple_of_units(self):
+        assert is_zero_sized(TupleTy((UNIT, UNIT)))
+
+    def test_empty_array(self):
+        assert is_zero_sized(ArrayTy(U64, 0))
+
+    def test_non_zst(self):
+        assert not is_zero_sized(BOOL)
+        assert not is_zero_sized(TupleTy((UNIT, U8)))

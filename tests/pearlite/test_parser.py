@@ -1,0 +1,124 @@
+"""Tests for the Pearlite surface-syntax parser."""
+
+import pytest
+
+from repro.pearlite.ast import (
+    PBin,
+    PBool,
+    PCall,
+    PFinal,
+    PInt,
+    PMatch,
+    PModel,
+    PNot,
+    PVar,
+)
+from repro.pearlite.parser import PearliteParseError, parse_pearlite
+
+
+class TestAtoms:
+    def test_int(self):
+        assert parse_pearlite("42") == PInt(42)
+
+    def test_int_with_underscores(self):
+        assert parse_pearlite("1_000") == PInt(1000)
+
+    def test_bools(self):
+        assert parse_pearlite("true") == PBool(True)
+        assert parse_pearlite("false") == PBool(False)
+
+    def test_var(self):
+        assert parse_pearlite("result") == PVar("result")
+
+    def test_path_constant(self):
+        assert parse_pearlite("Seq::EMPTY") == PCall("Seq::EMPTY")
+        assert parse_pearlite("usize::MAX") == PCall("usize::MAX")
+
+    def test_parenthesised(self):
+        assert parse_pearlite("(x)") == PVar("x")
+
+
+class TestOperators:
+    def test_model(self):
+        assert parse_pearlite("self@") == PModel(PVar("self"))
+
+    def test_final(self):
+        assert parse_pearlite("^self") == PFinal(PVar("self"))
+
+    def test_final_then_model(self):
+        assert parse_pearlite("(^self)@") == PModel(PFinal(PVar("self")))
+
+    def test_eq(self):
+        t = parse_pearlite("x == y")
+        assert t == PBin("==", PVar("x"), PVar("y"))
+
+    def test_precedence_cmp_binds_tighter_than_and(self):
+        t = parse_pearlite("a == b && c == d")
+        assert isinstance(t, PBin) and t.op == "&&"
+
+    def test_implication_is_right_assoc(self):
+        t = parse_pearlite("a ==> b ==> c")
+        assert t.op == "==>"
+        assert isinstance(t.rhs, PBin) and t.rhs.op == "==>"
+
+    def test_arith(self):
+        t = parse_pearlite("x + 1 < y")
+        assert t.op == "<"
+        assert t.lhs == PBin("+", PVar("x"), PInt(1))
+
+    def test_not(self):
+        assert parse_pearlite("!x") == PNot(PVar("x"))
+
+
+class TestCallsAndMethods:
+    def test_function_call(self):
+        t = parse_pearlite("Seq::cons(x, y)")
+        assert t == PCall("Seq::cons", (PVar("x"), PVar("y")))
+
+    def test_method_call(self):
+        t = parse_pearlite("self@.len()")
+        assert t == PCall(".len", (PModel(PVar("self")),))
+
+    def test_method_chain(self):
+        t = parse_pearlite("self@.len() < usize::MAX")
+        assert t.op == "<"
+
+
+class TestMatch:
+    def test_the_paper_spec(self):
+        """Fig. 3 (right) parses verbatim."""
+        src = (
+            "match result { None => (^self)@ == Seq::EMPTY, "
+            "Some(x) => self@ == Seq::cons(x@, (^self)@) }"
+        )
+        t = parse_pearlite(src)
+        assert isinstance(t, PMatch)
+        assert t.scrutinee == PVar("result")
+        assert [a.ctor for a in t.arms] == ["None", "Some"]
+        assert t.arms[1].binders == ("x",)
+
+    def test_trailing_comma(self):
+        t = parse_pearlite("match r { None => true, Some(v) => false, }")
+        assert len(t.arms) == 2
+
+    def test_qualified_patterns(self):
+        t = parse_pearlite("match r { Option::None => true, Option::Some(v) => false }")
+        assert [a.ctor for a in t.arms] == ["None", "Some"]
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(PearliteParseError):
+            parse_pearlite("x == y extra")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(PearliteParseError):
+            parse_pearlite("(x == y")
+
+    def test_bad_char(self):
+        with pytest.raises(PearliteParseError):
+            parse_pearlite("x ? y")
+
+    def test_empty(self):
+        with pytest.raises(PearliteParseError):
+            parse_pearlite("")

@@ -1,0 +1,231 @@
+"""End-to-end checks of the solver facade: sat, unsat, entailment."""
+
+import pytest
+
+from repro.solver import Solver, Status
+from repro.solver.sorts import BOOL, INT, option_of, seq_of
+from repro.solver.terms import (
+    Var,
+    add,
+    and_,
+    eq,
+    ge,
+    gt,
+    intlit,
+    is_some,
+    ite,
+    le,
+    lt,
+    mul,
+    none,
+    not_,
+    or_,
+    seq_append,
+    seq_cons,
+    seq_empty,
+    seq_head,
+    seq_len,
+    seq_tail,
+    some,
+    some_val,
+    sub,
+    tuple_get,
+    tuple_mk,
+)
+
+
+@pytest.fixture()
+def solver():
+    return Solver()
+
+
+x = Var("x", INT)
+y = Var("y", INT)
+z = Var("z", INT)
+b = Var("b", BOOL)
+s = Var("s", seq_of(INT))
+t = Var("t", seq_of(INT))
+ox = Var("ox", option_of(INT))
+
+
+class TestBasicSat:
+    def test_empty_is_sat(self, solver):
+        assert solver.check_sat([]) == Status.SAT
+
+    def test_contradiction(self, solver):
+        assert solver.check_sat([eq(x, intlit(1)), eq(x, intlit(2))]) == Status.UNSAT
+
+    def test_eq_chain_conflict(self, solver):
+        assert (
+            solver.check_sat([eq(x, y), eq(y, z), not_(eq(x, z))]) == Status.UNSAT
+        )
+
+    def test_satisfiable_bounds(self, solver):
+        assert solver.check_sat([le(intlit(0), x), lt(x, intlit(10))]) == Status.SAT
+
+    def test_unsat_bounds(self, solver):
+        assert (
+            solver.check_sat([lt(x, intlit(0)), lt(intlit(0), x)]) == Status.UNSAT
+        )
+
+    def test_tight_integer_gap(self, solver):
+        # 0 < x < 1 has no integer solutions.
+        assert (
+            solver.check_sat([lt(intlit(0), x), lt(x, intlit(1))]) == Status.UNSAT
+        )
+
+    def test_bool_literal_conflict(self, solver):
+        assert solver.check_sat([b, not_(b)]) == Status.UNSAT
+
+
+class TestArith:
+    def test_sum_bound(self, solver):
+        # x >= 3, y >= 4 |= x + y >= 7
+        pc = [ge(x, intlit(3)), ge(y, intlit(4))]
+        assert solver.entails(pc, ge(add(x, y), intlit(7)))
+
+    def test_sum_bound_fails(self, solver):
+        pc = [ge(x, intlit(3)), ge(y, intlit(4))]
+        assert not solver.entails(pc, ge(add(x, y), intlit(8)))
+
+    def test_subtraction(self, solver):
+        pc = [eq(x, add(y, intlit(5)))]
+        assert solver.entails(pc, eq(sub(x, y), intlit(5)))
+
+    def test_multiplication_by_constant(self, solver):
+        pc = [ge(x, intlit(2))]
+        assert solver.entails(pc, ge(mul(x, intlit(3)), intlit(6)))
+
+    def test_equality_propagates_to_arith(self, solver):
+        pc = [eq(x, y), lt(y, intlit(5))]
+        assert solver.entails(pc, lt(x, intlit(5)))
+
+    def test_machine_int_range(self, solver):
+        # usize-style: 0 <= x < 2^64 and x = y + 1 needs y < 2^64 - 1.
+        pc = [
+            le(intlit(0), x),
+            lt(x, intlit(2**64)),
+            eq(x, add(y, intlit(1))),
+            le(intlit(0), y),
+            lt(y, intlit(2**64 - 1)),
+        ]
+        assert solver.check_sat(pc) == Status.SAT
+        assert solver.entails(pc, lt(x, intlit(2**64)))
+
+    def test_overflow_detectable(self, solver):
+        # y = 2^64 - 1 and x = y + 1 cannot satisfy x < 2^64.
+        pc = [
+            eq(y, intlit(2**64 - 1)),
+            eq(x, add(y, intlit(1))),
+            lt(x, intlit(2**64)),
+        ]
+        assert solver.check_sat(pc) == Status.UNSAT
+
+
+class TestBooleanStructure:
+    def test_or_branches(self, solver):
+        assert (
+            solver.check_sat([or_(eq(x, intlit(1)), eq(x, intlit(2))), gt(x, intlit(5))])
+            == Status.UNSAT
+        )
+
+    def test_or_one_branch_ok(self, solver):
+        assert (
+            solver.check_sat([or_(eq(x, intlit(1)), eq(x, intlit(7))), gt(x, intlit(5))])
+            == Status.SAT
+        )
+
+    def test_entails_case_split(self, solver):
+        pc = [or_(eq(x, intlit(1)), eq(x, intlit(2)))]
+        assert solver.entails(pc, and_(ge(x, intlit(1)), le(x, intlit(2))))
+
+    def test_ite_lifting(self, solver):
+        v = ite(b, intlit(1), intlit(2))
+        assert solver.entails([], le(v, intlit(2)))
+        assert not solver.entails([], eq(v, intlit(1)))
+        assert solver.entails([b], eq(v, intlit(1)))
+
+    def test_negated_conjunction(self, solver):
+        pc = [not_(and_(ge(x, intlit(0)), le(x, intlit(10)))), ge(x, intlit(0))]
+        assert solver.entails(pc, gt(x, intlit(10)))
+
+
+class TestSequences:
+    def test_len_nonneg(self, solver):
+        assert solver.entails([], ge(seq_len(s), intlit(0)))
+
+    def test_cons_len(self, solver):
+        pc = [eq(t, seq_cons(x, s))]
+        assert solver.entails(pc, eq(seq_len(t), add(seq_len(s), intlit(1))))
+
+    def test_cons_head(self, solver):
+        pc = [eq(t, seq_cons(x, s))]
+        assert solver.entails(pc, eq(seq_head(t), x))
+
+    def test_cons_tail(self, solver):
+        pc = [eq(t, seq_cons(x, s))]
+        assert solver.entails(pc, eq(seq_tail(t), s))
+
+    def test_cons_not_empty(self, solver):
+        pc = [eq(t, seq_cons(x, s))]
+        assert solver.entails(pc, not_(eq(t, seq_empty(INT))))
+
+    def test_cons_injective(self, solver):
+        pc = [eq(seq_cons(x, s), seq_cons(y, t))]
+        assert solver.entails(pc, eq(x, y))
+        assert solver.entails(pc, eq(s, t))
+
+    def test_len_zero_is_empty(self, solver):
+        pc = [eq(seq_len(s), intlit(0))]
+        assert solver.entails(pc, eq(s, seq_empty(INT)))
+
+    def test_append_len(self, solver):
+        u = seq_append(s, t)
+        assert solver.entails(
+            [], eq(seq_len(u), add(seq_len(s), seq_len(t)))
+        )
+
+    def test_append_empty(self, solver):
+        assert solver.entails([], eq(seq_append(seq_empty(INT), s), s))
+
+
+class TestOptions:
+    def test_some_not_none(self, solver):
+        assert solver.entails([], not_(eq(some(x), none(INT))))
+
+    def test_some_injective(self, solver):
+        pc = [eq(some(x), some(y))]
+        assert solver.entails(pc, eq(x, y))
+
+    def test_is_some_skolemisation(self, solver):
+        pc = [is_some(ox), eq(some_val(ox), intlit(3))]
+        assert solver.entails(pc, eq(ox, some(intlit(3))))
+
+    def test_not_is_some_means_none(self, solver):
+        pc = [not_(is_some(ox))]
+        assert solver.entails(pc, eq(ox, none(INT)))
+
+    def test_some_val_congruence(self, solver):
+        pc = [eq(ox, some(x)), eq(x, intlit(5))]
+        assert solver.entails(pc, eq(some_val(ox), intlit(5)))
+
+
+class TestTuples:
+    def test_projection(self, solver):
+        p = tuple_mk(x, y)
+        assert solver.entails([], eq(tuple_get(p, 0), x))
+        assert solver.entails([], eq(tuple_get(p, 1), y))
+
+    def test_injective(self, solver):
+        pc = [eq(tuple_mk(x, y), tuple_mk(z, intlit(3)))]
+        assert solver.entails(pc, eq(x, z))
+        assert solver.entails(pc, eq(y, intlit(3)))
+
+
+class TestCaching:
+    def test_cache_hit(self, solver):
+        f = [eq(x, intlit(1))]
+        solver.check_sat(f)
+        before = solver.stats["cache_hits"]
+        solver.check_sat(f)
+        assert solver.stats["cache_hits"] == before + 1

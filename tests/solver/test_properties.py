@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for the solver.
+
+Soundness is the contract that the whole verifier rests on: UNSAT
+answers must be real proofs. We generate random formulas *with a known
+satisfying assignment* and check the solver never reports UNSAT; and
+we cross-check entailment against brute-force evaluation on small
+domains.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Solver, Status
+from repro.solver.sorts import BOOL, INT
+from repro.solver.terms import (
+    Term,
+    Var,
+    add,
+    and_,
+    boollit,
+    eq,
+    intlit,
+    ite,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    seq_append,
+    seq_cons,
+    seq_empty,
+    seq_len,
+    sub,
+    substitute,
+)
+
+VARS = [Var(f"v{i}", INT) for i in range(4)]
+BVARS = [Var(f"b{i}", BOOL) for i in range(2)]
+
+
+@st.composite
+def int_terms(draw, depth=2):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.sampled_from(VARS),
+                st.integers(-20, 20).map(intlit),
+            )
+        )
+    op = draw(st.sampled_from(["leaf", "add", "sub", "neg", "mulc"]))
+    if op == "leaf":
+        return draw(int_terms(depth=0))
+    if op == "neg":
+        return neg(draw(int_terms(depth=depth - 1)))
+    a = draw(int_terms(depth=depth - 1))
+    b = draw(int_terms(depth=depth - 1))
+    if op == "add":
+        return add(a, b)
+    if op == "sub":
+        return sub(a, b)
+    return mul(a, intlit(draw(st.integers(-3, 3))))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["le", "lt", "eq", "bool"]))
+        if kind == "bool":
+            return draw(st.sampled_from(BVARS))
+        a = draw(int_terms())
+        b = draw(int_terms())
+        return {"le": le, "lt": lt, "eq": eq}[kind](a, b)
+    kind = draw(st.sampled_from(["atom", "and", "or", "not", "ite"]))
+    if kind == "atom":
+        return draw(formulas(depth=0))
+    if kind == "not":
+        return not_(draw(formulas(depth=depth - 1)))
+    a = draw(formulas(depth=depth - 1))
+    b = draw(formulas(depth=depth - 1))
+    if kind == "and":
+        return and_(a, b)
+    if kind == "or":
+        return or_(a, b)
+    c = draw(formulas(depth=0))
+    return ite(c, a, b)
+
+
+def evaluate(f: Term, env: dict) -> object:
+    """Brute-force evaluation of int/bool terms under an assignment."""
+    g = substitute(f, env)
+    from repro.solver.terms import BoolLit, IntLit
+
+    if isinstance(g, (BoolLit, IntLit)):
+        return g.value
+    raise ValueError(f"did not fully evaluate: {g}")
+
+
+@st.composite
+def assignments(draw):
+    env = {v: intlit(draw(st.integers(-10, 10))) for v in VARS}
+    env.update({b: boollit(draw(st.booleans())) for b in BVARS})
+    return env
+
+
+class TestSoundness:
+    @settings(max_examples=30, deadline=None)
+    @given(fs=st.lists(formulas(), min_size=1, max_size=4), env=assignments())
+    def test_never_unsat_on_satisfiable(self, fs, env):
+        """If a concrete assignment satisfies all formulas, the solver
+        must not claim UNSAT."""
+        try:
+            values = [evaluate(f, env) for f in fs]
+        except ValueError:
+            return  # non-ground after substitution (shouldn't happen)
+        if not all(values):
+            return
+        solver = Solver()
+        assert solver.check_sat(fs) != Status.UNSAT
+
+    @settings(max_examples=30, deadline=None)
+    @given(pc=st.lists(formulas(), min_size=0, max_size=3), goal=formulas(), env=assignments())
+    def test_entailment_respects_countermodels(self, pc, goal, env):
+        """If an assignment satisfies pc but falsifies the goal, then
+        entails(pc, goal) must be False."""
+        try:
+            if not all(evaluate(f, env) for f in pc):
+                return
+            if evaluate(goal, env):
+                return
+        except ValueError:
+            return
+        solver = Solver()
+        assert not solver.entails(pc, goal)
+
+    @settings(max_examples=40, deadline=None)
+    @given(f=formulas())
+    def test_excluded_middle(self, f):
+        solver = Solver()
+        assert solver.check_sat([or_(f, not_(f))]) != Status.UNSAT
+        assert solver.check_sat([and_(f, not_(f))]) == Status.UNSAT
+
+
+class TestSequenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(xs=st.lists(st.integers(-5, 5), max_size=5))
+    def test_concrete_sequence_length(self, xs):
+        solver = Solver()
+        s = seq_empty(INT)
+        for x in xs:
+            s = seq_cons(intlit(x), s)
+        assert solver.entails([], eq(seq_len(s), intlit(len(xs))))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        xs=st.lists(st.integers(-5, 5), max_size=4),
+        ys=st.lists(st.integers(-5, 5), max_size=4),
+    )
+    def test_append_length_additive(self, xs, ys):
+        solver = Solver()
+
+        def mk(vals):
+            s = seq_empty(INT)
+            for x in reversed(vals):
+                s = seq_cons(intlit(x), s)
+            return s
+
+        a, b = mk(xs), mk(ys)
+        assert solver.entails(
+            [], eq(seq_len(seq_append(a, b)), intlit(len(xs) + len(ys)))
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(xs=st.lists(st.integers(-5, 5), min_size=1, max_size=4))
+    def test_cons_head_roundtrip(self, xs):
+        from repro.solver.terms import seq_head, seq_tail
+
+        solver = Solver()
+        s = seq_empty(INT)
+        for x in reversed(xs):
+            s = seq_cons(intlit(x), s)
+        assert solver.entails([], eq(seq_head(s), intlit(xs[0])))

@@ -1,0 +1,120 @@
+"""Regression tests for the structural theory rules added for the
+verification pipeline: tuple selectors over PC equalities, boolean
+equality simplification, sequence unrolling, append decomposition."""
+
+import pytest
+
+from repro.solver import Solver, Status
+from repro.solver.sorts import BOOL, INT, SeqSort, TupleSort
+from repro.solver.terms import (
+    TRUE,
+    Var,
+    and_,
+    eq,
+    ge,
+    intlit,
+    le,
+    lt,
+    not_,
+    seq_append,
+    seq_cons,
+    seq_empty,
+    seq_head,
+    seq_len,
+    seq_tail,
+    tuple_get,
+    tuple_mk,
+)
+
+
+@pytest.fixture()
+def solver():
+    return Solver()
+
+
+class TestTupleSelectors:
+    def test_selector_through_pc_equality(self, solver):
+        sv = Var("sv", TupleSort((INT, INT)))
+        a = Var("a", INT)
+        b = Var("b", INT)
+        pc = [eq(sv, tuple_mk(a, b)), eq(a, intlit(5))]
+        assert solver.entails(pc, eq(tuple_get(sv, 0), intlit(5)))
+        assert solver.entails(pc, eq(tuple_get(sv, 1), b))
+
+    def test_nested_selector_congruence(self, solver):
+        sv = Var("sv", TupleSort((TupleSort((INT,)), INT)))
+        inner = Var("inner", TupleSort((INT,)))
+        pc = [eq(sv, tuple_mk(inner, intlit(2))), eq(inner, tuple_mk(intlit(9)))]
+        assert solver.entails(pc, eq(tuple_get(tuple_get(sv, 0), 0), intlit(9)))
+
+
+class TestBooleanEquality:
+    def test_eq_true_is_identity(self, solver):
+        b = Var("b", BOOL)
+        assert eq(b, TRUE) == b
+        assert solver.entails([b], eq(b, TRUE))
+
+    def test_eq_false_is_negation(self, solver):
+        b = Var("b", BOOL)
+        assert solver.entails([not_(b)], eq(b, __import__("repro.solver.terms", fromlist=["FALSE"]).FALSE))
+
+    def test_bool_eq_between_formulas(self, solver):
+        x = Var("x", INT)
+        y = Var("y", INT)
+        # (x == 0) == (y == 0) with x = y must hold.
+        pc = [eq(x, y)]
+        assert solver.entails(pc, eq(eq(x, intlit(0)), eq(y, intlit(0))))
+
+
+class TestSequenceUnrolling:
+    def test_nonempty_has_head(self, solver):
+        s = Var("s", SeqSort(INT))
+        pc = [ge(seq_len(s), intlit(1)), eq(seq_head(s), intlit(3))]
+        assert solver.entails(pc, eq(s, seq_cons(intlit(3), seq_tail(s))))
+
+    def test_len_one_is_singleton(self, solver):
+        s = Var("s", SeqSort(INT))
+        pc = [eq(seq_len(s), intlit(1))]
+        assert solver.entails(
+            pc, eq(s, seq_cons(seq_head(s), seq_empty(INT)))
+        )
+
+    def test_split_recovers_parts(self, solver):
+        # The laid-out-node split pattern: whole = append(l, r) with
+        # |l| known — head of l is the first element of the whole.
+        l = Var("l", SeqSort(INT))
+        r = Var("r", SeqSort(INT))
+        whole = seq_cons(intlit(7), seq_cons(intlit(8), seq_empty(INT)))
+        pc = [eq(whole, seq_append(l, r)), eq(seq_len(l), intlit(1))]
+        assert solver.entails(pc, eq(seq_head(l), intlit(7)))
+        assert solver.entails(pc, eq(r, seq_cons(intlit(8), seq_empty(INT))))
+
+    def test_append_of_singleton_at_end(self, solver):
+        # The RawVec push pattern: new = append(old, [v]).
+        old = Var("old", SeqSort(INT))
+        v = Var("v", INT)
+        new = seq_append(old, seq_cons(v, seq_empty(INT)))
+        pc = [eq(seq_len(old), intlit(0))]
+        assert solver.entails(pc, eq(new, seq_cons(v, seq_empty(INT))))
+
+    def test_no_spurious_unrolling(self, solver):
+        # A possibly-empty sequence must not be forced non-empty.
+        s = Var("s", SeqSort(INT))
+        pc = [ge(seq_len(s), intlit(0))]
+        assert solver.check_sat(pc + [eq(s, seq_empty(INT))]) == Status.SAT
+        assert not solver.entails(pc, eq(s, seq_cons(seq_head(s), seq_tail(s))))
+
+
+class TestLenZeroEmpty:
+    def test_len_zero_forces_empty(self, solver):
+        s = Var("s", SeqSort(INT))
+        pc = [le(seq_len(s), intlit(0))]
+        assert solver.entails(pc, eq(s, seq_empty(INT)))
+
+    def test_cons_refutes_len_zero(self, solver):
+        s = Var("s", SeqSort(INT))
+        x = Var("x", INT)
+        assert (
+            solver.check_sat([eq(s, seq_cons(x, seq_empty(INT))), eq(seq_len(s), intlit(0))])
+            == Status.UNSAT
+        )
