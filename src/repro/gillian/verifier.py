@@ -181,17 +181,35 @@ def _check_post(
         )
 
 
+def _verify_spec_worker(payload: tuple, name: str) -> VerificationResult:
+    """Pool worker for :func:`verify_program`; the program and solver
+    arrive via fork inheritance (see repro.parallel)."""
+    program, solver = payload
+    return verify_function(program, program.bodies[name], program.specs[name], solver)
+
+
 def verify_program(
-    program: Program, solver: Optional[Solver] = None
+    program: Program,
+    solver: Optional[Solver] = None,
+    jobs: Optional[int] = 1,
 ) -> list[VerificationResult]:
-    """Verify every function that has an attached spec."""
+    """Verify every function that has an attached spec.
+
+    ``jobs=1`` keeps the serial path (and result order); ``jobs=N``
+    fans the independent per-function runs out over a process pool,
+    returning results in the same order as the serial path.
+    """
     solver = solver or default_solver()
-    results = []
-    for name, spec in program.specs.items():
-        if getattr(spec, "trusted", False):
-            continue
-        body = program.bodies.get(name)
-        if body is None:
-            continue
-        results.append(verify_function(program, body, spec, solver))
-    return results
+    names = [
+        name
+        for name, spec in program.specs.items()
+        if not getattr(spec, "trusted", False) and name in program.bodies
+    ]
+    if jobs == 1:
+        return [
+            verify_function(program, program.bodies[n], program.specs[n], solver)
+            for n in names
+        ]
+    from repro.parallel import fanout
+
+    return fanout(_verify_spec_worker, (program, solver), names, jobs)

@@ -15,6 +15,11 @@ The pipeline therefore *discharges* the axioms the safe half relies
 on: every unsafe contract assumed by Creusot is proven by Gillian-Rust
 against the real implementation — end-to-end verification, with each
 tool doing what it is specialised for.
+
+Functions are verified independently, so :meth:`HybridVerifier.run`
+can fan the per-function Creusot/Gillian-Rust jobs out over a
+process pool (``jobs=N``); ``jobs=1`` (the default) preserves the
+deterministic serial path and report ordering exactly.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
+
+from repro.parallel import fanout
 
 from repro.creusot.vcgen import CreusotResult, CreusotVerifier
 from repro.gillian.verifier import VerificationResult, verify_function
@@ -125,14 +132,35 @@ class HybridVerifier:
             )
         return entries
 
-    def run(self, functions: Optional[list[str]] = None) -> HybridReport:
+    def run(
+        self,
+        functions: Optional[list[str]] = None,
+        jobs: Optional[int] = 1,
+    ) -> HybridReport:
+        """Verify ``functions`` (default: every body in the program).
+
+        ``jobs=1`` runs today's deterministic serial path; ``jobs=N``
+        fans the per-function verifications out over a fork-based
+        process pool, reassembling entries in the serial order.
+        ``jobs=None`` uses ``REPRO_JOBS``/CPU count.
+        """
         started = time.perf_counter()
         report = HybridReport()
         names = functions if functions is not None else list(self.program.bodies)
-        for name in names:
-            report.entries.extend(self.verify_one(name))
+        if jobs == 1:
+            for name in names:
+                report.entries.extend(self.verify_one(name))
+        else:
+            for entries in fanout(_verify_one_worker, self, names, jobs):
+                report.entries.extend(entries)
         report.elapsed = time.perf_counter() - started
         return report
+
+
+def _verify_one_worker(verifier: "HybridVerifier", name: str) -> list[HybridEntry]:
+    """Pool worker: module-level so it pickles by reference; the
+    verifier itself arrives by fork inheritance (see repro.parallel)."""
+    return verifier.verify_one(name)
 
 
 def _has_clauses(contract: Union[PearliteSpec, dict]) -> bool:

@@ -1,0 +1,82 @@
+"""Process-pool fan-out for per-function verification jobs.
+
+Functions are verified independently (the compositionality that the
+paper's per-function specs buy us), so per-function jobs parallelise
+embarrassingly. The pool uses the ``fork`` start method: workers
+inherit the program graph, ownable registry and solver from the parent
+address space, so only the task keys (function names — strings) and
+the results (picklable dataclasses; terms re-intern on unpickle via
+``Term.__reduce__``) ever cross the pipe. On platforms without
+``fork`` the fan-out silently degrades to the serial path.
+
+``jobs=1`` bypasses the pool entirely, preserving the serial code path
+— and therefore report ordering and determinism — bit for bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Payload handed to workers by fork inheritance (never pickled).
+_PAYLOAD = None
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` env var, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _invoke(fn: Callable, idx: int, item) -> tuple:
+    return idx, fn(_PAYLOAD, item)
+
+
+def fanout(
+    fn: Callable,
+    payload,
+    items: Iterable[T],
+    jobs: Optional[int],
+) -> list:
+    """Run ``fn(payload, item)`` for every item; results in item order.
+
+    ``fn`` must be a module-level function (pickled by reference);
+    ``payload`` may be arbitrarily unpicklable — it reaches workers via
+    fork inheritance. ``jobs=None`` means :func:`default_jobs`.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(items) <= 1 or not fork_available():
+        return [fn(payload, it) for it in items]
+    global _PAYLOAD
+    ctx = multiprocessing.get_context("fork")
+    _PAYLOAD = payload
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(items)), mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(_invoke, fn, i, it) for i, it in enumerate(items)
+            ]
+            out: list = [None] * len(items)
+            for fut in futures:
+                idx, result = fut.result()
+                out[idx] = result
+        return out
+    finally:
+        _PAYLOAD = None

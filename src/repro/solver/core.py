@@ -19,12 +19,25 @@ is *refuted* by sound inferences, so entailment answers are trustworthy.
 ``SAT`` means "no refutation found" and is where the (deliberate)
 incompleteness lives — a verification that fails because of it is a
 false alarm, never a false proof.
+
+Performance architecture: the search is *incremental*. One
+:class:`TheoryBranch` is threaded through the whole DNF search;
+literals are asserted as they are discovered, and disjunctions
+bracket each alternative with :meth:`TheoryBranch.push` /
+:meth:`TheoryBranch.pop` (trail-based undo in the congruence closure
+and the linear store). Sibling branches therefore share the
+common-prefix closure — including Fourier-Motzkin combinations —
+instead of recomputing it per branch, the prefix is closed once
+*before* branching (pruning whole disjunctions early), and the
+pending work-list is a persistent cons-list so the disjunction
+fan-out never copies it. The cross-query result cache is a bounded
+LRU with hit/miss/eviction counters in :attr:`Solver.stats`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
 from repro.solver.intervals import LinearStore
@@ -74,7 +87,13 @@ _SELECTOR_OPS = {
 
 
 class TheoryBranch:
-    """One conjunctive branch of the search."""
+    """One conjunctive branch of the search.
+
+    Incremental: :meth:`push` / :meth:`pop` bracket speculative
+    assertions (one disjunct of a DNF split), undoing them via the
+    trails of the congruence closure and the linear store, so sibling
+    branches reuse the shared-prefix closure instead of rebuilding it.
+    """
 
     def __init__(self) -> None:
         from repro.solver.union_find import CongruenceClosure
@@ -82,12 +101,28 @@ class TheoryBranch:
         self.cc = CongruenceClosure()
         self.lin = LinearStore()
         self._seq_terms: set[Term] = set()
+        self._frames: list[tuple] = []
+        # True when literals were asserted since the last close().
+        self._dirty = False
+
+    # -- backtracking -------------------------------------------------------
+
+    def push(self) -> None:
+        self.cc.push()
+        self.lin.push()
+        self._frames.append((set(self._seq_terms), self._dirty))
+
+    def pop(self) -> None:
+        self._seq_terms, self._dirty = self._frames.pop()
+        self.lin.pop()
+        self.cc.pop()
 
     # -- assertion ----------------------------------------------------------
 
     def assert_literal(self, lit: Term) -> None:
         if self.conflict():
             return
+        self._dirty = True
         self._register_subterms(lit)
         if isinstance(lit, BoolLit):
             if not lit.value:
@@ -142,6 +177,9 @@ class TheoryBranch:
 
     def close(self) -> None:
         """Run theory combination to a bounded fixpoint."""
+        if not self._dirty:
+            return
+        self._dirty = False
         for _ in range(20):
             if self.conflict():
                 return
@@ -154,6 +192,9 @@ class TheoryBranch:
                 changed = True
             if not changed:
                 return
+        # Hit the round cap with inferences still flowing: not a true
+        # fixpoint, so a later close() must resume.
+        self._dirty = True
 
     def _exchange_equalities(self) -> bool:
         changed = False
@@ -237,34 +278,65 @@ def _find_bool_ite(t: Term) -> Optional[App]:
     return None
 
 
-@dataclass
-class _SearchState:
-    pending: list[Term]
-    literals: list[Term] = field(default_factory=list)
-
-
 class BudgetExhausted(Exception):
     pass
 
 
-class Solver:
-    """Facade: check satisfiability / entailment with caching."""
+#: Process-wide aggregate of every Solver instance's counters, so the
+#: benchmark harness can report totals without threading solver handles
+#: through each experiment.
+GLOBAL_STATS = {
+    "checks": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "cache_evictions": 0,
+    "branches": 0,
+}
 
-    def __init__(self, branch_budget: int = 4096) -> None:
+
+def reset_global_stats() -> None:
+    for k in GLOBAL_STATS:
+        GLOBAL_STATS[k] = 0
+
+
+class Solver:
+    """Facade: check satisfiability / entailment with caching.
+
+    The cross-query result cache is a bounded LRU (``cache_capacity``
+    entries); hit/miss/eviction counters live in :attr:`stats`.
+    """
+
+    def __init__(
+        self, branch_budget: int = 4096, cache_capacity: int = 16384
+    ) -> None:
         self.branch_budget = branch_budget
-        self._cache: dict[frozenset, Status] = {}
-        self.stats = {"checks": 0, "cache_hits": 0, "branches": 0}
+        self.cache_capacity = cache_capacity
+        self._cache: OrderedDict[frozenset, Status] = OrderedDict()
+        self.stats = {
+            "checks": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "branches": 0,
+        }
+
+    def _tick(self, key: str, n: int = 1) -> None:
+        self.stats[key] += n
+        GLOBAL_STATS[key] += n
 
     # -- public API ----------------------------------------------------------
 
     def check_sat(self, formulas: Iterable[Term]) -> Status:
         fs = [f for f in formulas if f != TRUE]
         key = frozenset(fs)
-        hit = self._cache.get(key)
+        cache = self._cache
+        hit = cache.get(key)
         if hit is not None:
-            self.stats["cache_hits"] += 1
+            cache.move_to_end(key)
+            self._tick("cache_hits")
             return hit
-        self.stats["checks"] += 1
+        self._tick("checks")
+        self._tick("cache_misses")
         if FALSE in fs:
             result = Status.UNSAT
         else:
@@ -272,7 +344,10 @@ class Solver:
                 result = self._search(fs)
             except BudgetExhausted:
                 result = Status.UNKNOWN
-        self._cache[key] = result
+        cache[key] = result
+        if len(cache) > self.cache_capacity:
+            cache.popitem(last=False)
+            self._tick("cache_evictions")
         return result
 
     def is_sat(self, formulas: Iterable[Term]) -> bool:
@@ -291,50 +366,77 @@ class Solver:
 
     def _search(self, formulas: list[Term]) -> Status:
         budget = [self.branch_budget]
-        if self._branch_sat(list(formulas), [], budget):
+        branch = TheoryBranch()
+        # The work-list is a persistent cons-list ``(head, rest)`` —
+        # branching shares the tail between disjuncts with no copying.
+        pending = None
+        for f in formulas:
+            pending = (f, pending)
+        if self._branch_sat(pending, branch, budget):
             return Status.SAT
         return Status.UNSAT
 
     def _branch_sat(
-        self, pending: list[Term], literals: list[Term], budget: list[int]
+        self,
+        pending: Optional[tuple],
+        branch: TheoryBranch,
+        budget: list[int],
     ) -> bool:
-        """Return True if some branch of the formula set looks satisfiable."""
+        """Return True if some branch of the formula set looks satisfiable.
+
+        ``pending`` is a cons-list of formulas still to decompose;
+        ``branch`` already holds the literals asserted on the path from
+        the root, and is restored (via push/pop) on exit from each
+        disjunct, so sibling branches share the prefix closure.
+        """
         budget[0] -= 1
         if budget[0] <= 0:
             raise BudgetExhausted()
-        self.stats["branches"] += 1
-        pending = list(pending)
-        literals = list(literals)
-        while pending:
-            f = pending.pop()
+        self._tick("branches")
+        while pending is not None:
+            f, pending = pending
             if f == TRUE:
                 continue
             if f == FALSE:
                 return False
             if isinstance(f, App) and f.op == "and":
-                pending.extend(f.args)
+                for a in f.args:
+                    pending = (a, pending)
                 continue
             if isinstance(f, App) and f.op == "or":
-                rest = pending
+                # Close the shared prefix once, before fanning out: the
+                # work is reused by every disjunct, and a conflicting
+                # prefix refutes the whole disjunction immediately.
+                branch.close()
+                if branch.conflict():
+                    return False
                 for d in f.args:
-                    if self._branch_sat(rest + [d], literals, budget):
-                        return True
+                    branch.push()
+                    try:
+                        if self._branch_sat((d, pending), branch, budget):
+                            return True
+                    finally:
+                        branch.pop()
                 return False
             if isinstance(f, App) and f.op == "not":
                 inner = f.args[0]
                 if isinstance(inner, App) and inner.op == "and":
-                    pending.append(or_(*[not_(a) for a in inner.args]))
+                    pending = (or_(*[not_(a) for a in inner.args]), pending)
                     continue
                 if isinstance(inner, App) and inner.op == "or":
-                    pending.extend(not_(a) for a in inner.args)
+                    for a in inner.args:
+                        pending = (not_(a), pending)
                     continue
                 if isinstance(inner, App) and inner.op == "ite" and inner.sort == BOOL:
                     c, t, e = inner.args
-                    pending.append(or_(and_(c, not_(t)), and_(not_(c), not_(e))))
+                    pending = (
+                        or_(and_(c, not_(t)), and_(not_(c), not_(e))),
+                        pending,
+                    )
                     continue
             if isinstance(f, App) and f.op == "ite" and f.sort == BOOL:
                 c, t, e = f.args
-                pending.append(or_(and_(c, t), and_(not_(c), e)))
+                pending = (or_(and_(c, t), and_(not_(c), e)), pending)
                 continue
             # Literal-level ite lifting (ite embedded in an atom).
             # Numeric disequality: split into strict orderings so the
@@ -347,19 +449,19 @@ class Solver:
                 and f.args[0].args[0].sort.is_numeric()
             ):
                 a, b = f.args[0].args
-                pending.append(or_(App("<", (a, b), BOOL), App("<", (b, a), BOOL)))
+                pending = (
+                    or_(App("<", (a, b), BOOL), App("<", (b, a), BOOL)),
+                    pending,
+                )
                 continue
             ite_term = _find_bool_ite(f)
             if ite_term is not None and ite_term is not f:
                 c, t, e = ite_term.args
                 then_f = and_(c, substitute(f, {ite_term: t}))
                 else_f = and_(not_(c), substitute(f, {ite_term: e}))
-                pending.append(or_(then_f, else_f))
+                pending = (or_(then_f, else_f), pending)
                 continue
-            literals.append(f)
-        branch = TheoryBranch()
-        for lit in literals:
-            branch.assert_literal(lit)
+            branch.assert_literal(f)
             if branch.conflict():
                 return False
         branch.close()

@@ -13,6 +13,19 @@ non-literal terms from the congruence closure. Propagation repeatedly
 derives variable bounds from constraints whose other atoms are bounded;
 collapsed bounds (``lo == hi``) are exported back to the equality core.
 
+Coefficients and constants are kept as plain ``int`` whenever they are
+integral and only promoted to :class:`fractions.Fraction` when a real
+(lifetime-fraction) atom or a non-integral division forces it — int
+arithmetic is several times cheaper and the VCs are overwhelmingly
+integral. Division always goes through :func:`_exact_div`, so results
+stay exact rationals (never floats).
+
+The store is *backtrackable*: :meth:`push` opens a frame, :meth:`pop`
+undoes every constraint addition and bound tightening since the
+matching push (the incremental Fourier-Motzkin frontier is rewound
+with it). The DNF search uses this to share the common-prefix store
+between sibling branches.
+
 All inferences are sound, so an UNSAT answer is trustworthy; the store
 is deliberately incomplete (it is not a simplex) and may fail to detect
 some unsatisfiable constraint sets, which only makes the verifier more
@@ -21,9 +34,10 @@ conservative, never wrong.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Union
 
 from repro.solver.sorts import INT, REAL
 from repro.solver.terms import App, IntLit, RealLit, Term, intlit
@@ -31,25 +45,43 @@ from repro.solver.terms import App, IntLit, RealLit, Term, intlit
 _MAX_ROUNDS = 30
 _MAX_CONSTRAINTS = 400
 
+#: Exact rational: plain int when integral, Fraction otherwise.
+Rat = Union[int, Fraction]
+
+
+def _exact_div(a: Rat, b: Rat) -> Rat:
+    """``a / b`` as an exact rational (int / int must not hit floats)."""
+    if type(a) is int and type(b) is int:
+        q, r = divmod(a, b)
+        return q if r == 0 else Fraction(a, b)
+    return a / b
+
 
 @dataclass
 class LinConstraint:
     """``sum(coeffs[a] * a) + const {<=,<} 0``."""
 
-    coeffs: dict[Term, Fraction]
-    const: Fraction
+    coeffs: dict[Term, Rat]
+    const: Rat
     strict: bool
     #: Fourier-Motzkin derivation depth (0 = asserted directly).
     depth: int = 0
 
     def key(self) -> tuple:
-        return (frozenset(self.coeffs.items()), self.const, self.strict)
+        k = self._key
+        if k is None:
+            k = (frozenset(self.coeffs.items()), self.const, self.strict)
+            self._key = k
+        return k
+
+    def __post_init__(self) -> None:
+        self._key: Optional[tuple] = None
 
 
 @dataclass
 class Bounds:
-    lo: Optional[Fraction] = None
-    hi: Optional[Fraction] = None
+    lo: Optional[Rat] = None
+    hi: Optional[Rat] = None
     lo_strict: bool = False
     hi_strict: bool = False
 
@@ -68,8 +100,6 @@ class Bounds:
 def _int_floor_lo(b: Bounds) -> Optional[int]:
     if b.lo is None:
         return None
-    import math
-
     lo = math.ceil(b.lo)
     if b.lo_strict and lo == b.lo:
         lo += 1
@@ -79,24 +109,22 @@ def _int_floor_lo(b: Bounds) -> Optional[int]:
 def _int_ceil_hi(b: Bounds) -> Optional[int]:
     if b.hi is None:
         return None
-    import math
-
     hi = math.floor(b.hi)
     if b.hi_strict and hi == b.hi:
         hi -= 1
     return hi
 
 
-def linearize(t: Term) -> tuple[dict[Term, Fraction], Fraction]:
+def linearize(t: Term) -> tuple[dict[Term, Rat], Rat]:
     """Decompose a numeric term into ``(atom coefficients, constant)``.
 
     Non-linear subterms (products of two non-literals, div, mod, len
     applications, ...) are kept opaque as atoms.
     """
-    coeffs: dict[Term, Fraction] = {}
-    const = Fraction(0)
+    coeffs: dict[Term, Rat] = {}
+    const: Rat = 0
 
-    def go(u: Term, scale: Fraction) -> None:
+    def go(u: Term, scale: Rat) -> None:
         nonlocal const
         if isinstance(u, IntLit):
             const += scale * u.value
@@ -110,18 +138,22 @@ def linearize(t: Term) -> tuple[dict[Term, Fraction], Fraction]:
         elif isinstance(u, App) and u.op == "*":
             lhs, rhs = u.args
             if isinstance(rhs, (IntLit, RealLit)):
-                value = rhs.value if isinstance(rhs, IntLit) else rhs.value
-                go(lhs, scale * Fraction(value))
+                go(lhs, scale * rhs.value)
             elif isinstance(lhs, (IntLit, RealLit)):
-                value = lhs.value if isinstance(lhs, IntLit) else lhs.value
-                go(rhs, scale * Fraction(value))
+                go(rhs, scale * lhs.value)
             else:
-                coeffs[u] = coeffs.get(u, Fraction(0)) + scale
+                coeffs[u] = coeffs.get(u, 0) + scale
         else:
-            coeffs[u] = coeffs.get(u, Fraction(0)) + scale
+            coeffs[u] = coeffs.get(u, 0) + scale
 
-    go(t, Fraction(1))
+    go(t, 1)
     return {a: c for a, c in coeffs.items() if c != 0}, const
+
+
+# Trail entry tags.
+_T_BOUND = 0  # (tag, bounds, lo, lo_strict, hi, hi_strict)
+_T_BOUND_NEW = 1  # (tag, atom)
+_T_SEEN = 2  # (tag, key)
 
 
 @dataclass
@@ -137,6 +169,44 @@ class LinearStore:
     _seen: set = field(default_factory=set)
     # Constraints before this index have been pairwise-combined.
     _fm_frontier: int = 0
+    # Backtracking trail: mutation records since the last push().
+    _trail: list = field(default_factory=list)
+    _frames: list = field(default_factory=list)
+
+    # -- backtracking -------------------------------------------------------
+
+    def push(self) -> None:
+        """Open an undo frame; every later mutation is recorded."""
+        self._frames.append(
+            (
+                len(self._trail),
+                len(self.constraints),
+                self.conflict,
+                self.conflict_reason,
+                self._fm_frontier,
+                list(self.pending_eqs),
+            )
+        )
+
+    def pop(self) -> None:
+        """Undo every mutation since the matching :meth:`push`."""
+        mark, n_cons, conflict, reason, frontier, pending = self._frames.pop()
+        trail = self._trail
+        while len(trail) > mark:
+            e = trail.pop()
+            tag = e[0]
+            if tag == _T_BOUND:
+                b = e[1]
+                b.lo, b.lo_strict, b.hi, b.hi_strict = e[2], e[3], e[4], e[5]
+            elif tag == _T_BOUND_NEW:
+                del self.bounds[e[1]]
+            else:  # _T_SEEN
+                self._seen.discard(e[1])
+        del self.constraints[n_cons:]
+        self.conflict = conflict
+        self.conflict_reason = reason
+        self._fm_frontier = frontier
+        self.pending_eqs = pending
 
     def assert_le(self, lhs: Term, rhs: Term, strict: bool) -> None:
         """Assert ``lhs <= rhs`` (or ``<``)."""
@@ -144,7 +214,7 @@ class LinearStore:
         coeffs_r, const_r = linearize(rhs)
         coeffs = dict(coeffs_l)
         for a, c in coeffs_r.items():
-            coeffs[a] = coeffs.get(a, Fraction(0)) - c
+            coeffs[a] = coeffs.get(a, 0) - c
         coeffs = {a: c for a, c in coeffs.items() if c != 0}
         const = const_l - const_r
         integral = lhs.sort == INT and rhs.sort == INT
@@ -165,14 +235,20 @@ class LinearStore:
         if key in self._seen:
             return
         self._seen.add(key)
+        if self._frames:
+            self._trail.append((_T_SEEN, key))
         if not c.coeffs:
             if c.const > 0 or (c.strict and c.const == 0):
                 self.conflict = True
                 self.conflict_reason = f"trivially false: {c.const} <= 0"
             return
         self.constraints.append(c)
+        trailing = bool(self._frames)
         for a in c.coeffs:
-            self.bounds.setdefault(a, Bounds())
+            if a not in self.bounds:
+                self.bounds[a] = Bounds()
+                if trailing:
+                    self._trail.append((_T_BOUND_NEW, a))
 
     # -- propagation --------------------------------------------------------
 
@@ -207,7 +283,9 @@ class LinearStore:
         ``x - y <= 4  ∧  y - x <= -5`` when both variables are unbounded;
         combining opposite-signed occurrences closes that gap. Each
         constraint is combined against the ones before it exactly once
-        (a frontier index), so repeated propagate() calls stay cheap.
+        (a frontier index), so repeated propagate() calls stay cheap —
+        and the frontier is rewound by pop(), so sibling branches only
+        redo combinations involving their own constraints.
         """
         if len(self.constraints) > _MAX_CONSTRAINTS:
             return False
@@ -225,11 +303,11 @@ class LinearStore:
                 ]
                 for a in shared:
                     k1, k2 = abs(c2.coeffs[a]), abs(c1.coeffs[a])
-                    coeffs: dict[Term, Fraction] = {}
+                    coeffs: dict[Term, Rat] = {}
                     for atom, c in c1.coeffs.items():
-                        coeffs[atom] = coeffs.get(atom, Fraction(0)) + k1 * c
+                        coeffs[atom] = coeffs.get(atom, 0) + k1 * c
                     for atom, c in c2.coeffs.items():
-                        coeffs[atom] = coeffs.get(atom, Fraction(0)) + k2 * c
+                        coeffs[atom] = coeffs.get(atom, 0) + k2 * c
                     coeffs = {x: c for x, c in coeffs.items() if c != 0}
                     if len(coeffs) > 4:
                         continue
@@ -248,6 +326,7 @@ class LinearStore:
     def _propagate_constraint(self, c: LinConstraint) -> bool:
         # sum(ci * ai) + k <= 0  =>  cj*aj <= -k - sum_{i!=j}(ci*ai)
         changed = False
+        bounds = self.bounds
         for target, ct in c.coeffs.items():
             rhs_hi = -c.const
             rhs_strict = c.strict
@@ -255,7 +334,7 @@ class LinearStore:
             for a, ca in c.coeffs.items():
                 if a is target:
                     continue
-                b = self.bounds[a]
+                b = bounds[a]
                 if ca > 0:
                     # need lower bound of ca*a -> uses a.lo
                     if b.lo is None:
@@ -271,20 +350,42 @@ class LinearStore:
                     rhs_strict = rhs_strict or b.hi_strict
             if not feasible:
                 continue
-            tb = self.bounds[target]
+            tb = bounds[target]
             if ct > 0:
-                new_hi = rhs_hi / ct
-                if _tighten_hi(tb, new_hi, rhs_strict):
+                new_hi = _exact_div(rhs_hi, ct)
+                if self._tighten_hi(tb, new_hi, rhs_strict):
                     changed = True
             else:
-                new_lo = rhs_hi / ct
-                if _tighten_lo(tb, new_lo, rhs_strict):
+                new_lo = _exact_div(rhs_hi, ct)
+                if self._tighten_lo(tb, new_lo, rhs_strict):
                     changed = True
             if tb.empty(integral=target.sort == INT):
                 self.conflict = True
                 self.conflict_reason = f"empty bounds for {target}: {tb}"
                 return True
         return changed
+
+    def _tighten_hi(self, b: Bounds, hi: Rat, strict: bool) -> bool:
+        if b.hi is None or hi < b.hi or (hi == b.hi and strict and not b.hi_strict):
+            if self._frames:
+                self._trail.append(
+                    (_T_BOUND, b, b.lo, b.lo_strict, b.hi, b.hi_strict)
+                )
+            b.hi = hi
+            b.hi_strict = strict
+            return True
+        return False
+
+    def _tighten_lo(self, b: Bounds, lo: Rat, strict: bool) -> bool:
+        if b.lo is None or lo > b.lo or (lo == b.lo and strict and not b.lo_strict):
+            if self._frames:
+                self._trail.append(
+                    (_T_BOUND, b, b.lo, b.lo_strict, b.hi, b.hi_strict)
+                )
+            b.lo = lo
+            b.lo_strict = strict
+            return True
+        return False
 
     def _collapse_equalities(self) -> None:
         for a, b in self.bounds.items():
@@ -298,10 +399,10 @@ class LinearStore:
 
     # -- queries ------------------------------------------------------------
 
-    def value_range(self, t: Term) -> tuple[Optional[Fraction], Optional[Fraction]]:
+    def value_range(self, t: Term) -> tuple[Optional[Rat], Optional[Rat]]:
         coeffs, const = linearize(t)
-        lo: Optional[Fraction] = const
-        hi: Optional[Fraction] = const
+        lo: Optional[Rat] = const
+        hi: Optional[Rat] = const
         for a, c in coeffs.items():
             b = self.bounds.get(a)
             if b is None:
@@ -313,19 +414,3 @@ class LinearStore:
                 lo = None if (lo is None or b.hi is None) else lo + c * b.hi
                 hi = None if (hi is None or b.lo is None) else hi + c * b.lo
         return (lo, hi)
-
-
-def _tighten_hi(b: Bounds, hi: Fraction, strict: bool) -> bool:
-    if b.hi is None or hi < b.hi or (hi == b.hi and strict and not b.hi_strict):
-        b.hi = hi
-        b.hi_strict = strict
-        return True
-    return False
-
-
-def _tighten_lo(b: Bounds, lo: Fraction, strict: bool) -> bool:
-    if b.lo is None or lo > b.lo or (lo == b.lo and strict and not b.lo_strict):
-        b.lo = lo
-        b.lo_strict = strict
-        return True
-    return False

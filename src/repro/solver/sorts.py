@@ -40,11 +40,27 @@ class IntSort(Sort):
     def __str__(self) -> str:
         return "Int"
 
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self),))
+            object.__setattr__(self, "_h", h)
+            return h
+
 
 @dataclass(frozen=True)
 class BoolSort(Sort):
     def __str__(self) -> str:
         return "Bool"
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self),))
+            object.__setattr__(self, "_h", h)
+            return h
 
 
 @dataclass(frozen=True)
@@ -52,17 +68,41 @@ class RealSort(Sort):
     def __str__(self) -> str:
         return "Real"
 
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self),))
+            object.__setattr__(self, "_h", h)
+            return h
+
 
 @dataclass(frozen=True)
 class LocSort(Sort):
     def __str__(self) -> str:
         return "Loc"
 
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self),))
+            object.__setattr__(self, "_h", h)
+            return h
+
 
 @dataclass(frozen=True)
 class LftSort(Sort):
     def __str__(self) -> str:
         return "Lft"
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self),))
+            object.__setattr__(self, "_h", h)
+            return h
 
 
 @dataclass(frozen=True)
@@ -72,6 +112,14 @@ class SeqSort(Sort):
     def __str__(self) -> str:
         return f"Seq<{self.elem}>"
 
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self), self.elem))
+            object.__setattr__(self, "_h", h)
+            return h
+
 
 @dataclass(frozen=True)
 class OptionSort(Sort):
@@ -79,6 +127,14 @@ class OptionSort(Sort):
 
     def __str__(self) -> str:
         return f"Option<{self.elem}>"
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self), self.elem))
+            object.__setattr__(self, "_h", h)
+            return h
 
 
 @dataclass(frozen=True)
@@ -89,6 +145,14 @@ class TupleSort(Sort):
         inner = ", ".join(str(e) for e in self.elems)
         return f"({inner})"
 
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self), self.elems))
+            object.__setattr__(self, "_h", h)
+            return h
+
 
 @dataclass(frozen=True)
 class UninterpSort(Sort):
@@ -96,6 +160,14 @@ class UninterpSort(Sort):
 
     def __str__(self) -> str:
         return self.name
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((type(self), self.name))
+            object.__setattr__(self, "_h", h)
+            return h
 
 
 # Canonical singletons for the nullary sorts.

@@ -4,6 +4,15 @@ Terms are immutable dataclasses forming a DAG. Equality is structural,
 which lets terms serve as dictionary keys throughout the engine (the
 union-find, the interval store, the symbolic heap).
 
+Terms are *hash-consed*: every constructor routes through a global
+intern table, so structurally equal terms are usually the same object
+(``a == b`` hits the ``a is b`` fast path) and each node's hash is
+computed exactly once and cached. The table holds weak references, so
+interning never leaks terms that the engine has dropped. Unpickling
+re-interns (:meth:`Term.__reduce__` rebuilds through the constructor),
+which is what lets terms cross process boundaries in the parallel
+pipeline and land deduplicated on the other side.
+
 Smart constructors perform *local* constant folding only; full
 normalisation lives in :mod:`repro.solver.rewrite`. Keeping the two
 layers separate makes rewriting rules testable in isolation.
@@ -12,8 +21,10 @@ layers separate makes rewriting rules testable in isolation.
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.solver.sorts import (
@@ -27,6 +38,60 @@ from repro.solver.sorts import (
     Sort,
     TupleSort,
 )
+
+# ---------------------------------------------------------------------------
+# Hash-consing (interning)
+# ---------------------------------------------------------------------------
+
+#: key = (class, *fields) -> canonical instance. Weak values: an interned
+#: term is dropped as soon as nothing outside the table references it.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = (
+    weakref.WeakValueDictionary()
+)
+_INTERN_ENABLED = True
+_INTERN_STATS = {"hits": 0, "misses": 0}
+
+
+def set_interning(enabled: bool) -> bool:
+    """Globally enable/disable hash-consing; returns the previous state.
+
+    Disabling only affects *future* constructions (used by tests that
+    check verdicts are independent of interning). Structural equality
+    stays correct either way — interning is purely an optimisation.
+    """
+    global _INTERN_ENABLED
+    prev = _INTERN_ENABLED
+    _INTERN_ENABLED = enabled
+    return prev
+
+
+def interning_enabled() -> bool:
+    return _INTERN_ENABLED
+
+
+def interner_stats() -> dict:
+    """Hit/miss counters plus the current live table size."""
+    return {
+        "hits": _INTERN_STATS["hits"],
+        "misses": _INTERN_STATS["misses"],
+        "live_terms": len(_INTERN_TABLE),
+    }
+
+
+def _interned(cls, *fields):
+    """Return the canonical instance for ``cls(*fields)`` (or a fresh
+    uninitialised one that the dataclass ``__init__`` will fill in)."""
+    if not _INTERN_ENABLED:
+        return object.__new__(cls)
+    key = (cls, *fields)
+    t = _INTERN_TABLE.get(key)
+    if t is not None:
+        _INTERN_STATS["hits"] += 1
+        return t
+    _INTERN_STATS["misses"] += 1
+    t = object.__new__(cls)
+    _INTERN_TABLE[key] = t
+    return t
 
 
 class Term:
@@ -48,6 +113,27 @@ class Var(Term):
     name: str
     sort: Sort
 
+    def __new__(cls, name: str, sort: Sort) -> "Var":
+        return _interned(cls, name, sort)
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Var:
+            return NotImplemented
+        return self.name == other.name and self.sort == other.sort
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((Var, self.name, self.sort))
+            object.__setattr__(self, "_h", h)
+            return h
+
+    def __reduce__(self):
+        return (Var, (self.name, self.sort))
+
     def __str__(self) -> str:
         return self.name
 
@@ -56,9 +142,30 @@ class Var(Term):
 class IntLit(Term):
     value: int
 
+    def __new__(cls, value: int) -> "IntLit":
+        return _interned(cls, value)
+
     @property
     def sort(self) -> Sort:
         return INT
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not IntLit:
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((IntLit, self.value))
+            object.__setattr__(self, "_h", h)
+            return h
+
+    def __reduce__(self):
+        return (IntLit, (self.value,))
 
     def __str__(self) -> str:
         return str(self.value)
@@ -68,9 +175,30 @@ class IntLit(Term):
 class BoolLit(Term):
     value: bool
 
+    def __new__(cls, value: bool) -> "BoolLit":
+        return _interned(cls, value)
+
     @property
     def sort(self) -> Sort:
         return BOOL
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not BoolLit:
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((BoolLit, self.value))
+            object.__setattr__(self, "_h", h)
+            return h
+
+    def __reduce__(self):
+        return (BoolLit, (self.value,))
 
     def __str__(self) -> str:
         return "true" if self.value else "false"
@@ -80,9 +208,30 @@ class BoolLit(Term):
 class RealLit(Term):
     value: Fraction
 
+    def __new__(cls, value: Fraction) -> "RealLit":
+        return _interned(cls, value)
+
     @property
     def sort(self) -> Sort:
         return REAL
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not RealLit:
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((RealLit, self.value))
+            object.__setattr__(self, "_h", h)
+            return h
+
+    def __reduce__(self):
+        return (RealLit, (self.value,))
 
     def __str__(self) -> str:
         return str(self.value)
@@ -94,14 +243,45 @@ class App(Term):
     args: tuple[Term, ...]
     sort: Sort
 
+    def __new__(cls, op: str, args: tuple, sort: Sort) -> "App":
+        return _interned(cls, op, args, sort)
+
     def children(self) -> tuple[Term, ...]:
         return self.args
 
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not App:
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.args == other.args
+            and self.sort == other.sort
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._h
+        except AttributeError:
+            h = hash((App, self.op, self.args, self.sort))
+            object.__setattr__(self, "_h", h)
+            return h
+
+    def __reduce__(self):
+        return (App, (self.op, self.args, self.sort))
+
     def __str__(self) -> str:
-        if not self.args:
-            return self.op
-        inner = ", ".join(str(a) for a in self.args)
-        return f"{self.op}({inner})"
+        try:
+            return self._s
+        except AttributeError:
+            if not self.args:
+                s = self.op
+            else:
+                inner = ", ".join(str(a) for a in self.args)
+                s = f"{self.op}({inner})"
+            object.__setattr__(self, "_s", s)
+            return s
 
 
 TRUE = BoolLit(True)
@@ -519,25 +699,50 @@ def lft_inter(a: Term, b: Term) -> Term:
 # ---------------------------------------------------------------------------
 
 
-def subterms(t: Term) -> Iterable[Term]:
-    """Yield every subterm of ``t`` (including ``t``), deduplicated."""
+@lru_cache(maxsize=16384)
+def _subterms_tuple(t: Term) -> tuple[Term, ...]:
+    """All subterms of ``t`` (including ``t``), deduplicated, in the
+    traversal order of the original generator. Interning makes terms
+    canonical, so this memo hits across unrelated queries."""
     seen: set[Term] = set()
+    out: list[Term] = []
     stack = [t]
     while stack:
         cur = stack.pop()
         if cur in seen:
             continue
         seen.add(cur)
-        yield cur
+        out.append(cur)
         stack.extend(cur.children())
+    return tuple(out)
 
 
-def free_vars(t: Term) -> set[Var]:
-    return {s for s in subterms(t) if isinstance(s, Var)}
+@lru_cache(maxsize=16384)
+def _subterm_set(t: Term) -> frozenset:
+    return frozenset(_subterms_tuple(t))
+
+
+def subterms(t: Term) -> Iterable[Term]:
+    """Yield every subterm of ``t`` (including ``t``), deduplicated."""
+    return iter(_subterms_tuple(t))
+
+
+@lru_cache(maxsize=16384)
+def _free_vars(t: Term) -> frozenset:
+    return frozenset(s for s in _subterms_tuple(t) if isinstance(s, Var))
+
+
+def free_vars(t: Term) -> frozenset:
+    return _free_vars(t)
 
 
 def substitute(t: Term, mapping: dict[Term, Term]) -> Term:
     """Capture-free simultaneous substitution (terms have no binders)."""
+    if not mapping:
+        return t
+    # Fast path: nothing in the domain occurs in t at all.
+    if _subterm_set(t).isdisjoint(mapping):
+        return t
     cache: dict[Term, Term] = {}
 
     def go(u: Term) -> Term:
@@ -547,8 +752,13 @@ def substitute(t: Term, mapping: dict[Term, Term]) -> Term:
         if u in cache:
             return cache[u]
         if isinstance(u, App):
-            new_args = tuple(go(a) for a in u.args)
-            result = rebuild(u.op, new_args, u.sort) if new_args != u.args else u
+            if _subterm_set(u).isdisjoint(mapping):
+                result = u
+            else:
+                new_args = tuple(go(a) for a in u.args)
+                result = (
+                    rebuild(u.op, new_args, u.sort) if new_args != u.args else u
+                )
         else:
             result = u
         cache[u] = result

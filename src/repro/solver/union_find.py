@@ -13,6 +13,13 @@ operators used by representation types:
 The closure reports conflicts through the :attr:`conflict` flag rather
 than exceptions so the surrounding search can treat a conflicting
 branch as refuted and move on.
+
+The closure is *backtrackable*: :meth:`push` opens a frame and
+:meth:`pop` undoes every mutation since the matching push via an
+explicit trail (parent-pointer writes — including path compression —
+interning, use-lists, signature entries). The DNF search uses this to
+share the common-prefix closure between sibling branches instead of
+rebuilding it from scratch per branch.
 """
 
 from __future__ import annotations
@@ -23,6 +30,14 @@ from repro.solver.terms import App, Term
 
 _INJECTIVE = {"some", "seq.cons", "tuple"}
 _CONSTRUCTOR_OPS = {"some", "none", "seq.cons", "seq.empty", "tuple"}
+
+# Trail entry tags.
+_T_PARENT = 0  # (tag, term, old_parent)      restore a parent pointer
+_T_INTERN = 1  # (tag, term)                  un-intern a term
+_T_USE_ADD = 2  # (tag, rep)                  pop one use of rep
+_T_USE_POP = 3  # (tag, rep, old_list)        restore a popped use-list
+_T_USE_EXT = 4  # (tag, rep, n)               drop n extended uses
+_T_SIG = 5  # (tag, sig)                      drop a signature entry
 
 
 class CongruenceClosure:
@@ -38,17 +53,71 @@ class CongruenceClosure:
         # Equalities derived by the closure that the arithmetic layer
         # should also learn (pairs of representatives).
         self.pending_arith: list[tuple[Term, Term]] = []
+        # Backtracking trail: mutation records since the last push().
+        self._trail: list[tuple] = []
+        self._frames: list[tuple] = []
+
+    # -- backtracking -------------------------------------------------------
+
+    def push(self) -> None:
+        """Open an undo frame; every later mutation is recorded."""
+        self._frames.append(
+            (
+                len(self._trail),
+                len(self._diseqs),
+                self.conflict,
+                self.conflict_reason,
+                list(self.pending_arith),
+            )
+        )
+
+    def pop(self) -> None:
+        """Undo every mutation since the matching :meth:`push`."""
+        mark, n_diseqs, conflict, reason, pending = self._frames.pop()
+        trail = self._trail
+        parent = self._parent
+        uses = self._uses
+        while len(trail) > mark:
+            e = trail.pop()
+            tag = e[0]
+            if tag == _T_PARENT:
+                parent[e[1]] = e[2]
+            elif tag == _T_INTERN:
+                del parent[e[1]]
+                del uses[e[1]]
+            elif tag == _T_USE_ADD:
+                uses[e[1]].pop()
+            elif tag == _T_USE_POP:
+                uses[e[1]] = e[2]
+            elif tag == _T_USE_EXT:
+                lst = uses[e[1]]
+                del lst[len(lst) - e[2]:]
+            else:  # _T_SIG
+                del self._sigs[e[1]]
+        del self._diseqs[n_diseqs:]
+        self.conflict = conflict
+        self.conflict_reason = reason
+        self.pending_arith = pending
 
     # -- basic union-find ---------------------------------------------------
 
     def find(self, t: Term) -> Term:
         self._intern(t)
+        parent = self._parent
         root = t
-        while self._parent[root] != root:
-            root = self._parent[root]
-        # Path compression.
-        while self._parent[t] != root:
-            self._parent[t], t = root, self._parent[t]
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression (recorded on the trail inside a frame).
+        if self._frames:
+            trail = self._trail
+            while parent[t] != root:
+                nxt = parent[t]
+                trail.append((_T_PARENT, t, nxt))
+                parent[t] = root
+                t = nxt
+        else:
+            while parent[t] != root:
+                parent[t], t = root, parent[t]
         return root
 
     def _intern(self, t: Term) -> None:
@@ -56,10 +125,16 @@ class CongruenceClosure:
             return
         self._parent[t] = t
         self._uses[t] = []
+        trailing = bool(self._frames)
+        if trailing:
+            self._trail.append((_T_INTERN, t))
         if isinstance(t, App):
             for a in t.args:
                 self._intern(a)
-                self._uses[self.find(a)].append(t)
+                rep = self.find(a)
+                self._uses[rep].append(t)
+                if trailing:
+                    self._trail.append((_T_USE_ADD, rep))
             self._insert_sig(t)
 
     def _sig(self, t: App) -> tuple:
@@ -70,6 +145,8 @@ class CongruenceClosure:
         other = self._sigs.get(sig)
         if other is None:
             self._sigs[sig] = t
+            if self._frames:
+                self._trail.append((_T_SIG, sig))
         elif self.find(other) != self.find(t):
             self._merge(other, t)
 
@@ -98,6 +175,8 @@ class CongruenceClosure:
         if self._weight(rb) < self._weight(ra):
             ra, rb = rb, ra
         # ra becomes the representative.
+        if self._frames:
+            self._trail.append((_T_PARENT, rb, rb))
         self._parent[rb] = ra
         self.pending_arith.append((ra, rb))
         # Injectivity: unify arguments of matching constructors.
@@ -114,11 +193,15 @@ class CongruenceClosure:
                     return
         # Congruence: re-canonicalise users of rb.
         uses = self._uses.pop(rb, [])
+        if self._frames:
+            self._trail.append((_T_USE_POP, rb, uses))
         for u in uses:
             self._insert_sig(u)
             if self.conflict:
                 return
         self._uses.setdefault(ra, []).extend(uses)
+        if self._frames and uses:
+            self._trail.append((_T_USE_EXT, ra, len(uses)))
 
     def _weight(self, t: Term) -> int:
         if t.is_lit():

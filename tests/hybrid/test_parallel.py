@@ -1,0 +1,80 @@
+"""jobs=N must be a pure throughput knob: the ``HybridReport`` it
+produces has to match the serial ``jobs=1`` path entry for entry."""
+
+import pytest
+
+from repro.hybrid.pipeline import HybridVerifier
+from repro.parallel import default_jobs, fork_available
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS, MANUAL_PURE_PRECONDITIONS
+from repro.rustlib.linked_list import build_program
+from repro.rustlib.specs import install_callee_specs
+
+from tests.hybrid.test_pipeline import client_body
+
+FUNCTIONS = [
+    "client::push_pop",
+    "LinkedList::new",
+    "LinkedList::push_front_node",
+    "LinkedList::pop_front_node",
+    "LinkedList::front_mut",
+]
+
+
+@pytest.fixture(scope="module")
+def env():
+    program, ownables = build_program()
+    install_callee_specs(program, ownables)
+    program.add_body(client_body())
+    return program, ownables
+
+
+def _run(env, jobs):
+    program, ownables = env
+    hv = HybridVerifier(
+        program, ownables, LINKED_LIST_CONTRACTS,
+        manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+    )
+    return hv.run(FUNCTIONS, jobs=jobs)
+
+
+def _fingerprint(report):
+    """Everything observable about a report except wall-clock."""
+    return [
+        (e.function, e.half, e.ok, [str(i) for i in _issues(e)])
+        for e in report.entries
+    ]
+
+
+def _issues(entry):
+    detail = entry.detail
+    return getattr(detail, "issues", []) or []
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+class TestParallelEquivalence:
+    def test_jobs4_matches_jobs1(self, env):
+        serial = _run(env, jobs=1)
+        parallel = _run(env, jobs=4)
+        assert _fingerprint(parallel) == _fingerprint(serial)
+        assert parallel.ok == serial.ok
+        assert serial.ok, serial.render()
+
+    def test_render_order_is_serial_order(self, env):
+        report = _run(env, jobs=4)
+        assert [e.function for e in report.entries] == [
+            "client::push_pop",
+            "LinkedList::new",
+            "LinkedList::new",  # type safety + functional halves
+            "LinkedList::push_front_node",
+            "LinkedList::push_front_node",
+            "LinkedList::pop_front_node",
+            "LinkedList::pop_front_node",
+            "LinkedList::front_mut",
+        ]
+
+
+def test_jobs_none_uses_default(env, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert default_jobs() == 2
+    report = _run(env, jobs=None)
+    assert report.ok, report.render()

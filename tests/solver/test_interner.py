@@ -1,0 +1,200 @@
+"""Property tests for hash-consed term interning.
+
+Two invariants matter:
+
+* interning is *canonical* — building the same term twice yields the
+  same object (``is``), and interned identity coincides exactly with
+  structural equality;
+* interning is *transparent* — solver verdicts are identical with
+  interning on and off (it is purely an optimisation).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Solver, Status
+from repro.solver.sorts import BOOL, INT
+from repro.solver.terms import (
+    App,
+    IntLit,
+    Term,
+    Var,
+    add,
+    and_,
+    eq,
+    interner_stats,
+    interning_enabled,
+    intlit,
+    ite,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    seq_cons,
+    seq_empty,
+    seq_len,
+    set_interning,
+    sub,
+)
+
+VARS = [Var(f"v{i}", INT) for i in range(4)]
+BVARS = [Var(f"b{i}", BOOL) for i in range(2)]
+
+
+@st.composite
+def int_terms(draw, depth=2):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.sampled_from(VARS),
+                st.integers(-20, 20).map(intlit),
+            )
+        )
+    op = draw(st.sampled_from(["leaf", "add", "sub", "neg", "mulc"]))
+    if op == "leaf":
+        return draw(int_terms(depth=0))
+    if op == "neg":
+        return neg(draw(int_terms(depth=depth - 1)))
+    a = draw(int_terms(depth=depth - 1))
+    b = draw(int_terms(depth=depth - 1))
+    if op == "add":
+        return add(a, b)
+    if op == "sub":
+        return sub(a, b)
+    return mul(a, intlit(draw(st.integers(-3, 3))))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["le", "lt", "eq", "bool"]))
+        if kind == "bool":
+            return draw(st.sampled_from(BVARS))
+        a = draw(int_terms())
+        b = draw(int_terms())
+        return {"le": le, "lt": lt, "eq": eq}[kind](a, b)
+    kind = draw(st.sampled_from(["atom", "and", "or", "not", "ite"]))
+    if kind == "atom":
+        return draw(formulas(depth=0))
+    if kind == "not":
+        return not_(draw(formulas(depth=depth - 1)))
+    a = draw(formulas(depth=depth - 1))
+    b = draw(formulas(depth=depth - 1))
+    if kind == "and":
+        return and_(a, b)
+    if kind == "or":
+        return or_(a, b)
+    c = draw(formulas(depth=0))
+    return ite(c, a, b)
+
+
+def _deep_copy(t: Term) -> Term:
+    """Rebuild a term bottom-up through the public constructors,
+    guaranteeing a fresh construction path for every node."""
+    if isinstance(t, App):
+        return App(t.op, tuple(_deep_copy(a) for a in t.args), t.sort)
+    if isinstance(t, Var):
+        return Var(t.name, t.sort)
+    if isinstance(t, IntLit):
+        return IntLit(t.value)
+    return t
+
+
+class TestCanonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(f=formulas())
+    def test_rebuilding_is_identity(self, f):
+        """intern(a) is intern(b) whenever a == b structurally."""
+        assert interning_enabled()
+        g = _deep_copy(f)
+        assert g == f
+        assert g is f
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=formulas(), b=formulas())
+    def test_identity_iff_structural_equality(self, a, b):
+        assert (a is b) == (a == b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(f=formulas())
+    def test_hash_agrees_with_equality(self, f):
+        g = _deep_copy(f)
+        assert hash(g) == hash(f)
+
+    @settings(max_examples=20, deadline=None)
+    @given(f=formulas())
+    def test_pickle_roundtrip_reinterns(self, f):
+        g = pickle.loads(pickle.dumps(f))
+        assert g == f
+        assert g is f  # __reduce__ routes through the interner
+
+    def test_stats_exposed(self):
+        s = interner_stats()
+        assert set(s) == {"hits", "misses", "live_terms"}
+        assert s["misses"] > 0
+
+
+class TestTransparency:
+    """Verdicts must be byte-identical with interning on vs. off."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(fs=st.lists(formulas(), min_size=1, max_size=4))
+    def test_check_sat_same_verdict(self, fs):
+        on = Solver().check_sat(fs)
+        prev = set_interning(False)
+        try:
+            # Rebuild the formulas without interning so the solver sees
+            # plain (non-canonical) objects.
+            raw = [_deep_copy(f) for f in fs]
+            assert not any(r is f for r, f in zip(raw, fs) if isinstance(f, App))
+            off = Solver().check_sat(raw)
+        finally:
+            set_interning(prev)
+        assert on == off
+
+    @settings(max_examples=30, deadline=None)
+    @given(pc=st.lists(formulas(), min_size=0, max_size=3), goal=formulas())
+    def test_entailment_same_verdict(self, pc, goal):
+        on = Solver().entails(pc, goal)
+        prev = set_interning(False)
+        try:
+            off = Solver().entails([_deep_copy(f) for f in pc], _deep_copy(goal))
+        finally:
+            set_interning(prev)
+        assert on == off
+
+    def test_disable_produces_fresh_objects(self):
+        prev = set_interning(False)
+        try:
+            a = add(Var("x", INT), intlit(1))
+            b = add(Var("x", INT), intlit(1))
+            assert a == b and a is not b
+        finally:
+            set_interning(prev)
+
+
+class TestSolverIntegration:
+    def test_sequence_reasoning_unchanged(self):
+        solver = Solver()
+        s = seq_cons(intlit(1), seq_cons(intlit(2), seq_empty(INT)))
+        assert solver.entails([], eq(seq_len(s), intlit(2)))
+
+    def test_lru_cache_counters(self):
+        solver = Solver(cache_capacity=2)
+        x = Var("x", INT)
+        f1 = [le(intlit(0), x)]
+        f2 = [le(intlit(1), x)]
+        f3 = [le(intlit(2), x)]
+        solver.check_sat(f1)
+        solver.check_sat(f1)
+        assert solver.stats["cache_hits"] == 1
+        assert solver.stats["cache_misses"] == 1
+        solver.check_sat(f2)
+        solver.check_sat(f3)  # evicts f1 (capacity 2)
+        assert solver.stats["cache_evictions"] == 1
+        solver.check_sat(f1)  # miss again after eviction
+        assert solver.stats["cache_misses"] == 4
