@@ -4,8 +4,12 @@ Besides the fixtures, this conftest tracks the perf trajectory: at the
 end of a benchmark session it writes ``BENCH_PR1.json`` at the repo
 root with per-test wall-clock, the aggregate solver counters
 (:data:`repro.solver.core.GLOBAL_STATS` — checks, LRU cache
-hits/misses/evictions, branches) and the term-interner hit rate, so
-successive PRs can compare like for like.
+hits/misses/evictions, branches, plus the robustness counters:
+branch-cap unknowns and cooperative-budget stops), the pool's
+fault/retry counters (:data:`repro.parallel.PARALLEL_STATS` — broken
+pools, worker failures, serial retries/fallbacks) and the
+term-interner hit rate, so successive PRs can compare like for like
+and a silently degraded benchmark run is visible in the record.
 """
 
 import json
@@ -66,6 +70,7 @@ def pytest_sessionfinish(session, exitstatus):
     if not _rows:
         return
     try:
+        from repro.parallel import PARALLEL_STATS
         from repro.solver.core import GLOBAL_STATS
         from repro.solver.terms import interner_stats
     except ImportError:  # running outside the src tree
@@ -84,6 +89,14 @@ def pytest_sessionfinish(session, exitstatus):
         "solver_cache_hit_rate": (
             round(stats["cache_hits"] / lookups, 4) if lookups else None
         ),
+        # Degradation record: solver queries that hit the branch cap
+        # (UNKNOWN answers), cooperative-budget stops (timeouts), and
+        # the pool's crash/retry counters. All zero on a clean run.
+        "robustness": {
+            "solver_unknowns": stats.get("unknowns", 0),
+            "solver_budget_stops": stats.get("budget_stops", 0),
+            "parallel": dict(PARALLEL_STATS),
+        },
         "interner": interner,
         "interner_hit_rate": (
             round(interner["hits"] / intern_lookups, 4) if intern_lookups else None

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for the verification pipeline.
+
+Env-gated via ``REPRO_FAULT`` (or installed programmatically with
+:func:`install`); used by ``tests/robustness/`` to prove that every
+failure mode degrades into a complete :class:`HybridReport` instead of
+an unwound stack. When no rules are active, :func:`fire` is a single
+flag check — safe to leave in hot paths.
+
+Rule grammar (comma-separated)::
+
+    site[@match]:action[:arg[:count]]
+
+* ``site``   — an instrumented site name (see below); ``*`` matches all.
+* ``match``  — optional substring of the site's context string (for
+  verification sites, the function name), so a fault can target one
+  function deterministically. Omitted = always matches.
+* ``action`` — one of
+
+  - ``crash``       — ``os._exit(arg or 1)``, *only* in a pool worker
+    (a process with a parent); in the parent process the rule is
+    skipped, which is what lets the pool's serial retry recover the
+    item. Simulates a segfaulted / OOM-killed worker.
+  - ``raise``       — raise an exception; ``arg`` names the class
+    (``WorkerCrashed``, ``EncodingError``, ``RuntimeError``,
+    ``ValueError``, ``MemoryError``), default
+    :class:`~repro.errors.InjectedFault`.
+  - ``delay``       — ``time.sleep(arg)`` seconds (default 0.05), for
+    deadline/timeout testing.
+
+* ``count``  — fire at most N times in this process, then go inert
+  (unbounded when omitted). Each forked worker inherits its own copy
+  of the counters.
+
+Instrumented sites:
+
+======================  =================================================
+``parallel.worker``     pool worker entry, context = the task item
+``pipeline.verify_one`` hybrid per-function driver, context = fn name
+``verifier.function``   ``verify_function`` entry, context = fn name
+``engine.step``         each engine basic-block step, context = fn name
+``solver.check_sat``    each solver query (cache hit or miss)
+======================  =================================================
+
+Examples::
+
+    REPRO_FAULT="parallel.worker@pop_front:crash"
+    REPRO_FAULT="verifier.function@push:raise:WorkerCrashed"
+    REPRO_FAULT="engine.step@client:delay:0.2,solver.check_sat:raise::1"
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EncodingError, InjectedFault, WorkerCrashed
+
+_EXCEPTIONS = {
+    "InjectedFault": InjectedFault,
+    "WorkerCrashed": WorkerCrashed,
+    "EncodingError": EncodingError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+    "MemoryError": MemoryError,
+}
+
+_ACTIONS = ("crash", "raise", "delay")
+
+
+@dataclass
+class _Rule:
+    site: str
+    match: str
+    action: str
+    arg: str
+    remaining: Optional[int]  # None = unbounded
+
+    def matches(self, site: str, context: str) -> bool:
+        if self.remaining == 0:
+            return False
+        if self.site != "*" and self.site != site:
+            return False
+        return self.match in context if self.match else True
+
+
+_rules: list[_Rule] = []
+_active = False
+
+
+def parse(spec: str) -> list[_Rule]:
+    """Parse a ``REPRO_FAULT`` spec; malformed rules raise ValueError
+    (a fault harness that silently ignores typos tests nothing)."""
+    rules = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if len(fields) < 2:
+            raise ValueError(f"fault rule {part!r}: need site:action")
+        site, action = fields[0], fields[1]
+        arg = fields[2] if len(fields) > 2 else ""
+        count = fields[3] if len(fields) > 3 else ""
+        match = ""
+        if "@" in site:
+            site, match = site.split("@", 1)
+        if action not in _ACTIONS:
+            raise ValueError(
+                f"fault rule {part!r}: unknown action {action!r} "
+                f"(expected one of {_ACTIONS})"
+            )
+        if action == "raise" and arg and arg not in _EXCEPTIONS:
+            raise ValueError(
+                f"fault rule {part!r}: unknown exception {arg!r} "
+                f"(expected one of {sorted(_EXCEPTIONS)})"
+            )
+        rules.append(
+            _Rule(site, match, action, arg, int(count) if count else None)
+        )
+    return rules
+
+
+def install(spec: str) -> None:
+    """Programmatically activate a fault spec (replaces any active one)."""
+    global _rules, _active
+    _rules = parse(spec)
+    _active = bool(_rules)
+
+
+def clear() -> None:
+    global _rules, _active
+    _rules = []
+    _active = False
+
+
+def reload_env() -> None:
+    """Re-read ``REPRO_FAULT`` (tests set it via monkeypatch, then call
+    this; forked pool workers inherit the parsed state)."""
+    install(os.environ.get("REPRO_FAULT", ""))
+
+
+def active() -> bool:
+    return _active
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def fire(site: str, context: str = "") -> None:
+    """Trigger any matching fault at this site. No-op (one flag check)
+    when no rules are installed."""
+    if not _active:
+        return
+    for rule in _rules:
+        if not rule.matches(site, context):
+            continue
+        if rule.action == "crash":
+            # Only ever kill real pool workers: the parent carries the
+            # report. Skipping (not consuming) the rule in the parent
+            # is what lets the serial retry of a crashed item succeed.
+            if not _in_worker():
+                continue
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            os._exit(int(rule.arg) if rule.arg else 1)
+        if rule.remaining is not None:
+            rule.remaining -= 1
+        if rule.action == "delay":
+            time.sleep(float(rule.arg) if rule.arg else 0.05)
+        elif rule.action == "raise":
+            exc = _EXCEPTIONS.get(rule.arg, InjectedFault)
+            raise exc(f"fault injected at {site}" + (f" ({context})" if context else ""))
+
+
+# Activate from the environment at import time so `REPRO_FAULT=... pytest`
+# and fork-inherited workers both see the rules without extra plumbing.
+if os.environ.get("REPRO_FAULT"):
+    reload_env()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional
 
+from repro import faultinject
 from repro.core.heap.structural import HeapError
 from repro.core.state import RustState, RustStateModel
 from repro.core.address import NULL_PTR, ptr_field, ptr_offset, ptr_variant_field
@@ -200,6 +201,7 @@ class Engine:
         max_steps: int = 4000,
         stats: Optional[TacticStats] = None,
         auto_repair: bool = True,
+        budget=None,
     ) -> None:
         self.program = program
         self.model = model
@@ -210,6 +212,10 @@ class Engine:
         #: missing resources. Disabled by the E9 ablation, in which
         #: case every unfold must be a manual ghost statement.
         self.auto_repair = auto_repair
+        #: Cooperative per-function budget (repro.budget.Budget). Ticked
+        #: once per basic-block step; ``max_steps`` above stays the
+        #: degrade-to-issue soft cap, the budget is the hard typed stop.
+        self.budget = budget
 
     def _with_repair(self, state: RustState, op):
         if self.auto_repair:
@@ -244,6 +250,9 @@ class Engine:
         worklist: list[tuple[Config, str]] = [(config, block)]
         while worklist:
             cfg, bname = worklist.pop()
+            if self.budget is not None:
+                self.budget.tick_step(body.name)
+            faultinject.fire("engine.step", body.name)
             steps += 1
             if steps > self.max_steps:
                 results.append(

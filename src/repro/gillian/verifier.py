@@ -13,6 +13,9 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro import faultinject
+from repro.budget import Budget, BudgetSpec
+from repro.errors import BudgetExhausted, status_of
 from repro.core.state import RustState, RustStateModel
 from repro.gillian.consume import ConsumeFailure, consume
 from repro.gillian.engine import Config, Engine, Terminal, VerificationIssue
@@ -34,11 +37,15 @@ class VerificationResult:
     elapsed: float = 0.0
     branches: int = 0
     stats: TacticStats = field(default_factory=TacticStats)
+    #: ``verified | refuted | timeout | crashed | error`` — the
+    #: first-class verdict; ``ok`` stays as the boolean shorthand.
+    status: str = "verified"
 
     def __str__(self) -> str:
         mark = "✓" if self.ok else "✗"
+        tag = f" {self.status}!" if self.status not in ("verified", "refuted") else ""
         return (
-            f"{mark} {self.function} [{self.kind}] "
+            f"{mark} {self.function} [{self.kind}]{tag} "
             f"({self.elapsed * 1000:.1f} ms, {self.branches} branches)"
         )
 
@@ -75,14 +82,55 @@ def verify_function(
     solver: Optional[Solver] = None,
     stats: Optional[TacticStats] = None,
     auto_repair: bool = True,
+    budget: Optional[Budget] = None,
 ) -> VerificationResult:
+    """Verify one function against one spec.
+
+    ``budget`` (a running :class:`repro.budget.Budget`) cooperatively
+    bounds the run: deadline / step / solver-query exhaustion is caught
+    here and becomes a ``timeout`` verdict, never an exception.
+    """
     solver = solver or default_solver()
     stats = stats if stats is not None else TacticStats()
     model = RustStateModel(program, solver)
-    engine = Engine(program, model, stats=stats, auto_repair=auto_repair)
+    engine = Engine(
+        program, model, stats=stats, auto_repair=auto_repair, budget=budget
+    )
     started = time.perf_counter()
     result = VerificationResult(body.name, spec.kind, ok=True, stats=stats)
+    faultinject.fire("verifier.function", body.name)
 
+    # The solver is shared across functions (its cache is the point);
+    # the budget is per-function. Install it for the duration of this
+    # run only, restoring whatever an outer caller had installed.
+    prev_budget = solver.budget
+    solver.budget = budget if budget is not None else prev_budget
+    try:
+        _verify_function_inner(
+            program, body, spec, solver, stats, engine, model, result
+        )
+    except BudgetExhausted as e:
+        result.ok = False
+        result.status = "timeout"
+        result.issues.append(VerificationIssue(body.name, "budget", str(e)))
+    finally:
+        solver.budget = prev_budget
+    if result.status == "verified" and not result.ok:
+        result.status = "refuted"
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _verify_function_inner(
+    program: Program,
+    body: Body,
+    spec: Spec,
+    solver: Solver,
+    stats: TacticStats,
+    engine: Engine,
+    model: RustStateModel,
+    result: VerificationResult,
+) -> None:
     # 1. Instantiate the spec: fresh argument values, fresh forall vars.
     kappa_val = fresh_var(f"κ@{body.name}", LFT)
     arg_vals = [fresh_var(f"{body.name}.{n}", v.sort)
@@ -102,8 +150,7 @@ def verify_function(
     except ProduceError as e:
         result.ok = False
         result.issues.append(VerificationIssue(body.name, "pre", str(e)))
-        result.elapsed = time.perf_counter() - started
-        return result
+        return
 
     locals0 = {n: a for (n, _), a in zip(body.params, arg_vals)}
     locals0["'a"] = kappa_val
@@ -133,8 +180,6 @@ def verify_function(
             _check_post(
                 model, body, spec, t, kappa_val, forall_map, result, stats
             )
-    result.elapsed = time.perf_counter() - started
-    return result
 
 
 def _check_post(
@@ -181,35 +226,71 @@ def _check_post(
         )
 
 
+def failure_result(name: str, kind: str, exc: BaseException) -> VerificationResult:
+    """A complete-report stand-in for a function whose verification
+    failed outright (crash, injected fault, internal error)."""
+    status = status_of(exc)
+    return VerificationResult(
+        name,
+        kind,
+        ok=False,
+        status=status,
+        issues=[VerificationIssue(name, status, str(exc) or type(exc).__name__)],
+    )
+
+
 def _verify_spec_worker(payload: tuple, name: str) -> VerificationResult:
     """Pool worker for :func:`verify_program`; the program and solver
-    arrive via fork inheritance (see repro.parallel)."""
-    program, solver = payload
-    return verify_function(program, program.bodies[name], program.specs[name], solver)
+    arrive via fork inheritance (see repro.parallel). Catches its own
+    exceptions so serial and parallel runs degrade identically —
+    only a dead worker process reaches the pool's crash path."""
+    program, solver, budget_spec = payload
+    spec = program.specs[name]
+    try:
+        budget = budget_spec.start() if budget_spec is not None else None
+        return verify_function(
+            program, program.bodies[name], spec, solver, budget=budget
+        )
+    except Exception as e:
+        return failure_result(name, getattr(spec, "kind", "?"), e)
 
 
 def verify_program(
     program: Program,
     solver: Optional[Solver] = None,
     jobs: Optional[int] = 1,
+    budget: Optional[BudgetSpec] = None,
 ) -> list[VerificationResult]:
     """Verify every function that has an attached spec.
 
     ``jobs=1`` keeps the serial path (and result order); ``jobs=N``
     fans the independent per-function runs out over a process pool,
     returning results in the same order as the serial path.
+
+    Failures never unwind the whole run: each function gets a fresh
+    per-function budget from ``budget`` (default: the ``REPRO_*`` env
+    knobs), exceptions become ``timeout``/``crashed``/``error``
+    results, and a worker killed mid-verification is retried serially.
     """
     solver = solver or default_solver()
+    if budget is None:
+        budget = BudgetSpec.from_env()
+    payload = (program, solver, budget if budget else None)
     names = [
         name
         for name, spec in program.specs.items()
         if not getattr(spec, "trusted", False) and name in program.bodies
     ]
     if jobs == 1:
-        return [
-            verify_function(program, program.bodies[n], program.specs[n], solver)
-            for n in names
-        ]
+        return [_verify_spec_worker(payload, n) for n in names]
     from repro.parallel import fanout
 
-    return fanout(_verify_spec_worker, (program, solver), names, jobs)
+    return fanout(
+        _verify_spec_worker,
+        payload,
+        names,
+        jobs,
+        on_error=lambda name, exc: failure_result(
+            name, getattr(program.specs[name], "kind", "?"), exc
+        ),
+    )

@@ -28,6 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro import faultinject
+from repro.budget import Budget, BudgetSpec
+from repro.errors import BudgetExhausted, EncodingError, status_of
 from repro.parallel import fanout
 
 from repro.creusot.vcgen import CreusotResult, CreusotVerifier
@@ -40,6 +43,12 @@ from repro.pearlite.encode import PearliteEncoder
 from repro.solver.core import Solver
 
 
+#: Per-entry verdicts, in report-aggregation precedence order (a report
+#: containing a crash is "crashed" even if another entry merely refuted).
+STATUSES = ("verified", "refuted", "timeout", "crashed", "error")
+_SEVERITY = ("error", "crashed", "timeout", "refuted")
+
+
 @dataclass
 class HybridEntry:
     function: str
@@ -47,26 +56,67 @@ class HybridEntry:
     ok: bool
     detail: Union[CreusotResult, VerificationResult, None]
     note: str = ""
+    #: ``verified | refuted | timeout | crashed | error``; defaults
+    #: from ``ok`` so pre-existing construction sites stay valid.
+    status: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.status:
+            self.status = "verified" if self.ok else "refuted"
 
     def __str__(self) -> str:
         mark = "✓" if self.ok else "✗"
-        return f"{mark} {self.function:42s} [{self.half}] {self.note}"
+        note = self.note
+        if self.status not in ("verified", "refuted"):
+            note = f"{self.status.upper()}: {note}" if note else self.status.upper()
+        return f"{mark} {self.function:42s} [{self.half}] {note}"
 
 
 @dataclass
 class HybridReport:
     entries: list[HybridEntry] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Budget/degradation counters of the driving solver (serial path;
+    #: forked workers keep their own copies), captured at run() end.
+    solver_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return all(e.ok for e in self.entries)
 
+    @property
+    def counters(self) -> dict[str, int]:
+        out = {s: 0 for s in STATUSES}
+        for e in self.entries:
+            out[e.status] = out.get(e.status, 0) + 1
+        return out
+
+    @property
+    def status(self) -> str:
+        """Aggregate verdict: ``verified`` iff every entry verified,
+        else the most severe per-entry status present."""
+        c = self.counters
+        for s in _SEVERITY:
+            if c.get(s):
+                return s
+        return "verified"
+
     def render(self) -> str:
         lines = ["function                                     half          note"]
         lines += [str(e) for e in self.entries]
-        status = "ALL VERIFIED" if self.ok else "FAILURES PRESENT"
-        lines.append(f"-- {status} in {self.elapsed:.2f}s --")
+        c = self.counters
+        summary = ", ".join(f"{c[s]} {s}" for s in STATUSES if c[s]) or "0 entries"
+        if self.ok:
+            lines.append(f"-- ALL VERIFIED: {summary} in {self.elapsed:.2f}s --")
+        else:
+            lines.append(f"-- {summary} in {self.elapsed:.2f}s --")
+        ss = self.solver_stats
+        if ss.get("unknowns") or ss.get("budget_stops"):
+            lines.append(
+                f"-- solver: {ss.get('checks', 0)} checks, "
+                f"{ss.get('unknowns', 0)} unknown (branch cap), "
+                f"{ss.get('budget_stops', 0)} budget stops --"
+            )
         return "\n".join(lines)
 
 
@@ -81,6 +131,7 @@ class HybridVerifier:
         solver: Optional[Solver] = None,
         manual_pure_pre: Optional[dict[str, list]] = None,
         auto_extract: bool = False,
+        budget: Optional[BudgetSpec] = None,
     ) -> None:
         self.program = program
         self.ownables = ownables
@@ -90,47 +141,99 @@ class HybridVerifier:
         self.creusot = CreusotVerifier(program, ownables, contracts, self.solver)
         self.manual_pure_pre = manual_pure_pre or {}
         self.auto_extract = auto_extract
+        #: Per-function budget spec; each function gets a fresh running
+        #: Budget minted from it. Default: the REPRO_* env knobs.
+        self.budget = budget if budget is not None else BudgetSpec.from_env()
 
     def verify_one(self, name: str) -> list[HybridEntry]:
-        body = self.program.bodies[name]
-        if body.is_safe:
-            r = self.creusot.verify(body)
-            return [
-                HybridEntry(
-                    name, "creusot", r.ok, r,
-                    note=f"{r.vcs} VCs, {r.elapsed * 1000:.0f} ms",
-                )
-            ]
-        entries = []
-        # Type safety first (show_safety), then the Pearlite contract.
-        safety = show_safety_spec(self.ownables, body)
-        rs = verify_function(self.program, body, safety, self.solver)
-        entries.append(
-            HybridEntry(
-                name, "gillian-rust", rs.ok, rs,
-                note=f"type safety, {rs.elapsed * 1000:.0f} ms",
-            )
-        )
-        contract = self.contracts.get(name)
-        if contract is not None and _has_clauses(contract):
-            from repro.pearlite.parser import parse_pearlite
+        """Verify one function, degrading every failure mode into
+        ✗-with-reason entries — this is the pipeline's fault boundary;
+        no exception escapes it."""
+        budget = self.budget.start() if self.budget else None
+        try:
+            faultinject.fire("pipeline.verify_one", name)
+            return self._verify_one_inner(name, budget)
+        except Exception as e:  # BudgetExhausted → timeout, … → error
+            return [self._failure_entry(name, e)]
 
-            manual = [
-                parse_pearlite(p) if isinstance(p, str) else p
-                for p in self.manual_pure_pre.get(name, [])
-            ]
-            spec = self.encoder.encode_contract(
-                body, contract, auto_extract=self.auto_extract,
-                manual_pure_pre=manual,
+    def _failure_entry(self, name: str, exc: BaseException) -> HybridEntry:
+        body = self.program.bodies.get(name)
+        half = (
+            "creusot" if body is not None and body.is_safe else "gillian-rust"
+        )
+        return HybridEntry(
+            name,
+            half,
+            ok=False,
+            detail=None,
+            note=str(exc) or type(exc).__name__,
+            status=status_of(exc),
+        )
+
+    def _verify_one_inner(
+        self, name: str, budget: Optional[Budget]
+    ) -> list[HybridEntry]:
+        body = self.program.bodies[name]
+        # Both halves share the solver; install this function's budget
+        # for the whole per-function run (the Creusot half has no budget
+        # parameter of its own — it is bounded through the solver).
+        prev_budget = self.solver.budget
+        if budget is not None:
+            self.solver.budget = budget
+        try:
+            if body.is_safe:
+                r = self.creusot.verify(body)
+                return [
+                    HybridEntry(
+                        name, "creusot", r.ok, r,
+                        note=f"{r.vcs} VCs, {r.elapsed * 1000:.0f} ms",
+                    )
+                ]
+            entries = []
+            # Type safety first (show_safety), then the Pearlite contract.
+            safety = show_safety_spec(self.ownables, body)
+            rs = verify_function(
+                self.program, body, safety, self.solver, budget=budget
             )
-            rf = verify_function(self.program, body, spec, self.solver)
             entries.append(
                 HybridEntry(
-                    name, "gillian-rust", rf.ok, rf,
-                    note=f"functional (Pearlite), {rf.elapsed * 1000:.0f} ms",
+                    name, "gillian-rust", rs.ok, rs,
+                    note=f"type safety, {rs.elapsed * 1000:.0f} ms",
+                    status=rs.status,
                 )
             )
-        return entries
+            contract = self.contracts.get(name)
+            if contract is not None and _has_clauses(contract):
+                from repro.pearlite.parser import parse_pearlite
+
+                try:
+                    manual = [
+                        parse_pearlite(p) if isinstance(p, str) else p
+                        for p in self.manual_pure_pre.get(name, [])
+                    ]
+                    spec = self.encoder.encode_contract(
+                        body, contract, auto_extract=self.auto_extract,
+                        manual_pure_pre=manual,
+                    )
+                except BudgetExhausted:
+                    raise
+                except Exception as e:
+                    raise EncodingError(
+                        f"cannot encode contract of {name}: {e}"
+                    ) from e
+                rf = verify_function(
+                    self.program, body, spec, self.solver, budget=budget
+                )
+                entries.append(
+                    HybridEntry(
+                        name, "gillian-rust", rf.ok, rf,
+                        note=f"functional (Pearlite), {rf.elapsed * 1000:.0f} ms",
+                        status=rf.status,
+                    )
+                )
+            return entries
+        finally:
+            self.solver.budget = prev_budget
 
     def run(
         self,
@@ -143,6 +246,11 @@ class HybridVerifier:
         fans the per-function verifications out over a fork-based
         process pool, reassembling entries in the serial order.
         ``jobs=None`` uses ``REPRO_JOBS``/CPU count.
+
+        Always returns a *complete* report: per-function failures of
+        any kind (budget exhaustion, worker crash, internal error)
+        become entries with the matching ``status``; a worker killed
+        mid-flight is retried serially before being reported crashed.
         """
         started = time.perf_counter()
         report = HybridReport()
@@ -151,9 +259,20 @@ class HybridVerifier:
             for name in names:
                 report.entries.extend(self.verify_one(name))
         else:
-            for entries in fanout(_verify_one_worker, self, names, jobs):
+            results = fanout(
+                _verify_one_worker,
+                self,
+                names,
+                jobs,
+                on_error=lambda name, exc: [self._failure_entry(name, exc)],
+            )
+            for entries in results:
                 report.entries.extend(entries)
         report.elapsed = time.perf_counter() - started
+        report.solver_stats = {
+            k: self.solver.stats.get(k, 0)
+            for k in ("checks", "unknowns", "budget_stops")
+        }
         return report
 
 

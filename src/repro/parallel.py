@@ -11,20 +11,62 @@ the results (picklable dataclasses; terms re-intern on unpickle via
 
 ``jobs=1`` bypasses the pool entirely, preserving the serial code path
 — and therefore report ordering and determinism — bit for bit.
+
+Fault tolerance (the degradation ladder, outermost rung first):
+
+1. a worker that *raises* delivers its exception through the future;
+   it is collected per-future (never unwinding the whole fan-out) and
+   mapped through ``on_error`` — the other futures keep their results;
+2. a worker that *dies* (``os._exit``, segfault, OOM kill) breaks the
+   pool: every undelivered future is cancelled, and the affected items
+   are retried **serially in the parent** (bounded attempts with
+   backoff) — transient crashes recover, deterministic ones surface
+   as :class:`~repro.errors.WorkerCrashed` through ``on_error``;
+3. a re-entrant ``fanout`` call while a pool is live (fork-inherited
+   ``_PAYLOAD`` would be clobbered) is detected and falls back to the
+   serial path.
+
+Without ``on_error`` the first failure re-raises after all futures are
+drained (legacy behaviour, still loss-free for completed siblings).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro import faultinject
+from repro.errors import WorkerCrashed
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Payload handed to workers by fork inheritance (never pickled).
 _PAYLOAD = None
+
+#: True while a pool is live; guards ``_PAYLOAD`` against re-entrancy.
+_ACTIVE = False
+
+#: Fault/retry counters, surfaced in BENCH json next to the solver
+#: stats so a degraded benchmark run is visible in the record.
+PARALLEL_STATS = {
+    "fanouts": 0,
+    "worker_failures": 0,
+    "broken_pools": 0,
+    "cancelled_futures": 0,
+    "serial_retries": 0,
+    "serial_fallbacks": 0,
+}
+
+
+def reset_parallel_stats() -> None:
+    for k in PARALLEL_STATS:
+        PARALLEL_STATS[k] = 0
 
 
 def default_jobs() -> int:
@@ -34,7 +76,12 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"REPRO_JOBS={env!r} is not an integer; "
+                "falling back to the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return os.cpu_count() or 1
 
 
@@ -43,6 +90,7 @@ def fork_available() -> bool:
 
 
 def _invoke(fn: Callable, idx: int, item) -> tuple:
+    faultinject.fire("parallel.worker", str(item))
     return idx, fn(_PAYLOAD, item)
 
 
@@ -51,21 +99,43 @@ def fanout(
     payload,
     items: Iterable[T],
     jobs: Optional[int],
+    on_error: Optional[Callable[[T, BaseException], R]] = None,
+    crash_retries: int = 2,
+    backoff: float = 0.05,
 ) -> list:
     """Run ``fn(payload, item)`` for every item; results in item order.
 
     ``fn`` must be a module-level function (pickled by reference);
     ``payload`` may be arbitrarily unpicklable — it reaches workers via
     fork inheritance. ``jobs=None`` means :func:`default_jobs`.
+
+    ``on_error(item, exc) -> result`` maps a failed item to a stand-in
+    result instead of raising, so callers can degrade one entry while
+    keeping the rest of the report. Items lost to a broken pool are
+    first retried serially in the parent (``crash_retries`` attempts,
+    linear ``backoff``); only a retry-proof failure reaches
+    ``on_error`` (as :class:`WorkerCrashed`).
     """
+    global _PAYLOAD, _ACTIVE
     items = list(items)
     if jobs is None:
         jobs = default_jobs()
-    if jobs <= 1 or len(items) <= 1 or not fork_available():
-        return [fn(payload, it) for it in items]
-    global _PAYLOAD
+    serial = jobs <= 1 or len(items) <= 1 or not fork_available()
+    if not serial and _ACTIVE:
+        # Re-entrant fan-out (e.g. a worker-side callee fanning out
+        # again after fork): the live pool owns _PAYLOAD; clobbering it
+        # would hand other workers the wrong closure. Degrade serially.
+        PARALLEL_STATS["serial_fallbacks"] += 1
+        serial = True
+    if serial:
+        return [_call_serial(fn, payload, it, on_error) for it in items]
+    PARALLEL_STATS["fanouts"] += 1
     ctx = multiprocessing.get_context("fork")
     _PAYLOAD = payload
+    _ACTIVE = True
+    out: list = [None] * len(items)
+    lost: list[int] = []  # indices whose future died with the pool
+    first_failure: Optional[BaseException] = None
     try:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(items)), mp_context=ctx
@@ -73,10 +143,69 @@ def fanout(
             futures = [
                 pool.submit(_invoke, fn, i, it) for i, it in enumerate(items)
             ]
-            out: list = [None] * len(items)
-            for fut in futures:
-                idx, result = fut.result()
-                out[idx] = result
-        return out
+            broken = False
+            for i, fut in enumerate(futures):
+                if broken:
+                    # The pool is gone; don't block on futures that can
+                    # never complete — cancel and queue for retry.
+                    if fut.cancel():
+                        PARALLEL_STATS["cancelled_futures"] += 1
+                        lost.append(i)
+                        continue
+                try:
+                    idx, result = fut.result()
+                    out[idx] = result
+                except BrokenProcessPool:
+                    if not broken:
+                        broken = True
+                        PARALLEL_STATS["broken_pools"] += 1
+                    lost.append(i)
+                except Exception as e:
+                    # One worker's exception must not unwind the fan-out:
+                    # record it, keep draining the siblings' results.
+                    PARALLEL_STATS["worker_failures"] += 1
+                    if on_error is not None:
+                        out[i] = on_error(items[i], e)
+                    elif first_failure is None:
+                        first_failure = e
     finally:
         _PAYLOAD = None
+        _ACTIVE = False
+    for i in lost:
+        out[i] = _retry_serial(
+            fn, payload, items[i], on_error, crash_retries, backoff
+        )
+    if first_failure is not None:
+        raise first_failure
+    return out
+
+
+def _call_serial(fn, payload, item, on_error):
+    if on_error is None:
+        return fn(payload, item)
+    try:
+        return fn(payload, item)
+    except Exception as e:
+        return on_error(item, e)
+
+
+def _retry_serial(fn, payload, item, on_error, retries: int, backoff: float):
+    """Re-run an item lost to a broken pool, in the parent process."""
+    last: BaseException = WorkerCrashed(
+        f"worker processing {item!r} died before returning a result"
+    )
+    for attempt in range(max(1, retries)):
+        if attempt:
+            time.sleep(backoff * attempt)
+        PARALLEL_STATS["serial_retries"] += 1
+        try:
+            return fn(payload, item)
+        except Exception as e:
+            last = e
+    if on_error is not None:
+        if not isinstance(last, WorkerCrashed):
+            last = WorkerCrashed(
+                f"worker for {item!r} died and serial retry failed: {last}"
+            )
+        return on_error(item, last)
+    raise last

@@ -40,6 +40,8 @@ import enum
 from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
+from repro import faultinject
+from repro.errors import BudgetExhausted  # re-exported; was defined here
 from repro.solver.intervals import LinearStore
 from repro.solver.sorts import BOOL, INT, OptionSort, SeqSort
 from repro.solver.terms import (
@@ -278,8 +280,12 @@ def _find_bool_ite(t: Term) -> Optional[App]:
     return None
 
 
-class BudgetExhausted(Exception):
-    pass
+class _BranchCapReached(Exception):
+    """Internal: the per-query ``branch_budget`` cap was hit. Caught by
+    :meth:`Solver.check_sat` and reported as :data:`Status.UNKNOWN` —
+    deliberate incompleteness, not a failure. Distinct from the
+    cooperative :class:`~repro.errors.BudgetExhausted`, which must
+    propagate to the verifier and become a ``timeout`` verdict."""
 
 
 #: Process-wide aggregate of every Solver instance's counters, so the
@@ -291,6 +297,8 @@ GLOBAL_STATS = {
     "cache_misses": 0,
     "cache_evictions": 0,
     "branches": 0,
+    "unknowns": 0,
+    "budget_stops": 0,
 }
 
 
@@ -304,6 +312,14 @@ class Solver:
 
     The cross-query result cache is a bounded LRU (``cache_capacity``
     entries); hit/miss/eviction counters live in :attr:`stats`.
+
+    :attr:`budget` (a :class:`repro.budget.Budget` or ``None``) is the
+    cooperative per-function budget: every cache-missing query ticks
+    it, and every explored branch ticks it, so deadlines and query
+    budgets interrupt even a single long-running query. Exhaustion
+    raises :class:`~repro.errors.BudgetExhausted` out of
+    :meth:`check_sat` — unlike the per-query ``branch_budget`` cap,
+    which merely degrades the answer to :data:`Status.UNKNOWN`.
     """
 
     def __init__(
@@ -311,6 +327,7 @@ class Solver:
     ) -> None:
         self.branch_budget = branch_budget
         self.cache_capacity = cache_capacity
+        self.budget = None  # Optional[repro.budget.Budget]
         self._cache: OrderedDict[frozenset, Status] = OrderedDict()
         self.stats = {
             "checks": 0,
@@ -318,6 +335,8 @@ class Solver:
             "cache_misses": 0,
             "cache_evictions": 0,
             "branches": 0,
+            "unknowns": 0,
+            "budget_stops": 0,
         }
 
     def _tick(self, key: str, n: int = 1) -> None:
@@ -327,6 +346,7 @@ class Solver:
     # -- public API ----------------------------------------------------------
 
     def check_sat(self, formulas: Iterable[Term]) -> Status:
+        faultinject.fire("solver.check_sat")
         fs = [f for f in formulas if f != TRUE]
         key = frozenset(fs)
         cache = self._cache
@@ -335,6 +355,12 @@ class Solver:
             cache.move_to_end(key)
             self._tick("cache_hits")
             return hit
+        if self.budget is not None:
+            try:
+                self.budget.tick_solver("check_sat")
+            except BudgetExhausted:
+                self._tick("budget_stops")
+                raise
         self._tick("checks")
         self._tick("cache_misses")
         if FALSE in fs:
@@ -342,8 +368,16 @@ class Solver:
         else:
             try:
                 result = self._search(fs)
-            except BudgetExhausted:
+            except _BranchCapReached:
                 result = Status.UNKNOWN
+                self._tick("unknowns")
+            except BudgetExhausted:
+                # The cooperative budget interrupted the search mid-way:
+                # the result is unknown but must NOT be cached (a later,
+                # fresh-budget run should get a real answer) and must
+                # propagate so the caller reports a timeout verdict.
+                self._tick("budget_stops")
+                raise
         cache[key] = result
         if len(cache) > self.cache_capacity:
             cache.popitem(last=False)
@@ -391,8 +425,10 @@ class Solver:
         """
         budget[0] -= 1
         if budget[0] <= 0:
-            raise BudgetExhausted()
+            raise _BranchCapReached()
         self._tick("branches")
+        if self.budget is not None:
+            self.budget.tick_branch("search")
         while pending is not None:
             f, pending = pending
             if f == TRUE:

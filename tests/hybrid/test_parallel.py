@@ -1,8 +1,11 @@
 """jobs=N must be a pure throughput knob: the ``HybridReport`` it
-produces has to match the serial ``jobs=1`` path entry for entry."""
+produces has to match the serial ``jobs=1`` path entry for entry —
+including when a worker is killed or raises mid-verification (the
+fault-tolerance layer retries or degrades just the affected entry)."""
 
 import pytest
 
+from repro import faultinject
 from repro.hybrid.pipeline import HybridVerifier
 from repro.parallel import default_jobs, fork_available
 from repro.rustlib.contracts import LINKED_LIST_CONTRACTS, MANUAL_PURE_PRECONDITIONS
@@ -78,3 +81,59 @@ def test_jobs_none_uses_default(env, monkeypatch):
     assert default_jobs() == 2
     report = _run(env, jobs=None)
     assert report.ok, report.render()
+
+
+def test_invalid_repro_jobs_warns(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "several")
+    with pytest.warns(RuntimeWarning, match="'several'"):
+        default_jobs()
+
+
+@pytest.fixture(scope="module")
+def serial_report(env):
+    report = _run(env, jobs=1)
+    assert report.ok, report.render()
+    return report
+
+
+@pytest.fixture()
+def clean_faults():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+class TestCrashIsolation:
+    """A dying or raising worker must cost at most its own entry: the
+    report stays complete and every other entry matches the serial run."""
+
+    def test_killed_worker_recovers_bit_identical(
+        self, env, serial_report, clean_faults
+    ):
+        # os._exit(1) in the worker verifying pop_front_node: the pool
+        # breaks, the lost items re-run serially in the parent (where
+        # the crash rule never fires), and the report is identical.
+        faultinject.install("parallel.worker@pop_front_node:crash")
+        report = _run(env, jobs=4)
+        assert _fingerprint(report) == _fingerprint(serial_report)
+        assert report.ok
+        assert report.status == "verified"
+
+    def test_raising_worker_degrades_only_its_entry(
+        self, env, serial_report, clean_faults
+    ):
+        faultinject.install("verifier.function@front_mut:raise:WorkerCrashed")
+        report = _run(env, jobs=4)
+        affected = [e for e in report.entries if "front_mut" in e.function]
+        assert len(affected) == 1
+        assert affected[0].status == "crashed"
+        assert not affected[0].ok
+        unaffected = [
+            f for f in _fingerprint(report) if "front_mut" not in f[0]
+        ]
+        expected = [
+            f for f in _fingerprint(serial_report) if "front_mut" not in f[0]
+        ]
+        assert unaffected == expected
+        assert report.status == "crashed"

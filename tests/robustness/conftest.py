@@ -1,0 +1,64 @@
+"""Shared fixtures for the fault-tolerance suite.
+
+The synthetic program keeps these tests fast (each function verifies
+in a few ms) while exercising the same pipeline surface as the real
+``rustlib`` programs: unsafe bodies, ``show_safety`` specs, the
+process pool, budgets and fault injection.
+"""
+
+import pytest
+
+from repro import faultinject
+from repro.gilsonite.ownable import OwnableRegistry
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import U64
+
+FAST_FNS = ["fn0", "fn1", "fn2", "fn3"]
+DIVERGING = "diverge"
+
+
+def _fast_body(name: str):
+    fn = BodyBuilder(name, params=[("x", U64)], ret=U64)
+    bb = fn.block()
+    bb.assign(fn.ret_place, fn.binop("add", fn.copy("x"), fn.const_int(0, U64)))
+    bb.ret()
+    return fn.finish()
+
+
+def _diverging_body():
+    """``loop { i += 1 }`` — every iteration grows the path condition
+    and issues fresh overflow-check solver queries, so wall-clock per
+    step grows without bound: the canonical diverging symbolic
+    execution a deadline must be able to stop."""
+    fn = BodyBuilder(DIVERGING, params=[("x", U64)], ret=U64)
+    bb0 = fn.block()
+    i = fn.local("i", U64)
+    bb1 = fn.block()
+    bb0.assign(i, fn.copy("x"))
+    bb0.goto(bb1)
+    bb1.assign(i, fn.binop("add", fn.copy(i), fn.const_int(1, U64)))
+    bb1.goto(bb1)
+    return fn.finish()
+
+
+@pytest.fixture(scope="module")
+def small_env():
+    program = Program()
+    for n in FAST_FNS:
+        program.add_body(_fast_body(n))
+    program.add_body(_diverging_body())
+    return program, OwnableRegistry(program)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    """Every test starts and ends with a clean fault table."""
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+def fingerprint(report):
+    """Everything observable about a report except wall-clock."""
+    return [(e.function, e.half, e.ok, e.status) for e in report.entries]

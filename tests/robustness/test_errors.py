@@ -1,0 +1,60 @@
+"""The error taxonomy: status mapping and pickle-through-the-pipe."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    BudgetExhausted,
+    EncodingError,
+    InjectedFault,
+    VerificationError,
+    WorkerCrashed,
+    status_of,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for cls in (BudgetExhausted, WorkerCrashed, EncodingError, InjectedFault):
+            assert issubclass(cls, VerificationError)
+            assert issubclass(cls, Exception)
+
+    def test_status_mapping(self):
+        assert status_of(BudgetExhausted("deadline", 1.0, 1.5)) == "timeout"
+        assert status_of(WorkerCrashed("boom")) == "crashed"
+        assert status_of(EncodingError("bad spec")) == "error"
+        assert status_of(InjectedFault("x")) == "error"
+        assert status_of(RuntimeError("anything else")) == "error"
+        assert status_of(KeyError("f")) == "error"
+
+    def test_budget_exhausted_message(self):
+        e = BudgetExhausted("deadline", 2.0, 2.173, site="LinkedList::push")
+        s = str(e)
+        assert "deadline" in s
+        assert "2.173/2.0" in s
+        assert "LinkedList::push" in s
+
+    def test_budget_exhausted_message_without_limits(self):
+        assert "budget exhausted" in str(BudgetExhausted())
+
+
+class TestPickle:
+    """Worker exceptions cross the process-pool pipe pickled; the
+    taxonomy must survive the round trip with fields intact."""
+
+    def test_budget_exhausted_roundtrip(self):
+        e = BudgetExhausted("step", 100, 101, site="diverge")
+        e2 = pickle.loads(pickle.dumps(e))
+        assert isinstance(e2, BudgetExhausted)
+        assert (e2.resource, e2.limit, e2.spent, e2.site) == (
+            "step", 100, 101, "diverge",
+        )
+        assert str(e2) == str(e)
+        assert status_of(e2) == "timeout"
+
+    @pytest.mark.parametrize("cls", [WorkerCrashed, EncodingError, InjectedFault])
+    def test_simple_roundtrip(self, cls):
+        e2 = pickle.loads(pickle.dumps(cls("some reason")))
+        assert isinstance(e2, cls)
+        assert "some reason" in str(e2)

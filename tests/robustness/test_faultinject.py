@@ -1,0 +1,109 @@
+"""The fault-injection harness itself: parsing, matching, actions."""
+
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.errors import InjectedFault, WorkerCrashed
+
+
+class TestParse:
+    def test_basic_rule(self):
+        [r] = faultinject.parse("solver.check_sat:raise")
+        assert (r.site, r.match, r.action, r.arg, r.remaining) == (
+            "solver.check_sat", "", "raise", "", None,
+        )
+
+    def test_full_rule(self):
+        [r] = faultinject.parse("verifier.function@push:raise:WorkerCrashed:2")
+        assert r.site == "verifier.function"
+        assert r.match == "push"
+        assert r.action == "raise"
+        assert r.arg == "WorkerCrashed"
+        assert r.remaining == 2
+
+    def test_multiple_rules(self):
+        rules = faultinject.parse(
+            "engine.step@client:delay:0.01, parallel.worker:crash"
+        )
+        assert [r.action for r in rules] == ["delay", "crash"]
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown action"):
+            faultinject.parse("site:explode")
+
+    def test_unknown_exception_rejected(self):
+        with pytest.raises(ValueError, match="unknown exception"):
+            faultinject.parse("site:raise:NoSuchError")
+
+    def test_missing_action_rejected(self):
+        with pytest.raises(ValueError, match="site:action"):
+            faultinject.parse("just-a-site")
+
+    def test_empty_spec(self):
+        assert faultinject.parse("") == []
+        faultinject.install("")
+        assert not faultinject.active()
+
+
+class TestFire:
+    def test_inert_without_rules(self):
+        faultinject.clear()
+        faultinject.fire("solver.check_sat")  # no-op
+
+    def test_raise_default_exception(self):
+        faultinject.install("s:raise")
+        with pytest.raises(InjectedFault, match="fault injected at s"):
+            faultinject.fire("s")
+
+    def test_raise_named_exception_with_context(self):
+        faultinject.install("v:raise:WorkerCrashed")
+        with pytest.raises(WorkerCrashed, match="my_fn"):
+            faultinject.fire("v", "my_fn")
+
+    def test_site_mismatch_is_inert(self):
+        faultinject.install("other:raise")
+        faultinject.fire("s")
+
+    def test_wildcard_site(self):
+        faultinject.install("*:raise")
+        with pytest.raises(InjectedFault):
+            faultinject.fire("anything")
+
+    def test_context_match(self):
+        faultinject.install("v@push:raise:RuntimeError")
+        faultinject.fire("v", "pop_front")  # context mismatch: inert
+        with pytest.raises(RuntimeError):
+            faultinject.fire("v", "LinkedList::push_front")
+
+    def test_count_exhausts(self):
+        faultinject.install("s:raise::2")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faultinject.fire("s")
+        faultinject.fire("s")  # third firing: rule went inert
+
+    def test_delay(self):
+        faultinject.install("s:delay:0.05")
+        t0 = time.perf_counter()
+        faultinject.fire("s")
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_crash_skipped_in_parent_process(self):
+        # The crash action only ever kills pool workers; in the parent
+        # it must be skipped WITHOUT consuming the rule (the serial
+        # retry of a crashed item relies on exactly this).
+        faultinject.install("parallel.worker:crash:1:1")
+        faultinject.fire("parallel.worker", "item")  # still alive
+        assert faultinject._rules[0].remaining == 1
+
+    def test_reload_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "s:raise")
+        faultinject.reload_env()
+        assert faultinject.active()
+        with pytest.raises(InjectedFault):
+            faultinject.fire("s")
+        monkeypatch.delenv("REPRO_FAULT")
+        faultinject.reload_env()
+        assert not faultinject.active()
