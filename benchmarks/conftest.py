@@ -7,9 +7,16 @@ root with per-test wall-clock, the aggregate solver counters
 hits/misses/evictions, branches, plus the robustness counters:
 branch-cap unknowns and cooperative-budget stops), the pool's
 fault/retry counters (:data:`repro.parallel.PARALLEL_STATS` — broken
-pools, worker failures, serial retries/fallbacks) and the
+pools, worker failures, serial retries/fallbacks), the proof-store
+counters (:data:`repro.store.STORE_STATS` — hits, misses, quarantines,
+heals; all zero unless a bench opts into ``REPRO_CACHE``) and the
 term-interner hit rate, so successive PRs can compare like for like
 and a silently degraded benchmark run is visible in the record.
+
+The pool and store counters are process-global, so an autouse fixture
+zeroes them before every benchmark (one bench's retries must not bleed
+into the next one's record) and accumulates the per-test deltas into
+the session totals that land in the JSON.
 """
 
 import json
@@ -18,8 +25,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.parallel import PARALLEL_STATS, reset_parallel_stats
 from repro.rustlib.linked_list import build_program
 from repro.rustlib.specs import install_callee_specs
+from repro.store import STORE_STATS, reset_store_stats
 
 _BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 
@@ -35,6 +44,23 @@ _TIER1_WALL_CLOCK = {
 }
 
 _rows = []
+_parallel_totals: dict = {}
+_store_totals: dict = {}
+
+
+@pytest.fixture(autouse=True)
+def isolated_global_counters():
+    """Zero the pool/store counters per benchmark, accumulate the
+    deltas into the session totals for the JSON record."""
+    reset_parallel_stats()
+    reset_store_stats()
+    yield
+    for k, v in PARALLEL_STATS.items():
+        _parallel_totals[k] = _parallel_totals.get(k, 0) + v
+    for k, v in STORE_STATS.items():
+        _store_totals[k] = _store_totals.get(k, 0) + v
+    reset_parallel_stats()
+    reset_store_stats()
 
 
 @pytest.fixture(scope="session")
@@ -70,7 +96,6 @@ def pytest_sessionfinish(session, exitstatus):
     if not _rows:
         return
     try:
-        from repro.parallel import PARALLEL_STATS
         from repro.solver.core import GLOBAL_STATS
         from repro.solver.terms import interner_stats
     except ImportError:  # running outside the src tree
@@ -90,12 +115,14 @@ def pytest_sessionfinish(session, exitstatus):
             round(stats["cache_hits"] / lookups, 4) if lookups else None
         ),
         # Degradation record: solver queries that hit the branch cap
-        # (UNKNOWN answers), cooperative-budget stops (timeouts), and
-        # the pool's crash/retry counters. All zero on a clean run.
+        # (UNKNOWN answers), cooperative-budget stops (timeouts), the
+        # pool's crash/retry counters and the proof-store's hit/miss/
+        # quarantine counters. All zero on a clean, cache-less run.
         "robustness": {
             "solver_unknowns": stats.get("unknowns", 0),
             "solver_budget_stops": stats.get("budget_stops", 0),
-            "parallel": dict(PARALLEL_STATS),
+            "parallel": dict(_parallel_totals) or dict(PARALLEL_STATS),
+            "store": dict(_store_totals) or dict(STORE_STATS),
         },
         "interner": interner,
         "interner_hit_rate": (

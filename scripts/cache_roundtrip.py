@@ -1,0 +1,154 @@
+"""Cold → warm → corrupt-and-heal acceptance check for the proof store.
+
+Runs the linked-list hybrid example three times against one cache:
+
+1. **cold**  — empty store: every function verifies and publishes;
+2. **warm**  — same inputs: every function replays from disk, and the
+   report is identical to the cold one (modulo wall-clock);
+3. **heal**  — one entry file gets a flipped byte: exactly that one
+   function is quarantined, re-verified and republished; the report is
+   still identical and the run never fails.
+
+Each run happens in a fresh subprocess (``REPRO_CACHE=1`` in its
+environment), so the cache is exercised across real process
+boundaries — the way CI and users hit it. Exits non-zero with a
+message on the first violated expectation.
+
+Run with ``python scripts/cache_roundtrip.py [cache-dir]``.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+FUNCTIONS = [
+    "client::stack_lifo",
+    "LinkedList::new",
+    "LinkedList::push_front_node",
+    "LinkedList::pop_front_node",
+    "LinkedList::front_mut",
+]
+
+# Runs in a subprocess: build the example program, run the pipeline
+# with the env-configured store, dump what the parent asserts on.
+_DRIVER = """
+import json, sys
+sys.path.insert(0, "examples")
+from hybrid_client import build_stack_client
+from repro.hybrid.pipeline import HybridVerifier
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS, MANUAL_PURE_PRECONDITIONS
+from repro.rustlib.linked_list import build_program
+from repro.rustlib.specs import install_callee_specs
+
+program, ownables = build_program()
+install_callee_specs(program, ownables)
+program.add_body(build_stack_client())
+report = HybridVerifier(
+    program, ownables, LINKED_LIST_CONTRACTS,
+    manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+).run(json.loads(sys.argv[1]))
+print(json.dumps({
+    "ok": report.ok,
+    "entries": [[e.function, e.half, e.ok, e.status] for e in report.entries],
+    "store": report.store_stats,
+    "render": report.render(),
+}))
+"""
+
+
+def run_pipeline(cache_dir):
+    env = dict(
+        os.environ,
+        PYTHONPATH="src",
+        REPRO_CACHE="1",
+        REPRO_CACHE_DIR=str(cache_dir),
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER, json.dumps(FUNCTIONS)],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"pipeline subprocess failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def expect(cond, message):
+    if not cond:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"  ok: {message}")
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        cache_dir = pathlib.Path(sys.argv[1])
+        cache_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        cache_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-cache-"))
+    n = len(FUNCTIONS)
+
+    print(f"[1/3] cold run against {cache_dir}")
+    cold = run_pipeline(cache_dir)
+    expect(cold["ok"], "cold run verifies everything")
+    expect(
+        cold["store"]["misses"] == n and cold["store"]["stores"] == n,
+        f"cold run verifies and publishes all {n} functions",
+    )
+
+    print("[2/3] warm run")
+    warm = run_pipeline(cache_dir)
+    expect(
+        warm["store"]["hits"] == n and warm["store"]["misses"] == 0,
+        f"warm run replays all {n} functions from the cache",
+    )
+    expect(
+        warm["entries"] == cold["entries"],
+        "warm report is identical to the cold one",
+    )
+
+    print("[3/3] corrupt one entry, heal run")
+    entries = sorted((cache_dir / "entries").glob("*/*.json"))
+    expect(len(entries) == n, f"{n} entry files on disk")
+    victim = entries[0]
+    blob = bytearray(victim.read_bytes())
+    blob[blob.find(b'"payload": "') + 20] ^= 0x01
+    victim.write_bytes(bytes(blob))
+
+    heal = run_pipeline(cache_dir)
+    expect(heal["ok"], "heal run still verifies everything")
+    expect(
+        heal["store"]["quarantined"] == 1 and heal["store"]["corrupt"] == 1,
+        "the corrupt entry was detected and quarantined",
+    )
+    expect(
+        heal["store"]["hits"] == n - 1
+        and heal["store"]["misses"] == 1
+        and heal["store"]["stores"] == 1,
+        "exactly one function was re-verified and republished",
+    )
+    expect(
+        heal["store"]["healed"] == 1,
+        "the republished entry healed the quarantined fingerprint",
+    )
+    expect(
+        heal["entries"] == cold["entries"],
+        "healed report is identical to the cold one",
+    )
+
+    print("\n" + heal["render"])
+    print("\ncache round-trip: all expectations hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

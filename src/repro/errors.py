@@ -16,6 +16,7 @@ exception                 status      meaning
 BudgetExhausted           timeout     deadline / step / query budget hit
 WorkerCrashed             crashed     a pool worker died (segfault, kill)
 EncodingError             error       spec → Gilsonite encoding failed
+StoreCorrupted            error       proof-store entry failed validation
 any other Exception       error       unexpected internal failure
 ========================  ==========  =====================================
 
@@ -92,6 +93,30 @@ class EncodingError(VerificationError):
     """A Pearlite contract could not be encoded into Gilsonite."""
 
     status = "error"
+
+
+class StoreCorrupted(VerificationError):
+    """A persistent proof-store entry failed validation (torn write,
+    checksum mismatch, undecodable payload). In ``heal`` mode the store
+    quarantines the entry and reports a miss — callers re-verify and the
+    fresh result overwrites the quarantined one; in ``strict`` mode the
+    exception surfaces and the pipeline degrades it into an ``error``
+    entry. Either way a corrupt cache costs performance, never
+    correctness, and never crashes the run."""
+
+    status = "error"
+
+    def __init__(self, reason: str = "store entry corrupt", path: str = "") -> None:
+        # Positional args only: Exception pickles as ``cls(*self.args)``.
+        super().__init__(reason, path)
+        self.reason = reason
+        self.path = path
+
+    def __str__(self) -> str:
+        msg = self.reason
+        if self.path:
+            msg += f" ({self.path})"
+        return msg
 
 
 class InjectedFault(VerificationError):

@@ -21,11 +21,19 @@ Rule grammar (comma-separated)::
     skipped, which is what lets the pool's serial retry recover the
     item. Simulates a segfaulted / OOM-killed worker.
   - ``raise``       — raise an exception; ``arg`` names the class
-    (``WorkerCrashed``, ``EncodingError``, ``RuntimeError``,
-    ``ValueError``, ``MemoryError``), default
+    (``WorkerCrashed``, ``EncodingError``, ``StoreCorrupted``,
+    ``RuntimeError``, ``ValueError``, ``MemoryError``), default
     :class:`~repro.errors.InjectedFault`.
   - ``delay``       — ``time.sleep(arg)`` seconds (default 0.05), for
     deadline/timeout testing.
+  - ``ioerror``     — raise ``OSError(arg or "injected I/O error")``;
+    exercises the store's bounded retry/backoff on transient I/O.
+  - ``torn``        — truncate the bytes about to hit disk to ``arg``
+    bytes (default: half), simulating a crash between ``write`` and
+    ``fsync``. Only fires through :func:`corrupt` (store sites).
+  - ``bitflip``     — XOR one bit of the bytes about to hit disk at
+    offset ``arg`` (default: the middle byte), simulating silent media
+    corruption. Only fires through :func:`corrupt`.
 
 * ``count``  — fire at most N times in this process, then go inert
   (unbounded when omitted). Each forked worker inherits its own copy
@@ -39,13 +47,23 @@ Instrumented sites:
 ``verifier.function``   ``verify_function`` entry, context = fn name
 ``engine.step``         each engine basic-block step, context = fn name
 ``solver.check_sat``    each solver query (cache hit or miss)
+``store.write``         proof-store entry publish, context = fn name
+``store.read``          proof-store entry lookup, context = fn name
 ======================  =================================================
+
+The control-flow actions (``crash``/``raise``/``delay``/``ioerror``)
+fire through :func:`fire`; the data actions (``torn``/``bitflip``)
+fire through :func:`corrupt`, which the store calls on the exact bytes
+it is about to write — each helper ignores the other's actions, so one
+rule never fires twice.
 
 Examples::
 
     REPRO_FAULT="parallel.worker@pop_front:crash"
     REPRO_FAULT="verifier.function@push:raise:WorkerCrashed"
     REPRO_FAULT="engine.step@client:delay:0.2,solver.check_sat:raise::1"
+    REPRO_FAULT="store.write@fn1:torn::1"       # one torn write, then clean
+    REPRO_FAULT="store.read:ioerror"            # every lookup EIOs
 """
 
 from __future__ import annotations
@@ -56,18 +74,23 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import EncodingError, InjectedFault, WorkerCrashed
+from repro.errors import EncodingError, InjectedFault, StoreCorrupted, WorkerCrashed
 
 _EXCEPTIONS = {
     "InjectedFault": InjectedFault,
     "WorkerCrashed": WorkerCrashed,
     "EncodingError": EncodingError,
+    "StoreCorrupted": StoreCorrupted,
     "RuntimeError": RuntimeError,
     "ValueError": ValueError,
     "MemoryError": MemoryError,
 }
 
-_ACTIONS = ("crash", "raise", "delay")
+_ACTIONS = ("crash", "raise", "delay", "ioerror", "torn", "bitflip")
+
+#: Data actions rewrite bytes via :func:`corrupt`; everything else is a
+#: control-flow action fired via :func:`fire`.
+_DATA_ACTIONS = ("torn", "bitflip")
 
 
 @dataclass
@@ -117,6 +140,14 @@ def parse(spec: str) -> list[_Rule]:
                 f"fault rule {part!r}: unknown exception {arg!r} "
                 f"(expected one of {sorted(_EXCEPTIONS)})"
             )
+        if action in _DATA_ACTIONS and arg:
+            try:
+                int(arg)
+            except ValueError:
+                raise ValueError(
+                    f"fault rule {part!r}: {action} takes a byte offset/"
+                    f"count, got {arg!r}"
+                ) from None
         rules.append(
             _Rule(site, match, action, arg, int(count) if count else None)
         )
@@ -152,10 +183,13 @@ def _in_worker() -> bool:
 
 def fire(site: str, context: str = "") -> None:
     """Trigger any matching fault at this site. No-op (one flag check)
-    when no rules are installed."""
+    when no rules are installed. Data actions (``torn``/``bitflip``)
+    are ignored here — they fire through :func:`corrupt`."""
     if not _active:
         return
     for rule in _rules:
+        if rule.action in _DATA_ACTIONS:
+            continue
         if not rule.matches(site, context):
             continue
         if rule.action == "crash":
@@ -174,6 +208,33 @@ def fire(site: str, context: str = "") -> None:
         elif rule.action == "raise":
             exc = _EXCEPTIONS.get(rule.arg, InjectedFault)
             raise exc(f"fault injected at {site}" + (f" ({context})" if context else ""))
+        elif rule.action == "ioerror":
+            raise OSError(rule.arg or f"injected I/O error at {site}")
+
+
+def corrupt(site: str, context: str, data: bytes) -> bytes:
+    """Apply any matching *data* fault (``torn``/``bitflip``) to the
+    bytes about to be written at this site; returns the (possibly
+    rewritten) bytes. Control-flow rules are ignored — they belong to
+    :func:`fire`. No-op (one flag check) when no rules are installed."""
+    if not _active or not data:
+        return data
+    for rule in _rules:
+        if rule.action not in _DATA_ACTIONS:
+            continue
+        if not rule.matches(site, context):
+            continue
+        if rule.remaining is not None:
+            rule.remaining -= 1
+        if rule.action == "torn":
+            keep = int(rule.arg) if rule.arg else len(data) // 2
+            return data[: max(0, keep)]
+        pos = int(rule.arg) if rule.arg else len(data) // 2
+        pos = min(max(0, pos), len(data) - 1)
+        flipped = bytearray(data)
+        flipped[pos] ^= 0x01
+        return bytes(flipped)
+    return data
 
 
 # Activate from the environment at import time so `REPRO_FAULT=... pytest`

@@ -20,6 +20,19 @@ Functions are verified independently, so :meth:`HybridVerifier.run`
 can fan the per-function Creusot/Gillian-Rust jobs out over a
 process pool (``jobs=N``); ``jobs=1`` (the default) preserves the
 deterministic serial path and report ordering exactly.
+
+With a :class:`~repro.store.ProofStore` attached (``store=...`` or
+``REPRO_CACHE=1``), completed proofs persist across process death:
+``run`` looks every function up by its content fingerprint first,
+verifies only the misses, and publishes each fresh result atomically
+as soon as it completes (workers publish their own — a ``kill -9``
+mid-run loses at most the in-flight functions, and the next run
+resumes from the store with a report identical to an uninterrupted
+one, modulo wall-clock).
+
+All wall-clock bookkeeping here uses ``time.monotonic()`` (like
+:mod:`repro.budget`): report timing and resume accounting must never
+step backwards under NTP/clock adjustments.
 """
 
 from __future__ import annotations
@@ -30,8 +43,9 @@ from typing import Optional, Union
 
 from repro import faultinject
 from repro.budget import Budget, BudgetSpec
-from repro.errors import BudgetExhausted, EncodingError, status_of
-from repro.parallel import fanout
+from repro.errors import BudgetExhausted, EncodingError, StoreCorrupted, status_of
+from repro.parallel import PARALLEL_STATS, fanout
+from repro.store import ProofStore, STORE_STATS, function_fingerprint, logic_digest
 
 from repro.creusot.vcgen import CreusotResult, CreusotVerifier
 from repro.gillian.verifier import VerificationResult, verify_function
@@ -79,6 +93,12 @@ class HybridReport:
     #: Budget/degradation counters of the driving solver (serial path;
     #: forked workers keep their own copies), captured at run() end.
     solver_stats: dict = field(default_factory=dict)
+    #: Pool fault/retry counters for *this run* (delta of
+    #: ``repro.parallel.PARALLEL_STATS`` across run()).
+    parallel_stats: dict = field(default_factory=dict)
+    #: Proof-store hit/miss/quarantine counters for *this run* (delta of
+    #: ``repro.store.STORE_STATS``); empty when no store was attached.
+    store_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -117,6 +137,23 @@ class HybridReport:
                 f"{ss.get('unknowns', 0)} unknown (branch cap), "
                 f"{ss.get('budget_stops', 0)} budget stops --"
             )
+        ps = self.parallel_stats
+        if ps and any(ps.values()):
+            lines.append(
+                f"-- pool: {ps.get('fanouts', 0)} fanouts, "
+                f"{ps.get('worker_failures', 0)} worker failures, "
+                f"{ps.get('broken_pools', 0)} broken pools, "
+                f"{ps.get('serial_retries', 0)} serial retries --"
+            )
+        st = self.store_stats
+        if st:
+            lines.append(
+                f"-- store: {st.get('hits', 0)} hits, "
+                f"{st.get('misses', 0)} misses, "
+                f"{st.get('stores', 0)} stored, "
+                f"{st.get('quarantined', 0)} quarantined, "
+                f"{st.get('healed', 0)} healed --"
+            )
         return "\n".join(lines)
 
 
@@ -132,6 +169,7 @@ class HybridVerifier:
         manual_pure_pre: Optional[dict[str, list]] = None,
         auto_extract: bool = False,
         budget: Optional[BudgetSpec] = None,
+        store: Optional[ProofStore] = None,
     ) -> None:
         self.program = program
         self.ownables = ownables
@@ -144,6 +182,13 @@ class HybridVerifier:
         #: Per-function budget spec; each function gets a fresh running
         #: Budget minted from it. Default: the REPRO_* env knobs.
         self.budget = budget if budget is not None else BudgetSpec.from_env()
+        #: Persistent proof store; default: the REPRO_CACHE env knobs
+        #: (``None`` — no caching — unless ``REPRO_CACHE=1``).
+        self.store = store if store is not None else ProofStore.from_env()
+        #: name -> fingerprint for the functions of the current run();
+        #: populated before any fan-out so forked workers inherit it
+        #: and can publish their own results.
+        self._run_fps: dict[str, str] = {}
 
     def verify_one(self, name: str) -> list[HybridEntry]:
         """Verify one function, degrading every failure mode into
@@ -251,35 +296,131 @@ class HybridVerifier:
         any kind (budget exhaustion, worker crash, internal error)
         become entries with the matching ``status``; a worker killed
         mid-flight is retried serially before being reported crashed.
+
+        With a store attached, cached functions are answered from disk
+        and only the misses are verified (and published as they
+        complete — checkpointing: a killed run resumes from here).
         """
-        started = time.perf_counter()
+        started = time.monotonic()
         report = HybridReport()
         names = functions if functions is not None else list(self.program.bodies)
-        if jobs == 1:
+        parallel_before = dict(PARALLEL_STATS)
+        store_before = dict(STORE_STATS)
+        cached = self._lookup_cached(names)
+        pending = [n for n in names if n not in cached]
+        if jobs == 1 or not pending:
             for name in names:
-                report.entries.extend(self.verify_one(name))
+                if name in cached:
+                    report.entries.extend(cached[name])
+                    continue
+                entries = self.verify_one(name)
+                self._publish(name, entries)
+                report.entries.extend(entries)
         else:
             results = fanout(
                 _verify_one_worker,
                 self,
-                names,
+                pending,
                 jobs,
                 on_error=lambda name, exc: [self._failure_entry(name, exc)],
             )
-            for entries in results:
+            fresh = dict(zip(pending, results))
+            for name in names:
+                if name in cached:
+                    report.entries.extend(cached[name])
+                    continue
+                entries = fresh[name]
+                fp = self._run_fps.get(name)
+                if self.store is not None and fp and self.store.has(fp):
+                    # The entry appeared since the (miss) lookup: a
+                    # worker published it; its counters died with its
+                    # process, so credit the run here.
+                    self.store.note_worker_publish(fp)
+                else:
+                    # Re-publish in the parent: covers a worker that
+                    # verified but failed to write (I/O error, death
+                    # between verify and publish).
+                    self._publish(name, entries)
                 report.entries.extend(entries)
-        report.elapsed = time.perf_counter() - started
+        if self.store is not None:
+            self.store.end_run()
+        report.elapsed = time.monotonic() - started
         report.solver_stats = {
             k: self.solver.stats.get(k, 0)
             for k in ("checks", "unknowns", "budget_stops")
         }
+        report.parallel_stats = {
+            k: PARALLEL_STATS[k] - parallel_before.get(k, 0)
+            for k in PARALLEL_STATS
+        }
+        if self.store is not None:
+            report.store_stats = {
+                k: STORE_STATS[k] - store_before.get(k, 0)
+                for k in STORE_STATS
+            }
         return report
+
+    # -- store plumbing ------------------------------------------------------
+
+    def _lookup_cached(self, names: list[str]) -> dict[str, list[HybridEntry]]:
+        """Resolve every name against the store. Computes this run's
+        fingerprints (inherited by forked workers), journals the run
+        begin, and maps strict-mode corruption to ``error`` entries —
+        a corrupt cache degrades the run, never crashes it."""
+        if self.store is None:
+            return {}
+        logic = logic_digest(self.program, self.ownables)
+        self._run_fps = {
+            name: function_fingerprint(
+                name,
+                program=self.program,
+                contracts=self.contracts,
+                manual_pure_pre=self.manual_pure_pre,
+                auto_extract=self.auto_extract,
+                budget=self.budget,
+                logic=logic,
+            )
+            for name in names
+        }
+        self.store.begin_run(names)
+        cached: dict[str, list[HybridEntry]] = {}
+        for name in names:
+            try:
+                hit = self.store.get(self._run_fps[name], context=name)
+            except StoreCorrupted as e:  # strict mode surfaces corruption
+                cached[name] = [self._failure_entry(name, e)]
+                continue
+            if hit is not None:
+                cached[name] = hit
+        return cached
+
+    def _publish(self, name: str, entries: list[HybridEntry]) -> None:
+        if self.store is None:
+            return
+        fp = self._run_fps.get(name)
+        if fp:
+            self.store.put(fp, name, entries)
 
 
 def _verify_one_worker(verifier: "HybridVerifier", name: str) -> list[HybridEntry]:
     """Pool worker: module-level so it pickles by reference; the
-    verifier itself arrives by fork inheritance (see repro.parallel)."""
-    return verifier.verify_one(name)
+    verifier itself arrives by fork inheritance (see repro.parallel).
+    Workers publish their own results through the store/journal the
+    moment they complete, so a parent killed mid-run loses nothing
+    already verified. The entry probe makes the serial retry of a
+    *dead* worker's item resume rather than re-verify when the worker
+    published before dying."""
+    store, fp = verifier.store, verifier._run_fps.get(name)
+    if store is not None and fp:
+        try:
+            hit = store.get(fp, context=name)
+        except StoreCorrupted:
+            hit = None  # strict mode: the entry is gone either way
+        if hit is not None:
+            return hit
+    entries = verifier.verify_one(name)
+    verifier._publish(name, entries)
+    return entries
 
 
 def _has_clauses(contract: Union[PearliteSpec, dict]) -> bool:

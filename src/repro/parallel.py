@@ -180,6 +180,34 @@ def fanout(
     return out
 
 
+def with_retries(
+    fn: Callable[[], R],
+    attempts: int = 3,
+    backoff: float = 0.02,
+    exceptions: tuple = (OSError,),
+    on_retry: Optional[Callable[[BaseException], None]] = None,
+) -> R:
+    """Run ``fn()`` with bounded retries and linear backoff.
+
+    The proof store publishes through this from pool workers and the
+    parent alike, so a transient I/O error (EAGAIN, a full fd table, an
+    NFS hiccup) costs a retry, not a lost proof. The final failure
+    re-raises — callers decide whether losing the side effect is fatal
+    (for cache writes it never is)."""
+    last: Optional[BaseException] = None
+    for attempt in range(max(1, attempts)):
+        if attempt:
+            time.sleep(backoff * attempt)
+        try:
+            return fn()
+        except exceptions as e:
+            last = e
+            if on_retry is not None:
+                on_retry(e)
+    assert last is not None
+    raise last
+
+
 def _call_serial(fn, payload, item, on_error):
     if on_error is None:
         return fn(payload, item)

@@ -1,0 +1,37 @@
+"""Durable, content-addressed verification store (DESIGN.md §8).
+
+Verified results survive process death: each function's proof entry is
+keyed by a stable fingerprint of everything the proof depended on
+(:mod:`repro.store.fingerprint`), published atomically with per-entry
+checksums (:mod:`repro.store.store`), and recorded in an append-only
+run journal (:mod:`repro.store.journal`). A run killed mid-flight —
+``kill -9`` of the parent or a pool worker — resumes by re-verifying
+only the functions whose entries never landed; corrupt entries are
+quarantined and healed by transparent re-verification.
+"""
+
+from repro.store.fingerprint import (
+    STORE_FORMAT,
+    canon,
+    function_fingerprint,
+    logic_digest,
+)
+from repro.store.journal import Journal
+from repro.store.store import (
+    CACHEABLE_STATUSES,
+    STORE_STATS,
+    ProofStore,
+    reset_store_stats,
+)
+
+__all__ = [
+    "CACHEABLE_STATUSES",
+    "Journal",
+    "ProofStore",
+    "STORE_FORMAT",
+    "STORE_STATS",
+    "canon",
+    "function_fingerprint",
+    "logic_digest",
+    "reset_store_stats",
+]

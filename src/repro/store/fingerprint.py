@@ -1,0 +1,203 @@
+"""Stable fingerprints for verification results (the store's keys).
+
+A proof is reusable exactly when everything it *depended on* is
+unchanged. Per function, that closure is (cf. Why3/Creusot session
+shapes and Gillian's per-procedure summaries):
+
+* the function's MIR body (pretty-printed — a canonical, readable
+  serialisation that is independent of object identity);
+* its own Pearlite contract and manual pure preconditions, plus the
+  encoder configuration (``auto_extract``);
+* the contracts/specs of every callee the body can invoke — the axioms
+  the proof *assumes* (compositionality: a callee's body may change
+  freely, but its contract may not);
+* the program's logic context — predicates, lemmas, Ownable impls and
+  installed specs — which fold/unfold automation can consult anywhere;
+* the solver/budget configuration, because budgets change verdicts
+  (a lower branch cap can turn ``verified`` into ``refuted``);
+* a format version, bumped when entry layout or semantics change.
+
+Everything is hashed through a canonicaliser that never depends on
+memory addresses or global counter state: ``repr`` addresses are
+scrubbed, and ``#N`` fresh-variable suffixes are normalised (the
+authoritative identity of a spec is its *source* text / AST, which is
+fingerprinted directly; derived Spec objects only contribute their
+shape).
+
+Fingerprints are intentionally conservative: any doubt hashes
+differently and costs a re-verification, never a stale hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import fields, is_dataclass
+from typing import Iterable, Optional
+
+from repro.lang.mir import Body, Call, Program
+from repro.lang.pretty import pretty_body
+
+#: Bump on any change to entry layout, payload semantics, or the
+#: fingerprint recipe itself; old entries become misses, never lies.
+STORE_FORMAT = 1
+
+_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+_FRESH = re.compile(r"#\d+")
+
+_MAX_DEPTH = 12
+
+
+def _scrub(text: str) -> str:
+    """Drop the two nondeterministic artefacts that leak into reprs:
+    heap addresses and global fresh-variable counters."""
+    return _FRESH.sub("#~", _ADDR.sub("0x~", text))
+
+
+def _canon(obj, out: list, depth: int, seen: set) -> None:
+    """Serialise an arbitrary object graph into a deterministic token
+    stream. Cycle-safe; unknown objects degrade to scrubbed reprs."""
+    if depth > _MAX_DEPTH:
+        out.append("<deep>")
+        return
+    if obj is None or isinstance(obj, (bool, int, float)):
+        out.append(f"{type(obj).__name__}:{obj!r}")
+        return
+    if isinstance(obj, str):
+        out.append("s:" + _scrub(obj))
+        return
+    if isinstance(obj, bytes):
+        out.append("b:" + obj.hex())
+        return
+    oid = id(obj)
+    if oid in seen:
+        out.append("<cycle>")
+        return
+    seen.add(oid)
+    try:
+        if is_dataclass(obj) and not isinstance(obj, type):
+            out.append("d:" + type(obj).__name__ + "(")
+            for f in fields(obj):
+                out.append(f.name + "=")
+                _canon(getattr(obj, f.name), out, depth + 1, seen)
+            out.append(")")
+        elif isinstance(obj, dict):
+            items = []
+            for k, v in obj.items():
+                key: list = []
+                _canon(k, key, depth + 1, seen)
+                items.append(("".join(key), v))
+            out.append("{")
+            for key, v in sorted(items, key=lambda kv: kv[0]):
+                out.append(key + ":")
+                _canon(v, out, depth + 1, seen)
+            out.append("}")
+        elif isinstance(obj, (list, tuple)):
+            out.append("[")
+            for v in obj:
+                _canon(v, out, depth + 1, seen)
+            out.append("]")
+        elif isinstance(obj, (set, frozenset)):
+            elems = []
+            for v in obj:
+                one: list = []
+                _canon(v, one, depth + 1, seen)
+                elems.append("".join(one))
+            out.append("{*" + ",".join(sorted(elems)) + "*}")
+        else:
+            out.append("r:" + _scrub(repr(obj)))
+    finally:
+        seen.discard(oid)
+
+
+def canon(obj) -> str:
+    """The deterministic token string for any object graph."""
+    out: list = []
+    _canon(obj, out, 0, set())
+    return "|".join(out)
+
+
+def _callees(body: Body) -> list[str]:
+    """Callee names, sorted and deduplicated — the contracts this
+    function's proof assumes."""
+    names = set()
+    for bb in body.blocks.values():
+        if isinstance(bb.terminator, Call):
+            names.add(bb.terminator.func)
+    return sorted(names)
+
+
+def logic_digest(program: Program, ownables=None) -> str:
+    """Digest of the program-wide logic context: predicates, lemmas,
+    Ownable impls and installed specs. Coarse by design — a change to
+    any shared definition invalidates every entry (sound; the price is
+    one cold run).
+
+    Predicates named ``own:*`` / ``mutref_inv:*`` are *excluded*: the
+    Ownable registry synthesises them lazily during verification, so
+    hashing them would make the digest depend on which proofs already
+    ran. They are pure functions of the registry's sources — the
+    user-written predicate definitions (hashed here) and the custom
+    Ownable builders (hashed via the registry below) — so the sources
+    stand in for them."""
+    h = hashlib.sha256()
+    h.update(f"format={STORE_FORMAT}\n".encode())
+    for label, table in (
+        ("pred", program.predicates),
+        ("lemma", program.lemmas),
+        ("ownable", program.ownables),
+        ("spec", program.specs),
+    ):
+        for name in sorted(table):
+            if label == "pred" and (
+                name.startswith("own:") or name.startswith("mutref_inv:")
+            ):
+                continue
+            h.update(f"{label} {name} = {canon(table[name])}\n".encode())
+    if ownables is not None:
+        h.update(("registry " + _scrub(repr(type(ownables)))).encode())
+        for attr in ("_custom_build", "_custom_repr"):
+            table = getattr(ownables, attr, None)
+            if isinstance(table, dict):
+                h.update(f"\n{attr}=".encode())
+                h.update(canon(table).encode())
+    return h.hexdigest()
+
+
+def function_fingerprint(
+    name: str,
+    *,
+    program: Program,
+    contracts: Optional[dict] = None,
+    manual_pure_pre: Optional[dict] = None,
+    auto_extract: bool = False,
+    budget=None,
+    logic: Optional[str] = None,
+) -> str:
+    """The content address of one function's verification result.
+
+    ``logic`` lets callers amortise :func:`logic_digest` over a run;
+    omitted, it is computed here.
+    """
+    body = program.bodies[name]
+    contracts = contracts or {}
+    manual_pure_pre = manual_pure_pre or {}
+    h = hashlib.sha256()
+    h.update(f"format={STORE_FORMAT}\n".encode())
+    h.update(f"fn={name}\n".encode())
+    h.update(pretty_body(body).encode())
+    h.update(b"\ncontract=")
+    h.update(canon(contracts.get(name)).encode())
+    h.update(b"\nmanual_pure_pre=")
+    h.update(canon(manual_pure_pre.get(name)).encode())
+    h.update(f"\nauto_extract={auto_extract}\n".encode())
+    h.update(b"budget=")
+    h.update(canon(budget).encode())
+    for callee in _callees(body):
+        h.update(f"\ncallee {callee}\n".encode())
+        h.update(canon(contracts.get(callee)).encode())
+        h.update(b"/")
+        h.update(canon(program.specs.get(callee)).encode())
+    h.update(b"\nlogic=")
+    h.update((logic if logic is not None else logic_digest(program)).encode())
+    return h.hexdigest()

@@ -1,0 +1,109 @@
+"""Append-only, self-validating run journal for the proof store.
+
+The journal is the store's crash-safe publication channel: pool
+workers and the parent alike append one JSONL record per completed
+function *after* its entry file is durably on disk, so a reader can
+always reconstruct which proofs a dead run completed. Appends go
+through a single ``os.write`` on an ``O_APPEND`` descriptor — on POSIX
+those are atomic for typical record sizes, and every record carries
+its own truncated-SHA checksum, so a torn tail line (the one write a
+``kill -9`` can interrupt) is *detected and skipped*, never
+misparsed. A corrupt journal therefore degrades to fewer resumable
+records, not to wrong ones.
+
+Record kinds written today:
+
+* ``{"kind": "run", "event": "begin"|"end", ...}`` — run brackets;
+  a ``begin`` without a matching ``end`` marks an interrupted run.
+* ``{"kind": "entry", "fn": ..., "fp": ..., "statuses": [...]}`` —
+  one published proof entry.
+* ``{"kind": "quarantine", "fp": ..., "reason": ...}`` — a corrupt
+  entry moved aside for transparent re-verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+
+def _checksum(body: str) -> str:
+    return hashlib.sha256(body.encode()).hexdigest()[:12]
+
+
+class Journal:
+    """One append-only JSONL file; safe for concurrent appenders."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        #: Malformed lines skipped by the last :meth:`read` (truncated
+        #: tail after a crash, checksum mismatch, interleaved write).
+        self.bad_lines = 0
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (checksummed, single write)."""
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        line = json.dumps(
+            {"c": _checksum(body), "r": record},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, (line + "\n").encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read(self) -> list[dict]:
+        """Every valid record, in append order; invalid lines are
+        counted in :attr:`bad_lines` and skipped."""
+        self.bad_lines = 0
+        records: list[dict] = []
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return records
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                wrapper = json.loads(line)
+                record = wrapper["r"]
+                body = json.dumps(
+                    record, sort_keys=True, separators=(",", ":")
+                )
+                if wrapper["c"] != _checksum(body):
+                    raise ValueError("journal checksum mismatch")
+            except (ValueError, KeyError, TypeError):
+                self.bad_lines += 1
+                continue
+            records.append(record)
+        return records
+
+    def completed_fingerprints(self) -> dict[str, str]:
+        """``fingerprint -> function`` for every published entry — the
+        resume set a new run can trust without re-reading entry files."""
+        return {
+            r["fp"]: r.get("fn", "")
+            for r in self.read()
+            if r.get("kind") == "entry" and "fp" in r
+        }
+
+    def interrupted_runs(self) -> int:
+        """Count of ``begin`` records with no matching ``end`` — how
+        many prior runs died mid-flight."""
+        open_runs = 0
+        for r in self.read():
+            if r.get("kind") != "run":
+                continue
+            if r.get("event") == "begin":
+                open_runs += 1
+            elif r.get("event") == "end" and open_runs:
+                open_runs -= 1
+        return open_runs

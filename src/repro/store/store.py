@@ -1,0 +1,355 @@
+"""Crash-safe, content-addressed persistent proof store.
+
+Layout (all under one cache root)::
+
+    <root>/
+      entries/<fp[:2]>/<fp>.json   one verified result per fingerprint
+      tmp/                         staging for atomic publishes
+      quarantine/                  corrupt entries moved aside, kept for
+                                   forensics, transparently re-verified
+      journal.jsonl                append-only run journal (see journal.py)
+
+Durability protocol — a publish is: serialise → write to ``tmp/`` →
+``fsync`` the file → ``os.replace`` into ``entries/`` → ``fsync`` the
+shard directory → append a journal record. A crash at any point leaves
+either no entry (tmp litter is ignored and reclaimed) or a complete,
+checksummed entry; there is no state in between that a reader could
+mistake for a proof.
+
+Validation — every read re-checks the envelope: JSON well-formedness,
+format version, fingerprint echo, SHA-256 of the payload, and payload
+decodability. Any failure is *corruption*: in ``heal`` mode (default)
+the file is moved to ``quarantine/`` and the lookup reports a miss, so
+the caller re-verifies and the fresh publish heals the entry; in
+``strict`` mode a :class:`~repro.errors.StoreCorrupted` surfaces (the
+pipeline maps it to an ``error`` entry — it still never crashes a run).
+
+Only deterministic verdicts (``verified`` / ``refuted``) are
+persisted: a ``timeout`` depends on the machine's speed that day, a
+``crashed``/``error`` on transient conditions — caching those would
+make a bad day permanent.
+
+Env knobs: ``REPRO_CACHE=1`` opts in, ``REPRO_CACHE_DIR`` picks the
+root (default ``.repro-cache``), ``REPRO_CACHE_VERIFY=strict|heal``
+picks the corruption policy.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import warnings
+from pathlib import Path
+from typing import Optional
+
+from repro import faultinject
+from repro.errors import StoreCorrupted
+from repro.parallel import with_retries
+from repro.store.fingerprint import STORE_FORMAT
+from repro.store.journal import Journal
+
+#: Statuses that are functions of the fingerprint alone, hence safe to
+#: replay from disk. Everything else re-verifies next run.
+CACHEABLE_STATUSES = ("verified", "refuted")
+
+#: Aggregate counters (like PARALLEL_STATS): surfaced in
+#: ``HybridReport.render()`` and the bench JSON. All zero on a run that
+#: never touched a store.
+STORE_STATS = {
+    "hits": 0,            # lookups answered from disk
+    "misses": 0,          # lookups that fell through to verification
+    "stores": 0,          # entries newly published
+    "skipped": 0,         # results not persisted (nondeterministic verdict)
+    "corrupt": 0,         # entries that failed validation
+    "quarantined": 0,     # corrupt entries moved to quarantine/
+    "healed": 0,          # quarantined fingerprints re-published
+    "io_retries": 0,      # transient I/O errors absorbed by retry
+    "io_errors": 0,       # I/O failures that exhausted the retries
+    "journal_bad_lines": 0,  # torn/invalid journal lines skipped
+}
+
+
+def reset_store_stats() -> None:
+    for k in STORE_STATS:
+        STORE_STATS[k] = 0
+
+
+class ProofStore:
+    """One cache root; safe to share between a parent and its forked
+    pool workers (publishes are atomic and idempotent, journal appends
+    are single-write)."""
+
+    def __init__(self, root, verify_mode: str = "heal") -> None:
+        if verify_mode not in ("heal", "strict"):
+            raise ValueError(
+                f"verify_mode must be 'heal' or 'strict', got {verify_mode!r}"
+            )
+        self.root = Path(root)
+        self.verify_mode = verify_mode
+        self.entries_dir = self.root / "entries"
+        self.tmp_dir = self.root / "tmp"
+        self.quarantine_dir = self.root / "quarantine"
+        for d in (self.entries_dir, self.tmp_dir, self.quarantine_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self.journal = Journal(self.root / "journal.jsonl")
+        #: Fingerprints this process quarantined; a later publish of one
+        #: of these is a *heal*.
+        self._quarantined: set[str] = set()
+        #: Fingerprints whose publish this process already counted in
+        #: ``STORE_STATS`` — guards :meth:`note_worker_publish` against
+        #: double-crediting an entry the parent itself wrote (e.g. via
+        #: the broken-pool serial retry).
+        self._published: set[str] = set()
+
+    # -- configuration -------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None) -> Optional["ProofStore"]:
+        """The env-configured store, or ``None`` when caching is off.
+        Never raises: a store that cannot be opened (read-only FS, bad
+        mode string) warns and disables itself — the cache may degrade
+        performance, never break a run."""
+        env = os.environ if environ is None else environ
+        if env.get("REPRO_CACHE") != "1":
+            return None
+        root = env.get("REPRO_CACHE_DIR") or ".repro-cache"
+        mode = env.get("REPRO_CACHE_VERIFY") or "heal"
+        try:
+            return cls(root, verify_mode=mode)
+        except (OSError, ValueError) as e:
+            warnings.warn(
+                f"REPRO_CACHE=1 but the store at {root!r} cannot be "
+                f"opened ({e}); continuing without a cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    # -- paths ---------------------------------------------------------------
+
+    def _entry_path(self, fp: str) -> Path:
+        return self.entries_dir / fp[:2] / f"{fp}.json"
+
+    def has(self, fp: str) -> bool:
+        """Whether a (not-yet-validated) entry file exists for ``fp``."""
+        return self._entry_path(fp).exists()
+
+    def note_worker_publish(self, fp: str) -> None:
+        """Credit this run's counters with a publish performed by a
+        forked pool worker: the worker's ``STORE_STATS`` die with its
+        process, but the parent can observe the entry file appearing
+        between lookup (a miss) and reassembly. A no-op for entries
+        this process published (and counted) itself."""
+        if fp in self._published:
+            return
+        self._published.add(fp)
+        STORE_STATS["stores"] += 1
+        if fp in self._quarantined:
+            self._quarantined.discard(fp)
+            STORE_STATS["healed"] += 1
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, fp: str, context: str = ""):
+        """The cached entries for ``fp``, or ``None`` (a miss).
+
+        Corruption in ``heal`` mode quarantines and reports a miss; in
+        ``strict`` mode it raises :class:`StoreCorrupted`. I/O errors
+        are retried with backoff; a persistent one is a miss (the proof
+        is re-run — slower, never wrong)."""
+        path = self._entry_path(fp)
+        if not path.exists():
+            # The common cold-run path: a plain miss, not an I/O fault —
+            # no retries (and no fault-injection fire) for absence.
+            STORE_STATS["misses"] += 1
+            return None
+        try:
+            blob = with_retries(
+                lambda: self._read_entry(path, context),
+                on_retry=lambda e: _bump("io_retries"),
+            )
+        except FileNotFoundError:
+            STORE_STATS["misses"] += 1
+            return None
+        except OSError:
+            STORE_STATS["io_errors"] += 1
+            STORE_STATS["misses"] += 1
+            return None
+        try:
+            entries = self._decode(fp, blob, path)
+        except StoreCorrupted as e:
+            STORE_STATS["corrupt"] += 1
+            if self.verify_mode == "strict":
+                raise
+            self._quarantine(fp, path, str(e))
+            STORE_STATS["misses"] += 1
+            return None
+        STORE_STATS["hits"] += 1
+        return entries
+
+    def _read_entry(self, path: Path, context: str) -> bytes:
+        faultinject.fire("store.read", context)
+        return path.read_bytes()
+
+    def _decode(self, fp: str, blob: bytes, path: Path):
+        try:
+            envelope = json.loads(blob)
+        except ValueError:
+            raise StoreCorrupted("entry is not valid JSON (torn write?)",
+                                 str(path)) from None
+        if not isinstance(envelope, dict):
+            raise StoreCorrupted("entry envelope is not an object", str(path))
+        if envelope.get("version") != STORE_FORMAT:
+            raise StoreCorrupted(
+                f"entry format {envelope.get('version')!r} != {STORE_FORMAT}",
+                str(path),
+            )
+        if envelope.get("fp") != fp:
+            raise StoreCorrupted("entry fingerprint does not echo its key",
+                                 str(path))
+        payload = envelope.get("payload")
+        checksum = envelope.get("checksum")
+        if not isinstance(payload, str) or not isinstance(checksum, str):
+            raise StoreCorrupted("entry envelope incomplete", str(path))
+        if hashlib.sha256(payload.encode()).hexdigest() != checksum:
+            raise StoreCorrupted("payload checksum mismatch (bit-flip?)",
+                                 str(path))
+        try:
+            entries = pickle.loads(base64.b64decode(payload))
+        except Exception:
+            raise StoreCorrupted("payload failed to decode", str(path)) from None
+        if not isinstance(entries, list):
+            raise StoreCorrupted("payload is not an entry list", str(path))
+        return entries
+
+    def _quarantine(self, fp: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (atomic, keeps the evidence) so
+        the next publish of this fingerprint heals it."""
+        dest = self.quarantine_dir / f"{fp}.{os.getpid()}.quarantined"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            # Even removal may fail (read-only FS); a corrupt entry we
+            # cannot move will simply keep re-verifying. Still a miss.
+            pass
+        self._quarantined.add(fp)
+        STORE_STATS["quarantined"] += 1
+        try:
+            self.journal.append(
+                {"kind": "quarantine", "fp": fp, "reason": reason}
+            )
+        except OSError:
+            STORE_STATS["io_errors"] += 1
+
+    # -- publishes -----------------------------------------------------------
+
+    def put(self, fp: str, function: str, entries: list) -> bool:
+        """Atomically publish one function's entries under ``fp``.
+
+        Returns ``True`` when the entry is durable on disk (whether
+        written now or already present). Never raises: a cache that
+        cannot be written costs performance, not the run — persistent
+        I/O failures are counted and swallowed."""
+        statuses = [getattr(e, "status", "?") for e in entries]
+        if not entries or any(s not in CACHEABLE_STATUSES for s in statuses):
+            STORE_STATS["skipped"] += 1
+            return False
+        path = self._entry_path(fp)
+        if path.exists():
+            return True  # idempotent: content-addressed, already published
+        envelope = {
+            "version": STORE_FORMAT,
+            "fp": fp,
+            "function": function,
+            "statuses": statuses,
+        }
+        payload = base64.b64encode(pickle.dumps(entries)).decode()
+        envelope["payload"] = payload
+        envelope["checksum"] = hashlib.sha256(payload.encode()).hexdigest()
+        blob = (json.dumps(envelope, sort_keys=True) + "\n").encode()
+        try:
+            with_retries(
+                lambda: self._write_entry(path, fp, function, blob),
+                on_retry=lambda e: _bump("io_retries"),
+            )
+        except OSError:
+            STORE_STATS["io_errors"] += 1
+            return False
+        STORE_STATS["stores"] += 1
+        self._published.add(fp)
+        if fp in self._quarantined:
+            self._quarantined.discard(fp)
+            STORE_STATS["healed"] += 1
+        try:
+            self.journal.append(
+                {"kind": "entry", "fn": function, "fp": fp,
+                 "statuses": statuses}
+            )
+        except OSError:
+            STORE_STATS["io_errors"] += 1
+        return True
+
+    def _write_entry(
+        self, path: Path, fp: str, function: str, blob: bytes
+    ) -> None:
+        faultinject.fire("store.write", function)
+        blob = faultinject.corrupt("store.write", function, blob)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.tmp_dir / f"{fp}.{os.getpid()}.tmp"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Make the rename itself durable (POSIX: the directory entry
+        lives in the directory's own data)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- run bookkeeping -----------------------------------------------------
+
+    def begin_run(self, functions: list[str]) -> None:
+        try:
+            self.journal.append(
+                {"kind": "run", "event": "begin", "functions": len(functions)}
+            )
+        except OSError:
+            STORE_STATS["io_errors"] += 1
+
+    def end_run(self) -> None:
+        try:
+            self.journal.append({"kind": "run", "event": "end"})
+        except OSError:
+            STORE_STATS["io_errors"] += 1
+
+    def resume_info(self) -> dict:
+        """What the journal knows: published fingerprints, interrupted
+        runs, and how many journal lines were torn/skipped."""
+        completed = self.journal.completed_fingerprints()
+        STORE_STATS["journal_bad_lines"] += self.journal.bad_lines
+        return {
+            "completed": completed,
+            "interrupted_runs": self.journal.interrupted_runs(),
+            "bad_lines": self.journal.bad_lines,
+        }
+
+
+def _bump(key: str) -> None:
+    STORE_STATS[key] += 1

@@ -33,6 +33,20 @@ class TestParse:
         with pytest.raises(ValueError, match="unknown action"):
             faultinject.parse("site:explode")
 
+    def test_store_site_rules(self):
+        rules = faultinject.parse(
+            "store.write@fn1:torn::1, store.read:ioerror, store.write:bitflip:7"
+        )
+        assert [(r.site, r.action) for r in rules] == [
+            ("store.write", "torn"),
+            ("store.read", "ioerror"),
+            ("store.write", "bitflip"),
+        ]
+
+    def test_data_action_arg_must_be_an_offset(self):
+        with pytest.raises(ValueError, match="byte offset"):
+            faultinject.parse("store.write:bitflip:everywhere")
+
     def test_unknown_exception_rejected(self):
         with pytest.raises(ValueError, match="unknown exception"):
             faultinject.parse("site:raise:NoSuchError")
@@ -97,6 +111,18 @@ class TestFire:
         faultinject.install("parallel.worker:crash:1:1")
         faultinject.fire("parallel.worker", "item")  # still alive
         assert faultinject._rules[0].remaining == 1
+
+    def test_ioerror_action(self):
+        faultinject.install("store.write:ioerror:ENOSPC")
+        with pytest.raises(OSError, match="ENOSPC"):
+            faultinject.fire("store.write", "fn0")
+
+    def test_fire_and_corrupt_split_a_site(self):
+        # One site can carry both kinds of rule; each helper consumes
+        # only its own, so a single rule never fires twice.
+        faultinject.install("store.write:torn:4, store.write:delay:0")
+        faultinject.fire("store.write", "fn0")  # delay only
+        assert faultinject.corrupt("store.write", "fn0", b"x" * 16) == b"x" * 4
 
     def test_reload_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULT", "s:raise")

@@ -1,0 +1,108 @@
+"""Fingerprint stability and sensitivity.
+
+The store is only as sound as its keys: a fingerprint must be
+*stable* across processes and rebuilds of the same program (else the
+cache never hits) and *sensitive* to every input the proof depends on
+(else it serves stale proofs). Both directions are tested here.
+"""
+
+from repro.budget import BudgetSpec
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import U64, UNIT
+from repro.store import canon, function_fingerprint, logic_digest
+
+from tests.robustness.conftest import FAST_FNS, _fast_body
+
+
+def build(ret_const: int = 0):
+    program = Program()
+    for n in FAST_FNS:
+        program.add_body(_fast_body(n))
+    fn = BodyBuilder("caller", params=[("x", U64)], ret=U64)
+    bb0 = fn.block()
+    bb1 = fn.block("bb1")
+    r = fn.local("r", U64)
+    bb0.call(r, "fn0", [fn.copy("x")], bb1)
+    bb1.assign(
+        fn.ret_place, fn.binop("add", fn.copy(r), fn.const_int(ret_const, U64))
+    )
+    bb1.ret()
+    program.add_body(fn.finish())
+    return program
+
+
+def fp(program, name="caller", **kw):
+    return function_fingerprint(name, program=program, **kw)
+
+
+class TestStability:
+    def test_same_program_same_fingerprint(self):
+        assert fp(build()) == fp(build())
+
+    def test_stable_across_unrelated_fresh_vars(self):
+        # Global fresh-variable counters must not leak into the key:
+        # burning a few thousand between builds changes nothing.
+        a = fp(build())
+        from repro.solver.sorts import INT
+        from repro.solver.terms import fresh_var
+
+        for _ in range(1000):
+            fresh_var("noise", INT)
+        assert fp(build()) == a
+
+    def test_logic_digest_ignores_lazy_own_predicates(self, env):
+        # Verification synthesises own:*/mutref_inv:* predicates on
+        # demand; the digest must not depend on which proofs ran.
+        program, ownables = env
+        before = logic_digest(program, ownables)
+        ownables.ensure_own(U64)
+        assert "own:u64" in program.predicates
+        assert logic_digest(program, ownables) == before
+
+    def test_canon_scrubs_addresses_and_counters(self):
+        class Opaque:
+            pass
+
+        a, b = canon(Opaque()), canon(Opaque())
+        assert a == b  # differing 0x addresses scrubbed
+        assert canon("sv_x#17") == canon("sv_x#99")  # fresh counters
+
+
+class TestSensitivity:
+    def test_body_change_changes_fingerprint(self):
+        assert fp(build(0)) != fp(build(1))
+
+    def test_own_contract_changes_fingerprint(self):
+        p = build()
+        base = fp(p)
+        with_contract = fp(p, contracts={"caller": {"ensures": ["result@ >= 0"]}})
+        assert base != with_contract
+
+    def test_callee_contract_changes_fingerprint(self):
+        # The axioms a proof assumes are part of its identity: a new
+        # contract on callee fn0 must invalidate caller's entry...
+        p = build()
+        base = fp(p)
+        assert base != fp(p, contracts={"fn0": {"ensures": ["result@ == x@"]}})
+        # ...but a contract on an unrelated function must not.
+        assert base == fp(p, contracts={"fn3": {"ensures": ["true"]}})
+
+    def test_budget_changes_fingerprint(self):
+        p = build()
+        assert fp(p, budget=BudgetSpec(max_branches=10)) != fp(
+            p, budget=BudgetSpec(max_branches=1000)
+        )
+        assert fp(p, budget=BudgetSpec(max_branches=10)) == fp(
+            p, budget=BudgetSpec(max_branches=10)
+        )
+
+    def test_encoder_config_changes_fingerprint(self):
+        p = build()
+        assert fp(p, auto_extract=True) != fp(p, auto_extract=False)
+        assert fp(p, manual_pure_pre={"caller": ["x@ < 100"]}) != fp(p)
+
+    def test_functions_do_not_share_fingerprints(self):
+        p = build()
+        fps = {function_fingerprint(n, program=p) for n in p.bodies}
+        assert len(fps) == len(p.bodies)

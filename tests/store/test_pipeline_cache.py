@@ -1,0 +1,120 @@
+"""The store wired through HybridVerifier.run: cold → warm behaviour,
+env activation, parallel lookup, and the cacheability boundary."""
+
+import pytest
+
+from repro.budget import BudgetSpec
+from repro.hybrid.pipeline import HybridVerifier
+from repro.store import ProofStore
+
+from tests.robustness.conftest import DIVERGING, FAST_FNS, fingerprint
+
+
+def make_verifier(env, tmp_path=None, **kw):
+    program, ownables = env
+    store = ProofStore(tmp_path) if tmp_path is not None else None
+    return HybridVerifier(program, ownables, {}, store=store, **kw)
+
+
+class TestColdWarm:
+    def test_warm_run_is_all_hits_and_identical(self, env, tmp_path):
+        cold = make_verifier(env, tmp_path).run(FAST_FNS, jobs=1)
+        assert cold.store_stats["misses"] == len(FAST_FNS)
+        assert cold.store_stats["stores"] == len(FAST_FNS)
+        warm = make_verifier(env, tmp_path).run(FAST_FNS, jobs=1)
+        assert warm.store_stats["hits"] == len(FAST_FNS)
+        assert warm.store_stats["misses"] == 0
+        assert fingerprint(warm) == fingerprint(cold)
+
+    def test_warm_run_survives_rebuilt_program(self, env, tmp_path):
+        """A fresh process rebuilds Program objects from scratch; only
+        content may key the cache, never object identity."""
+        from tests.robustness.conftest import _diverging_body, _fast_body
+        from repro.gilsonite.ownable import OwnableRegistry
+        from repro.lang.mir import Program
+
+        cold = make_verifier(env, tmp_path).run(FAST_FNS, jobs=1)
+        rebuilt = Program()
+        for n in FAST_FNS:
+            rebuilt.add_body(_fast_body(n))
+        rebuilt.add_body(_diverging_body())
+        warm = HybridVerifier(
+            rebuilt, OwnableRegistry(rebuilt), {},
+            store=ProofStore(tmp_path),
+        ).run(FAST_FNS, jobs=1)
+        assert warm.store_stats["hits"] == len(FAST_FNS)
+        assert fingerprint(warm) == fingerprint(cold)
+
+    def test_parallel_warm_run_hits(self, env, tmp_path):
+        cold = make_verifier(env, tmp_path).run(FAST_FNS, jobs=2)
+        assert cold.store_stats["stores"] == len(FAST_FNS)
+        warm = make_verifier(env, tmp_path).run(FAST_FNS, jobs=2)
+        assert warm.store_stats["hits"] == len(FAST_FNS)
+        assert fingerprint(warm) == fingerprint(cold)
+
+    def test_render_shows_store_line(self, env, tmp_path):
+        make_verifier(env, tmp_path).run(FAST_FNS, jobs=1)
+        rendered = make_verifier(env, tmp_path).run(FAST_FNS, jobs=1).render()
+        assert f"-- store: {len(FAST_FNS)} hits, 0 misses" in rendered
+
+    def test_no_store_no_stats_no_render_line(self, env):
+        report = make_verifier(env).run(FAST_FNS, jobs=1)
+        assert report.store_stats == {}
+        assert "-- store:" not in report.render()
+
+
+class TestCacheability:
+    def test_timeouts_reverify_while_fast_fns_hit(self, env, tmp_path):
+        spec = BudgetSpec(max_steps=50)
+        cold = make_verifier(env, tmp_path, budget=spec).run(
+            FAST_FNS + [DIVERGING], jobs=1
+        )
+        assert cold.store_stats["skipped"] == 1  # the timeout
+        assert cold.store_stats["stores"] == len(FAST_FNS)
+        warm = make_verifier(env, tmp_path, budget=spec).run(
+            FAST_FNS + [DIVERGING], jobs=1
+        )
+        assert warm.store_stats["hits"] == len(FAST_FNS)
+        assert warm.store_stats["misses"] == 1  # re-verified, not replayed
+        assert fingerprint(warm) == fingerprint(cold)
+
+    def test_budget_change_invalidates(self, env, tmp_path):
+        make_verifier(env, tmp_path, budget=BudgetSpec(max_steps=500)).run(
+            FAST_FNS, jobs=1
+        )
+        report = make_verifier(
+            env, tmp_path, budget=BudgetSpec(max_steps=501)
+        ).run(FAST_FNS, jobs=1)
+        assert report.store_stats["hits"] == 0
+        assert report.store_stats["misses"] == len(FAST_FNS)
+
+    def test_contract_change_invalidates_only_that_function(
+        self, env, tmp_path
+    ):
+        program, ownables = env
+        HybridVerifier(program, ownables, {}, store=ProofStore(tmp_path)).run(
+            FAST_FNS, jobs=1
+        )
+        contracts = {"fn1": {"ensures": ["result@ >= 0"]}}
+        report = HybridVerifier(
+            program, ownables, contracts, store=ProofStore(tmp_path)
+        ).run(FAST_FNS, jobs=1)
+        assert report.store_stats["hits"] == len(FAST_FNS) - 1
+        assert report.store_stats["misses"] == 1
+
+
+class TestEnvActivation:
+    def test_repro_cache_env_enables_store(self, env, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        program, ownables = env
+        cold = HybridVerifier(program, ownables, {}).run(FAST_FNS, jobs=1)
+        assert cold.store_stats["stores"] == len(FAST_FNS)
+        warm = HybridVerifier(program, ownables, {}).run(FAST_FNS, jobs=1)
+        assert warm.store_stats["hits"] == len(FAST_FNS)
+        assert (tmp_path / "cache" / "journal.jsonl").exists()
+
+    def test_cache_off_by_default(self, env, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        program, ownables = env
+        assert HybridVerifier(program, ownables, {}).store is None
