@@ -18,11 +18,14 @@ shapes and Gillian's per-procedure summaries):
 * a format version, bumped when entry layout or semantics change.
 
 Everything is hashed through a canonicaliser that never depends on
-memory addresses or global counter state: ``repr`` addresses are
-scrubbed, and ``#N`` fresh-variable suffixes are normalised (the
-authoritative identity of a spec is its *source* text / AST, which is
-fingerprinted directly; derived Spec objects only contribute their
-shape).
+memory addresses or global counter state: in ``repr`` *fallbacks*
+(objects with no structural serialisation) heap addresses are scrubbed
+and ``#N`` fresh-variable suffixes are normalised. Plain data strings
+are hashed verbatim — a spec source fragment like ``x@ < 0x10`` must
+never collide with ``x@ < 0x20``. The canonicaliser walks the graph
+with an explicit stack, so arbitrarily deep structures serialise
+exactly: there is no depth cap and therefore no truncation token under
+which two different deep contracts could collide.
 
 Fingerprints are intentionally conservative: any doubt hashes
 differently and costs a re-verification, never a stale hit.
@@ -40,80 +43,106 @@ from repro.lang.pretty import pretty_body
 
 #: Bump on any change to entry layout, payload semantics, or the
 #: fingerprint recipe itself; old entries become misses, never lies.
-STORE_FORMAT = 1
+STORE_FORMAT = 2
 
 _ADDR = re.compile(r"0x[0-9a-fA-F]+")
 _FRESH = re.compile(r"#\d+")
 
-_MAX_DEPTH = 12
-
 
 def _scrub(text: str) -> str:
-    """Drop the two nondeterministic artefacts that leak into reprs:
-    heap addresses and global fresh-variable counters."""
+    """Drop the two nondeterministic artefacts that leak into *reprs*:
+    heap addresses and global fresh-variable counters. Applied only to
+    the repr fallback — plain data strings hash verbatim, else two
+    specs differing only in a hex constant or a ``#N`` fragment would
+    collide into the same fingerprint (a stale-hit vector)."""
     return _FRESH.sub("#~", _ADDR.sub("0x~", text))
 
 
-def _canon(obj, out: list, depth: int, seen: set) -> None:
+def _canon(obj, out: list, seen: set) -> None:
     """Serialise an arbitrary object graph into a deterministic token
-    stream. Cycle-safe; unknown objects degrade to scrubbed reprs."""
-    if depth > _MAX_DEPTH:
-        out.append("<deep>")
-        return
-    if obj is None or isinstance(obj, (bool, int, float)):
-        out.append(f"{type(obj).__name__}:{obj!r}")
-        return
-    if isinstance(obj, str):
-        out.append("s:" + _scrub(obj))
-        return
-    if isinstance(obj, bytes):
-        out.append("b:" + obj.hex())
-        return
-    oid = id(obj)
-    if oid in seen:
-        out.append("<cycle>")
-        return
-    seen.add(oid)
-    try:
-        if is_dataclass(obj) and not isinstance(obj, type):
-            out.append("d:" + type(obj).__name__ + "(")
-            for f in fields(obj):
-                out.append(f.name + "=")
-                _canon(getattr(obj, f.name), out, depth + 1, seen)
-            out.append(")")
-        elif isinstance(obj, dict):
+    stream. Driven by an explicit work stack, so depth is bounded by
+    memory, not the interpreter stack, and *every* level contributes
+    its exact content — a depth cap that truncates to a constant would
+    make all graphs beyond it hash identically. Cycle-safe; unknown
+    objects degrade to scrubbed reprs.
+
+    Dictionary keys and set elements are canonicalised eagerly (their
+    own sub-walk) so entries can be sorted independent of insertion
+    order; only *those* recurse, and only one frame per level of
+    key-inside-key nesting, which hashability keeps shallow.
+    """
+    stack: list = [("visit", obj)]
+    while stack:
+        op, arg = stack.pop()
+        if op == "token":
+            out.append(arg)
+            continue
+        if op == "leave":
+            seen.discard(arg)
+            continue
+        o = arg
+        if o is None or isinstance(o, (bool, int, float)):
+            out.append(f"{type(o).__name__}:{o!r}")
+            continue
+        if isinstance(o, str):
+            out.append("s:" + o)
+            continue
+        if isinstance(o, bytes):
+            out.append("b:" + o.hex())
+            continue
+        oid = id(o)
+        if oid in seen:
+            out.append("<cycle>")
+            continue
+        todo: list = []
+        if is_dataclass(o) and not isinstance(o, type):
+            seen.add(oid)
+            out.append("d:" + type(o).__name__ + "(")
+            for f in fields(o):
+                todo.append(("token", f.name + "="))
+                todo.append(("visit", getattr(o, f.name)))
+            todo.append(("token", ")"))
+            todo.append(("leave", oid))
+        elif isinstance(o, dict):
+            seen.add(oid)
             items = []
-            for k, v in obj.items():
+            for k, v in o.items():
                 key: list = []
-                _canon(k, key, depth + 1, seen)
+                _canon(k, key, seen)
                 items.append(("".join(key), v))
             out.append("{")
             for key, v in sorted(items, key=lambda kv: kv[0]):
-                out.append(key + ":")
-                _canon(v, out, depth + 1, seen)
-            out.append("}")
-        elif isinstance(obj, (list, tuple)):
+                todo.append(("token", key + ":"))
+                todo.append(("visit", v))
+            todo.append(("token", "}"))
+            todo.append(("leave", oid))
+        elif isinstance(o, (list, tuple)):
+            seen.add(oid)
             out.append("[")
-            for v in obj:
-                _canon(v, out, depth + 1, seen)
-            out.append("]")
-        elif isinstance(obj, (set, frozenset)):
+            for v in o:
+                todo.append(("visit", v))
+            todo.append(("token", "]"))
+            todo.append(("leave", oid))
+        elif isinstance(o, (set, frozenset)):
+            seen.add(oid)
             elems = []
-            for v in obj:
+            for v in o:
                 one: list = []
-                _canon(v, one, depth + 1, seen)
+                _canon(v, one, seen)
                 elems.append("".join(one))
             out.append("{*" + ",".join(sorted(elems)) + "*}")
+            seen.discard(oid)
+            continue
         else:
-            out.append("r:" + _scrub(repr(obj)))
-    finally:
-        seen.discard(oid)
+            out.append("r:" + _scrub(repr(o)))
+            continue
+        stack.extend(reversed(todo))
 
 
 def canon(obj) -> str:
     """The deterministic token string for any object graph."""
     out: list = []
-    _canon(obj, out, 0, set())
+    _canon(obj, out, set())
     return "|".join(out)
 
 

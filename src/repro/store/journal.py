@@ -69,6 +69,12 @@ class Journal:
             raw = self.path.read_bytes()
         except FileNotFoundError:
             return records
+        except OSError:
+            # Never-crash error model (matches ProofStore.get): an
+            # unreadable journal degrades to zero resumable records,
+            # the way a torn one degrades to fewer.
+            self.bad_lines += 1
+            return records
         for line in raw.split(b"\n"):
             if not line.strip():
                 continue

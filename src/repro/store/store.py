@@ -16,6 +16,12 @@ either no entry (tmp litter is ignored and reclaimed) or a complete,
 checksummed entry; there is no state in between that a reader could
 mistake for a proof.
 
+Entries are serialised by the plain-data codec (:mod:`.codec`) — JSON
+dicts rebuilt field-by-field into the known result dataclasses, never
+pickle: a cache directory is attacker-writable in common setups (cwd
+checkout, shared CI cache), and the checksum only detects accidents,
+so reading an entry must be safe on arbitrary bytes.
+
 Validation — every read re-checks the envelope: JSON well-formedness,
 format version, fingerprint echo, SHA-256 of the payload, and payload
 decodability. Any failure is *corruption*: in ``heal`` mode (default)
@@ -40,7 +46,6 @@ import base64
 import hashlib
 import json
 import os
-import pickle
 import warnings
 from pathlib import Path
 from typing import Optional
@@ -48,6 +53,7 @@ from typing import Optional
 from repro import faultinject
 from repro.errors import StoreCorrupted
 from repro.parallel import with_retries
+from repro.store import codec
 from repro.store.fingerprint import STORE_FORMAT
 from repro.store.journal import Journal
 
@@ -218,11 +224,9 @@ class ProofStore:
             raise StoreCorrupted("payload checksum mismatch (bit-flip?)",
                                  str(path))
         try:
-            entries = pickle.loads(base64.b64decode(payload))
+            entries = codec.decode_entries(json.loads(base64.b64decode(payload)))
         except Exception:
             raise StoreCorrupted("payload failed to decode", str(path)) from None
-        if not isinstance(entries, list):
-            raise StoreCorrupted("payload is not an entry list", str(path))
         return entries
 
     def _quarantine(self, fp: str, path: Path, reason: str) -> None:
@@ -257,6 +261,13 @@ class ProofStore:
         if not entries or any(s not in CACHEABLE_STATUSES for s in statuses):
             STORE_STATS["skipped"] += 1
             return False
+        try:
+            flat = codec.encode_entries(entries)
+        except (AttributeError, TypeError, ValueError):
+            # An entry the plain-data codec cannot express is simply
+            # not cached — never fall back to an executable format.
+            STORE_STATS["skipped"] += 1
+            return False
         path = self._entry_path(fp)
         if path.exists():
             return True  # idempotent: content-addressed, already published
@@ -266,7 +277,9 @@ class ProofStore:
             "function": function,
             "statuses": statuses,
         }
-        payload = base64.b64encode(pickle.dumps(entries)).decode()
+        payload = base64.b64encode(
+            json.dumps(flat, sort_keys=True, separators=(",", ":")).encode()
+        ).decode()
         envelope["payload"] = payload
         envelope["checksum"] = hashlib.sha256(payload.encode()).hexdigest()
         blob = (json.dumps(envelope, sort_keys=True) + "\n").encode()

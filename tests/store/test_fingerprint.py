@@ -60,18 +60,65 @@ class TestStability:
         assert "own:u64" in program.predicates
         assert logic_digest(program, ownables) == before
 
-    def test_canon_scrubs_addresses_and_counters(self):
+    def test_canon_scrubs_addresses_and_counters_in_reprs(self):
         class Opaque:
             pass
 
         a, b = canon(Opaque()), canon(Opaque())
         assert a == b  # differing 0x addresses scrubbed
-        assert canon("sv_x#17") == canon("sv_x#99")  # fresh counters
+        assert canon(Opaque()) != canon(object())  # ...but not the type
 
 
 class TestSensitivity:
     def test_body_change_changes_fingerprint(self):
         assert fp(build(0)) != fp(build(1))
+
+    def test_plain_strings_hash_verbatim(self):
+        # Spec source fragments are data: two contracts differing only
+        # in a hex constant or a '#N' fragment must not collide.
+        assert canon("x@ < 0x10") != canon("x@ < 0x20")
+        assert canon("sv_x#17") != canon("sv_x#99")
+
+    def test_deep_structures_hash_their_leaves(self):
+        # No depth cap: graphs that differ only far below the surface
+        # must still canonicalise differently (truncating to a constant
+        # token made every deep contract collide — a stale-hit vector).
+        def nest(leaf, levels):
+            for _ in range(levels):
+                leaf = {"ensures": [leaf]}
+            return leaf
+
+        assert canon(nest("a", 40)) != canon(nest("b", 40))
+        assert canon(nest("a", 40)) == canon(nest("a", 40))
+        assert canon(nest("a", 40)) != canon(nest("a", 41))
+
+    def test_deep_pearlite_spec_leaves_distinguish(self):
+        # Regression: PearliteSpec ensures terms nested beyond the old
+        # depth cap of 12 used to truncate to a constant token, so two
+        # contracts differing only in a deep leaf constant collided —
+        # and a changed contract replayed the stale cached verdict.
+        from repro.pearlite.ast import PBin, PInt, PearliteSpec
+
+        def deep_spec(leaf):
+            t = PInt(leaf)
+            for _ in range(14):
+                t = PBin("+", t, PInt(0))
+            return PearliteSpec(ensures=(t,))
+
+        assert canon(deep_spec(1)) != canon(deep_spec(2))
+        assert canon(deep_spec(1)) == canon(deep_spec(1))
+
+    def test_very_deep_structures_do_not_overflow(self):
+        deep = "leaf"
+        for _ in range(50_000):
+            deep = [deep]
+        assert canon(deep).endswith("s:leaf|" + "]|" * 49_999 + "]")
+
+    def test_deep_cycles_are_detected(self):
+        loop: list = ["x"]
+        loop.append(loop)
+        assert "<cycle>" in canon(loop)
+        assert canon(loop) == canon(loop)
 
     def test_own_contract_changes_fingerprint(self):
         p = build()

@@ -74,6 +74,26 @@ class TestRoundTrip:
         [e] = store.get(FP)
         assert e.status == "refuted" and not e.ok
 
+    def test_entry_payload_is_plain_json(self, tmp_path):
+        # The on-disk format is data, not code: an attacker-writable
+        # cache dir (cwd checkout, shared CI cache) must never reach an
+        # executable deserialiser like pickle.
+        import base64
+
+        store = ProofStore(tmp_path)
+        store.put(FP, "fn0", entries_for("fn0"))
+        envelope = json.loads(entry_file(store, FP).read_text())
+        payload = json.loads(base64.b64decode(envelope["payload"]))
+        assert payload[0]["function"] == "fn0"
+
+    def test_unencodable_entries_skipped_not_pickled(self, tmp_path):
+        store = ProofStore(tmp_path)
+        bad = entries_for("fn0")
+        bad[0].detail = object()  # no plain-data representation
+        assert not store.put(FP, "fn0", bad)
+        assert not entry_file(store, FP).exists()
+        assert STORE_STATS["skipped"] == 1
+
 
 class TestCorruption:
     def corrupt_one_byte(self, store, fp):
@@ -162,6 +182,15 @@ class TestJournal:
         raw = journal.path.read_bytes().replace(b'"fn0"', b'"fn9"')
         journal.path.write_bytes(raw)
         assert journal.read() == [] and journal.bad_lines == 1
+
+    def test_unreadable_journal_degrades_not_raises(self, tmp_path):
+        # An EACCES/EIO on the journal must follow the store's
+        # never-crash model: zero resumable records, not an exception.
+        journal = Journal(tmp_path / "locked")
+        journal.path.mkdir()  # read_bytes -> EISDIR, an OSError
+        assert journal.read() == [] and journal.bad_lines == 1
+        assert journal.completed_fingerprints() == {}
+        assert journal.interrupted_runs() == 0
 
 
 class TestFromEnv:
