@@ -1,7 +1,7 @@
 """Shared fixtures for the experiment benchmarks (see DESIGN.md §4).
 
 Besides the fixtures, this conftest tracks the perf trajectory: at the
-end of a benchmark session it writes ``BENCH_PR1.json`` at the repo
+end of a benchmark session it writes ``BENCH_PR4.json`` at the repo
 root with per-test wall-clock, the aggregate solver counters
 (:data:`repro.solver.core.GLOBAL_STATS` — checks, LRU cache
 hits/misses/evictions, branches, plus the robustness counters:
@@ -12,6 +12,13 @@ counters (:data:`repro.store.STORE_STATS` — hits, misses, quarantines,
 heals; all zero unless a bench opts into ``REPRO_CACHE``) and the
 term-interner hit rate, so successive PRs can compare like for like
 and a silently degraded benchmark run is visible in the record.
+
+Since PR 4 the record also carries the observability aggregates that
+accumulate while the benches run: per-function phase timings
+(encode / vcgen / symex / solve / store, from
+:func:`repro.obs.trace.phases_snapshot`), the slowest solver queries,
+and the ``tactic.*`` / ``gillian.*`` counters — so a perf regression
+in the record can be localised to a phase without re-running anything.
 
 The pool and store counters are process-global, so an autouse fixture
 zeroes them before every benchmark (one bench's retries must not bleed
@@ -25,12 +32,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import top_queries
+from repro.obs.metrics import metrics
+from repro.obs.report import metrics_summary
+from repro.obs.trace import phases_since
 from repro.parallel import PARALLEL_STATS, reset_parallel_stats
 from repro.rustlib.linked_list import build_program
 from repro.rustlib.specs import install_callee_specs
 from repro.store import STORE_STATS, reset_store_stats
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 
 #: Tier-1 suite wall-clock on the reference machine, recorded when this
 #: tracking was introduced (PR 1): the seed solver vs. the hash-consed /
@@ -104,8 +115,25 @@ def pytest_sessionfinish(session, exitstatus):
     lookups = stats["cache_hits"] + stats["cache_misses"]
     interner = interner_stats()
     intern_lookups = interner["hits"] + interner["misses"]
+    phase_stats = {
+        fn: {
+            phase: {
+                "calls": rec["calls"],
+                "total": round(rec["total"], 4),
+                "self": round(rec["self"], 4),
+            }
+            for phase, rec in phases.items()
+        }
+        for fn, phases in phases_since({}).items()
+    }
+    snapshot = metrics.snapshot()
+    tactic_counts = {
+        k: v
+        for k, v in sorted(snapshot["counters"].items())
+        if k.startswith("tactic.") or k.startswith("gillian.")
+    }
     payload = {
-        "pr": 1,
+        "pr": 4,
         "python": platform.python_version(),
         "tier1_wall_clock": _TIER1_WALL_CLOCK,
         "bench_total_seconds": round(sum(r["seconds"] for r in _rows), 3),
@@ -128,5 +156,14 @@ def pytest_sessionfinish(session, exitstatus):
         "interner_hit_rate": (
             round(interner["hits"] / intern_lookups, 4) if intern_lookups else None
         ),
+        # Observability aggregates (PR 4): where the bench time went,
+        # per verified function and phase; the slowest solver queries;
+        # the tactic workload; and the full metrics snapshot.
+        "phase_stats": phase_stats,
+        "top_queries": [
+            {**q, "seconds": round(q["seconds"], 4)} for q in top_queries()
+        ],
+        "tactic_counts": tactic_counts,
+        "metrics": metrics_summary(snapshot),
     }
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

@@ -7,8 +7,17 @@ half then discharges exactly those axioms against the real
 pointer-manipulating implementation. Both halves interpret the same
 specifications, which is the keystone of the hybrid approach.
 
-Run with ``python examples/hybrid_client.py``.
+Run with ``python examples/hybrid_client.py``. Flags / knobs:
+
+* ``--verbose`` — append the profiling report (per-function phase
+  times, slowest solver queries, tactic counts);
+* ``--jobs N`` — fan the per-function verifications out over N
+  forked workers;
+* ``REPRO_TRACE=out.json`` — export the run as a Chrome trace
+  (Perfetto-loadable); ``REPRO_CACHE=1`` attaches the proof store.
 """
+
+import sys
 
 import repro.rustlib.linked_list as ll
 from repro.hybrid.pipeline import HybridVerifier
@@ -56,6 +65,11 @@ def build_stack_client():
 
 
 def main() -> int:
+    argv = sys.argv[1:]
+    verbose = "--verbose" in argv
+    jobs = 1
+    if "--jobs" in argv:
+        jobs = int(argv[argv.index("--jobs") + 1])
     program, ownables = build_program()
     install_callee_specs(program, ownables)
     program.add_body(build_stack_client())
@@ -75,9 +89,10 @@ def main() -> int:
             "LinkedList::push_front_node",
             "LinkedList::pop_front_node",
             "LinkedList::front_mut",
-        ]
+        ],
+        jobs=jobs,
     )
-    print(report.render())
+    print(report.render(verbose=verbose))
     return 0 if report.ok else 1
 
 

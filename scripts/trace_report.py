@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Offline profiling report from a Chrome trace file.
+
+Usage::
+
+    REPRO_TRACE=out.json python examples/hybrid_client.py
+    python scripts/trace_report.py out.json            # report
+    python scripts/trace_report.py --validate out.json # schema check only
+    python scripts/trace_report.py --validate --require=encode,vcgen,symex,solve,store out.json
+
+Reads the trace-event JSON that ``REPRO_TRACE`` exported, validates it
+against the schema (``ph``/``ts``/``pid``/``tid`` fields, balanced
+``B``/``E`` per lane), and reconstructs the same per-function
+phase-time breakdown, top-K slowest solver queries, and tactic counts
+that ``HybridReport.render(verbose=True)`` prints live — so a trace
+captured on one machine (or in CI) can be profiled on another.
+
+``--require=a,b,c`` additionally fails (exit 1) unless every listed
+phase appears as a span name; a requirement matches by prefix, so
+``store`` is satisfied by ``store.get`` / ``store.put`` spans.
+
+Exit status: 0 on a schema-valid trace (with all required phases
+present), 1 on validation errors or an unreadable file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.report import profile_from_trace, render_profile  # noqa: E402
+from repro.obs.trace import validate_trace  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    validate_only = "--validate" in argv
+    required: list[str] = []
+    for a in argv:
+        if a.startswith("--require="):
+            required.extend(p for p in a[len("--require="):].split(",") if p)
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    path = args[0]
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read trace {path!r}: {e}", file=sys.stderr)
+        return 1
+    errors = validate_trace(doc)
+    if errors:
+        print(f"INVALID trace ({len(errors)} problems):", file=sys.stderr)
+        for e in errors[:20]:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    n = len(doc.get("traceEvents", []))
+    pids = sorted({e["pid"] for e in doc["traceEvents"]})
+    print(f"valid trace: {n} events from {len(pids)} process(es) {pids}")
+    if required:
+        names = {e.get("name", "") for e in doc["traceEvents"]}
+        missing = [
+            r for r in required if not any(nm.startswith(r) for nm in names)
+        ]
+        if missing:
+            print(f"MISSING required phases: {missing}", file=sys.stderr)
+            return 1
+        print(f"required phases present: {required}")
+    if validate_only:
+        return 0
+    phases, queries, counters = profile_from_trace(doc)
+    print()
+    print(render_profile(phases, queries, counters, title=os.path.basename(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -32,12 +32,12 @@ fork-safe); :meth:`BudgetSpec.start` mints a fresh running
 from __future__ import annotations
 
 import os
-import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import BudgetExhausted
+from repro.obs import clock as obs_clock
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ class BudgetSpec:
             )
         )
 
-    def start(self, clock: Callable[[], float] = time.monotonic) -> Optional["Budget"]:
+    def start(self, clock: Callable[[], float] = obs_clock.monotonic) -> Optional["Budget"]:
         """A fresh :class:`Budget` for one function, or ``None`` when
         the spec carries no limits (the no-budget fast path)."""
         if not self:
@@ -134,7 +134,7 @@ class Budget:
         max_solver_queries: Optional[int] = None,
         max_steps: Optional[int] = None,
         max_branches: Optional[int] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = obs_clock.monotonic,
     ) -> None:
         self.deadline = deadline
         self.max_solver_queries = max_solver_queries

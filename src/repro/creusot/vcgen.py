@@ -24,10 +24,10 @@ back edges close the cycle).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
+from repro.obs import clock, span
 from repro.gilsonite.ownable import OwnableRegistry
 from repro.lang.mir import (
     Aggregate,
@@ -170,7 +170,7 @@ class CreusotVerifier:
     # -- public API ----------------------------------------------------------
 
     def verify(self, body: Body) -> CreusotResult:
-        started = time.perf_counter()
+        started = clock.now()
         result = CreusotResult(body.name, ok=True)
         if not body.is_safe:
             result.ok = False
@@ -182,20 +182,21 @@ class CreusotVerifier:
                     "(delegate to Gillian-Rust)",
                 )
             )
-            result.elapsed = time.perf_counter() - started
+            result.elapsed = clock.now() - started
             return result
-        contract = self.contracts.get(body.name, PearliteSpec())
-        env: dict[str, Term] = {}
-        pc: list[Term] = []
-        for pname, pty in body.params:
-            m = fresh_var(f"m_{pname}", self.ownables.repr_sort(pty))
-            env[pname] = m
-            pc.extend(self._model_invariants(pty, m))
-        penv = self._pearlite_env(body, env)
-        for r in contract.requires:
-            pc.append(self.encoder.encode_term(r, penv))
-        self._run(body, _Cfg(env, tuple(pc)), body.entry, contract, result)
-        result.elapsed = time.perf_counter() - started
+        with span("vcgen", function=body.name):
+            contract = self.contracts.get(body.name, PearliteSpec())
+            env: dict[str, Term] = {}
+            pc: list[Term] = []
+            for pname, pty in body.params:
+                m = fresh_var(f"m_{pname}", self.ownables.repr_sort(pty))
+                env[pname] = m
+                pc.extend(self._model_invariants(pty, m))
+            penv = self._pearlite_env(body, env)
+            for r in contract.requires:
+                pc.append(self.encoder.encode_term(r, penv))
+            self._run(body, _Cfg(env, tuple(pc)), body.entry, contract, result)
+        result.elapsed = clock.now() - started
         return result
 
     # -- model typing helpers ---------------------------------------------------

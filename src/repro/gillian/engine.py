@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional
 
 from repro import faultinject
+from repro.obs import detail_span
 from repro.core.heap.structural import HeapError
 from repro.core.state import RustState, RustStateModel
 from repro.core.address import NULL_PTR, ptr_field, ptr_offset, ptr_variant_field
@@ -260,27 +261,28 @@ class Engine:
                 )
                 continue
             bb = body.blocks[bname]
-            branches = [cfg]
-            failed = False
-            for st in bb.statements:
-                next_branches: list[Config] = []
+            with detail_span("engine.block", block=bname, step=steps):
+                branches = [cfg]
+                failed = False
+                for st in bb.statements:
+                    next_branches: list[Config] = []
+                    for c in branches:
+                        outs = self.exec_statement(body, c, st)
+                        for o in outs:
+                            if isinstance(o, Terminal):
+                                results.append(o)
+                                failed = True
+                            else:
+                                next_branches.append(o)
+                    branches = next_branches
+                    if not branches:
+                        break
                 for c in branches:
-                    outs = self.exec_statement(body, c, st)
-                    for o in outs:
-                        if isinstance(o, Terminal):
-                            results.append(o)
-                            failed = True
+                    for t in self.exec_terminator(body, c, bb):
+                        if isinstance(t, Terminal):
+                            results.append(t)
                         else:
-                            next_branches.append(o)
-                branches = next_branches
-                if not branches:
-                    break
-            for c in branches:
-                for t in self.exec_terminator(body, c, bb):
-                    if isinstance(t, Terminal):
-                        results.append(t)
-                    else:
-                        worklist.append(t)
+                            worklist.append(t)
         return results
 
     def _issue(self, body: Body, where: str, message: str) -> VerificationIssue:

@@ -39,6 +39,7 @@ from repro.gilsonite.ast import (
 )
 from repro.gillian.consume import ConsumeFailure, Match, consume
 from repro.gillian.produce import ProduceError, produce
+from repro.obs.metrics import metrics
 from repro.solver.terms import Term, Var, eq, fresh_var, substitute
 
 MAX_REPAIR_DEPTH = 6
@@ -82,6 +83,7 @@ def unfold(
         raise TacticError(f"unknown predicate {inst.name}")
     if pdef.abstract:
         raise TacticError(f"predicate {inst.name} is abstract")
+    metrics.inc("tactic.unfolds")
     if stats:
         stats.unfolds += 1
     base = state.remove_pred(inst)
@@ -109,6 +111,7 @@ def fold(
     pdef = model.program.predicates.get(name)
     if pdef is None:
         raise TacticError(f"unknown predicate {name}")
+    metrics.inc("tactic.folds")
     if stats:
         stats.folds += 1
     args: list[Term] = []
@@ -152,6 +155,7 @@ class _AutoUpdateModel(RustStateModel):
             if entry is not None and entry.vo and entry.pc_:
                 upd = state.proph.update(a.proph, a.value)
                 if upd.ctx is not None:
+                    metrics.inc("tactic.auto_updates")
                     if self._stats:
                         self._stats.auto_updates += 1
                     state = replace(state, proph=upd.ctx)
@@ -176,6 +180,7 @@ def gunfold(
     )
     if tok_out.ctx is None:
         raise TacticError(f"gunfold: {tok_out.error}")
+    metrics.inc("tactic.gunfolds")
     if stats:
         stats.gunfolds += 1
     opened = replace(state, lifetimes=tok_out.ctx)
@@ -229,6 +234,7 @@ def gfold(
                 continue
             out.append(replace(s, lifetimes=lft.ctx).assume(lft.facts))
         if out:
+            metrics.inc("tactic.gfolds")
             if stats:
                 stats.gfolds += 1
             return out
@@ -360,6 +366,7 @@ def with_repair(
                 opened_states = gunfold(model, state, target, stats)
         except TacticError:
             continue
+        metrics.inc("tactic.repairs")
         if stats:
             stats.repairs += 1
         feasible = [s for s in opened_states if model.feasible(s)]

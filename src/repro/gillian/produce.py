@@ -15,6 +15,8 @@ from typing import Optional
 
 from repro.core.state import ModelOutcome, RustState, RustStateModel
 from repro.gilsonite.ast import Assertion, Emp, Exists, Pure, Star
+from repro.obs import detail_span
+from repro.obs.metrics import metrics
 from repro.solver.core import Status
 from repro.solver.terms import Term, fresh_var
 
@@ -37,7 +39,9 @@ def produce(
     Raises :class:`ProduceError` if every branch failed with a genuine
     error (as opposed to vanishing).
     """
-    result = _produce(model, state, assertion)
+    metrics.inc("gillian.produces")
+    with detail_span("produce", assertion=type(assertion).__name__):
+        result = _produce(model, state, assertion)
     if not result.states and result.errors:
         raise ProduceError("; ".join(result.errors[:3]))
     return result.states

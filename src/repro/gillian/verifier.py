@@ -9,12 +9,12 @@ verifies iff every feasible branch succeeds.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro import faultinject
 from repro.budget import Budget, BudgetSpec
+from repro.obs import clock, span
 from repro.errors import BudgetExhausted, status_of
 from repro.core.state import RustState, RustStateModel
 from repro.gillian.consume import ConsumeFailure, consume
@@ -96,7 +96,7 @@ def verify_function(
     engine = Engine(
         program, model, stats=stats, auto_repair=auto_repair, budget=budget
     )
-    started = time.perf_counter()
+    started = clock.now()
     result = VerificationResult(body.name, spec.kind, ok=True, stats=stats)
     faultinject.fire("verifier.function", body.name)
 
@@ -106,9 +106,10 @@ def verify_function(
     prev_budget = solver.budget
     solver.budget = budget if budget is not None else prev_budget
     try:
-        _verify_function_inner(
-            program, body, spec, solver, stats, engine, model, result
-        )
+        with span("symex", function=body.name, kind=spec.kind):
+            _verify_function_inner(
+                program, body, spec, solver, stats, engine, model, result
+            )
     except BudgetExhausted as e:
         result.ok = False
         result.status = "timeout"
@@ -117,7 +118,7 @@ def verify_function(
         solver.budget = prev_budget
     if result.status == "verified" and not result.ok:
         result.status = "refuted"
-    result.elapsed = time.perf_counter() - started
+    result.elapsed = clock.now() - started
     return result
 
 
@@ -146,7 +147,8 @@ def _verify_function_inner(
 
     # 2. Produce the precondition.
     try:
-        init_states = produce(model, RustState(), spec.pre.subst(inst_map))
+        with span("pre"):
+            init_states = produce(model, RustState(), spec.pre.subst(inst_map))
     except ProduceError as e:
         result.ok = False
         result.issues.append(VerificationIssue(body.name, "pre", str(e)))
@@ -177,9 +179,10 @@ def _verify_function_inner(
                     result.ok = False
                     result.issues.append(t.issue)
                 continue
-            _check_post(
-                model, body, spec, t, kappa_val, forall_map, result, stats
-            )
+            with span("post"):
+                _check_post(
+                    model, body, spec, t, kappa_val, forall_map, result, stats
+                )
 
 
 def _check_post(

@@ -30,20 +30,30 @@ mid-run loses at most the in-flight functions, and the next run
 resumes from the store with a report identical to an uninterrupted
 one, modulo wall-clock).
 
-All wall-clock bookkeeping here uses ``time.monotonic()`` (like
-:mod:`repro.budget`): report timing and resume accounting must never
-step backwards under NTP/clock adjustments.
+All wall-clock bookkeeping here uses the deadline clock of
+:mod:`repro.obs.clock` (``time.monotonic``, like :mod:`repro.budget`):
+report timing and resume accounting must never step backwards under
+NTP/clock adjustments.
+
+Observability: every pipeline phase runs under a :func:`repro.obs.span`
+(``verify`` → ``encode`` / ``vcgen`` / ``symex`` / ``solve`` /
+``store.*``), so any run can print a per-function phase-time breakdown
+(``report.render(verbose=True)``) and ``REPRO_TRACE=out.json`` exports
+the whole run — including forked workers — as one Chrome trace.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro import faultinject
+from repro import faultinject, obs
 from repro.budget import Budget, BudgetSpec
 from repro.errors import BudgetExhausted, EncodingError, StoreCorrupted, status_of
+from repro.obs import clock, span
+from repro.obs import report as obs_report
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import metrics
 from repro.parallel import PARALLEL_STATS, fanout
 from repro.store import ProofStore, STORE_STATS, function_fingerprint, logic_digest
 
@@ -54,7 +64,7 @@ from repro.gilsonite.specs import Spec, show_safety_spec
 from repro.lang.mir import Body, Program
 from repro.pearlite.ast import PearliteSpec
 from repro.pearlite.encode import PearliteEncoder
-from repro.solver.core import Solver
+from repro.solver.core import GLOBAL_STATS, Solver
 
 
 #: Per-entry verdicts, in report-aggregation precedence order (a report
@@ -99,6 +109,14 @@ class HybridReport:
     #: Proof-store hit/miss/quarantine counters for *this run* (delta of
     #: ``repro.store.STORE_STATS``); empty when no store was attached.
     store_stats: dict = field(default_factory=dict)
+    #: Per-function phase times for *this run* — the
+    #: :func:`repro.obs.trace.phases_since` shape
+    #: ``{function: {phase: {calls,total,self}}}``; includes forked
+    #: workers' phases (merged through the pool deltas).
+    phase_stats: dict = field(default_factory=dict)
+    #: Slowest solver queries on record at run() end
+    #: (``[{seconds, function, query}, …]``, slowest first).
+    top_queries: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -121,7 +139,10 @@ class HybridReport:
                 return s
         return "verified"
 
-    def render(self) -> str:
+    def render(self, verbose: bool = False) -> str:
+        """The run report; ``verbose=True`` appends the profiling
+        sections (per-function phase breakdown, slowest solver
+        queries, tactic counts)."""
         lines = ["function                                     half          note"]
         lines += [str(e) for e in self.entries]
         c = self.counters
@@ -153,6 +174,15 @@ class HybridReport:
                 f"{st.get('stores', 0)} stored, "
                 f"{st.get('quarantined', 0)} quarantined, "
                 f"{st.get('healed', 0)} healed --"
+            )
+        if verbose:
+            lines.append("")
+            lines.append(
+                obs_report.render_profile(
+                    self.phase_stats,
+                    self.top_queries,
+                    metrics.snapshot()["counters"],
+                )
             )
         return "\n".join(lines)
 
@@ -195,11 +225,15 @@ class HybridVerifier:
         ✗-with-reason entries — this is the pipeline's fault boundary;
         no exception escapes it."""
         budget = self.budget.start() if self.budget else None
-        try:
-            faultinject.fire("pipeline.verify_one", name)
-            return self._verify_one_inner(name, budget)
-        except Exception as e:  # BudgetExhausted → timeout, … → error
-            return [self._failure_entry(name, e)]
+        with span("verify", function=name):
+            try:
+                faultinject.fire("pipeline.verify_one", name)
+                entries = self._verify_one_inner(name, budget)
+            except Exception as e:  # BudgetExhausted → timeout, … → error
+                return [self._failure_entry(name, e)]
+        if obs.enabled():
+            _emit_tactics_event(name, entries)
+        return entries
 
     def _failure_entry(self, name: str, exc: BaseException) -> HybridEntry:
         body = self.program.bodies.get(name)
@@ -301,11 +335,13 @@ class HybridVerifier:
         and only the misses are verified (and published as they
         complete — checkpointing: a killed run resumes from here).
         """
-        started = time.monotonic()
+        started = clock.monotonic()
         report = HybridReport()
         names = functions if functions is not None else list(self.program.bodies)
         parallel_before = dict(PARALLEL_STATS)
         store_before = dict(STORE_STATS)
+        solver_before = dict(GLOBAL_STATS)
+        phases_before = obs.phases_snapshot()
         cached = self._lookup_cached(names)
         pending = [n for n in names if n not in cached]
         if jobs == 1 or not pending:
@@ -344,9 +380,12 @@ class HybridVerifier:
                 report.entries.extend(entries)
         if self.store is not None:
             self.store.end_run()
-        report.elapsed = time.monotonic() - started
+        report.elapsed = clock.monotonic() - started
+        # The solver delta is over GLOBAL_STATS, not the driving
+        # instance's stats: forked workers' ticks arrive through the
+        # pool's observability deltas and land in GLOBAL_STATS only.
         report.solver_stats = {
-            k: self.solver.stats.get(k, 0)
+            k: GLOBAL_STATS[k] - solver_before.get(k, 0)
             for k in ("checks", "unknowns", "budget_stops")
         }
         report.parallel_stats = {
@@ -358,6 +397,9 @@ class HybridVerifier:
                 k: STORE_STATS[k] - store_before.get(k, 0)
                 for k in STORE_STATS
             }
+        report.phase_stats = obs.phases_since(phases_before)
+        report.top_queries = obs.top_queries()
+        obs_trace.flush()
         return report
 
     # -- store plumbing ------------------------------------------------------
@@ -386,7 +428,10 @@ class HybridVerifier:
         cached: dict[str, list[HybridEntry]] = {}
         for name in names:
             try:
-                hit = self.store.get(self._run_fps[name], context=name)
+                # The span attributes the nested store.get to the
+                # function being looked up.
+                with span("store.lookup", function=name):
+                    hit = self.store.get(self._run_fps[name], context=name)
             except StoreCorrupted as e:  # strict mode surfaces corruption
                 cached[name] = [self._failure_entry(name, e)]
                 continue
@@ -413,7 +458,8 @@ def _verify_one_worker(verifier: "HybridVerifier", name: str) -> list[HybridEntr
     store, fp = verifier.store, verifier._run_fps.get(name)
     if store is not None and fp:
         try:
-            hit = store.get(fp, context=name)
+            with span("store.lookup", function=name):
+                hit = store.get(fp, context=name)
         except StoreCorrupted:
             hit = None  # strict mode: the entry is gone either way
         if hit is not None:
@@ -421,6 +467,25 @@ def _verify_one_worker(verifier: "HybridVerifier", name: str) -> list[HybridEntr
     entries = verifier.verify_one(name)
     verifier._publish(name, entries)
     return entries
+
+
+def _emit_tactics_event(name: str, entries: list) -> None:
+    """Mirror one function's tactic totals into the trace as an ``I``
+    (instant) event, so ``trace_report.py`` can rebuild the tactic
+    table from the trace file alone."""
+    counts: dict[str, int] = {}
+    for e in entries:
+        stats = getattr(e.detail, "stats", None)
+        if stats is None:
+            continue
+        for k in (
+            "unfolds", "folds", "gunfolds", "gfolds", "repairs", "auto_updates"
+        ):
+            counts[f"tactic.{k}"] = counts.get(f"tactic.{k}", 0) + getattr(
+                stats, k, 0
+            )
+    if counts:
+        obs.instant_event("tactics", function=name, **counts)
 
 
 def _has_clauses(contract: Union[PearliteSpec, dict]) -> bool:

@@ -1,0 +1,101 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+Zero-dependency observability for the hybrid pipeline, in three parts
+(one module each):
+
+* :mod:`repro.obs.clock` — the single timing authority (duration /
+  deadline / calendar clocks);
+* :mod:`repro.obs.metrics` — the process-wide metrics registry that
+  absorbs the legacy ``Solver.stats`` / ``PARALLEL_STATS`` /
+  ``STORE_STATS`` dicts and owns the one reset path;
+* :mod:`repro.obs.trace` — contextvar spans, the per-function phase
+  table, top-K solver queries, and Chrome trace-event JSON export.
+
+Environment knobs (read once at import):
+
+* ``REPRO_OBS=0`` — kill switch: every span helper becomes a no-op
+  and phase/query aggregation stops (the baseline for the CI overhead
+  gate; plain counters still tick — they are a handful of dict adds);
+* ``REPRO_TRACE=out.json`` — record trace events and write the Chrome
+  trace (Perfetto-loadable) to ``out.json`` at process exit and after
+  every ``HybridVerifier.run``;
+* ``REPRO_METRICS=out.json`` — dump the full metrics snapshot as JSON
+  at process exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+
+from repro.obs import clock  # noqa: F401  (re-export)
+from repro.obs.metrics import metrics
+from repro.obs import trace
+from repro.obs.trace import (  # noqa: F401  (re-exports)
+    add_child_time,
+    current_function,
+    detail_span,
+    enabled,
+    instant_event,
+    merge_worker_delta,
+    phases_since,
+    phases_snapshot,
+    record_phase,
+    record_query,
+    span,
+    top_queries,
+    validate_trace,
+    worker_begin,
+    worker_delta,
+)
+
+__all__ = [
+    "clock",
+    "metrics",
+    "trace",
+    "span",
+    "detail_span",
+    "instant_event",
+    "record_phase",
+    "record_query",
+    "current_function",
+    "add_child_time",
+    "enabled",
+    "phases_snapshot",
+    "phases_since",
+    "top_queries",
+    "worker_begin",
+    "worker_delta",
+    "merge_worker_delta",
+    "validate_trace",
+]
+
+_METRICS_PATH: str | None = None
+_OWNER_PID = os.getpid()
+
+
+def _dump_metrics() -> None:
+    if _METRICS_PATH and os.getpid() == _OWNER_PID:
+        with open(_METRICS_PATH, "w") as fh:
+            json.dump(metrics.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def configure_from_env(environ=os.environ) -> None:
+    """Apply the ``REPRO_OBS`` / ``REPRO_TRACE`` / ``REPRO_METRICS``
+    knobs. Called once at import; callable again in tests."""
+    global _METRICS_PATH
+    if environ.get("REPRO_OBS", "").strip() == "0":
+        trace.OFF = True
+        return
+    trace.OFF = False
+    trace_path = environ.get("REPRO_TRACE", "").strip()
+    if trace_path:
+        trace.enable(trace_path)
+    _METRICS_PATH = environ.get("REPRO_METRICS", "").strip() or None
+
+
+configure_from_env()
+atexit.register(trace.flush)
+atexit.register(_dump_metrics)

@@ -42,6 +42,8 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro import faultinject
 from repro.errors import WorkerCrashed
+from repro.obs import merge_worker_delta, worker_begin, worker_delta
+from repro.obs.metrics import metrics
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -54,19 +56,22 @@ _ACTIVE = False
 
 #: Fault/retry counters, surfaced in BENCH json next to the solver
 #: stats so a degraded benchmark run is visible in the record.
-PARALLEL_STATS = {
-    "fanouts": 0,
-    "worker_failures": 0,
-    "broken_pools": 0,
-    "cancelled_futures": 0,
-    "serial_retries": 0,
-    "serial_fallbacks": 0,
-}
+PARALLEL_STATS = metrics.register_legacy(
+    "parallel",
+    {
+        "fanouts": 0,
+        "worker_failures": 0,
+        "broken_pools": 0,
+        "cancelled_futures": 0,
+        "serial_retries": 0,
+        "serial_fallbacks": 0,
+    },
+)
 
 
 def reset_parallel_stats() -> None:
-    for k in PARALLEL_STATS:
-        PARALLEL_STATS[k] = 0
+    """Deprecated alias: resets route through the metrics registry."""
+    metrics.reset("parallel")
 
 
 def default_jobs() -> int:
@@ -90,8 +95,16 @@ def fork_available() -> bool:
 
 
 def _invoke(fn: Callable, idx: int, item) -> tuple:
+    """Worker-side wrapper: runs one item and ships the observability
+    delta (counters, trace events, phase times, slow queries) recorded
+    while running it back with the result, so the parent's merged view
+    of a ``jobs=N`` run is as complete as a serial run's. A worker that
+    raises or dies loses its delta — acceptable: the parent's serial
+    retry re-counts the work it redoes."""
     faultinject.fire("parallel.worker", str(item))
-    return idx, fn(_PAYLOAD, item)
+    mark = worker_begin()
+    result = fn(_PAYLOAD, item)
+    return idx, result, worker_delta(mark)
 
 
 def fanout(
@@ -153,8 +166,9 @@ def fanout(
                         lost.append(i)
                         continue
                 try:
-                    idx, result = fut.result()
+                    idx, result, delta = fut.result()
                     out[idx] = result
+                    merge_worker_delta(delta)
                 except BrokenProcessPool:
                     if not broken:
                         broken = True

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+from repro.obs import span
 from repro.gilsonite.ast import Pure
 from repro.gilsonite.ownable import OwnableRegistry
 from repro.gilsonite.specs import Spec, functional_spec
@@ -251,6 +252,18 @@ class PearliteEncoder:
         manual_pure_pre: Sequence[PTerm] = (),
     ) -> Spec:
         """Elaborate a Pearlite contract into a Gilsonite Spec."""
+        with span("encode", function=body.name):
+            return self._encode_contract(
+                body, spec, auto_extract, manual_pure_pre
+            )
+
+    def _encode_contract(
+        self,
+        body: Body,
+        spec: Union[PearliteSpec, dict],
+        auto_extract: bool,
+        manual_pure_pre: Sequence[PTerm],
+    ) -> Spec:
         if isinstance(spec, dict):
             spec = PearliteSpec(
                 requires=tuple(

@@ -42,6 +42,9 @@ from typing import Iterable, Optional, Sequence
 
 from repro import faultinject
 from repro.errors import BudgetExhausted  # re-exported; was defined here
+from repro.obs import clock
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import metrics
 from repro.solver.intervals import LinearStore
 from repro.solver.sorts import BOOL, INT, OptionSort, SeqSort
 from repro.solver.terms import (
@@ -291,20 +294,35 @@ class _BranchCapReached(Exception):
 #: Process-wide aggregate of every Solver instance's counters, so the
 #: benchmark harness can report totals without threading solver handles
 #: through each experiment.
-GLOBAL_STATS = {
-    "checks": 0,
-    "cache_hits": 0,
-    "cache_misses": 0,
-    "cache_evictions": 0,
-    "branches": 0,
-    "unknowns": 0,
-    "budget_stops": 0,
-}
+GLOBAL_STATS = metrics.register_legacy(
+    "solver",
+    {
+        "checks": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "cache_evictions": 0,
+        "branches": 0,
+        "unknowns": 0,
+        "budget_stops": 0,
+    },
+)
 
 
 def reset_global_stats() -> None:
-    for k in GLOBAL_STATS:
-        GLOBAL_STATS[k] = 0
+    """Deprecated alias: resets route through the metrics registry."""
+    metrics.reset("solver")
+
+
+def _describe_query(fs: Sequence[Term]) -> str:
+    """A short human-readable rendering of a query, for the top-K
+    slowest-queries table (computed lazily — only when a query is slow
+    enough to enter the table, or when tracing is on)."""
+    if not fs:
+        return "<empty>"
+    body = " & ".join(str(f) for f in fs[:4])
+    if len(fs) > 4:
+        body += f" & ... ({len(fs)} conjuncts)"
+    return body if len(body) <= 160 else body[:157] + "..."
 
 
 class Solver:
@@ -363,21 +381,36 @@ class Solver:
                 raise
         self._tick("checks")
         self._tick("cache_misses")
-        if FALSE in fs:
-            result = Status.UNSAT
-        else:
-            try:
-                result = self._search(fs)
-            except _BranchCapReached:
-                result = Status.UNKNOWN
-                self._tick("unknowns")
-            except BudgetExhausted:
-                # The cooperative budget interrupted the search mid-way:
-                # the result is unknown but must NOT be cached (a later,
-                # fresh-budget run should get a real answer) and must
-                # propagate so the caller reports a timeout verdict.
-                self._tick("budget_stops")
-                raise
+        tracing = obs_trace.enabled()
+        if tracing:
+            obs_trace.emit("B", "solve", {"query": _describe_query(fs)})
+        t0 = clock.now()
+        try:
+            if FALSE in fs:
+                result = Status.UNSAT
+            else:
+                try:
+                    result = self._search(fs)
+                except _BranchCapReached:
+                    result = Status.UNKNOWN
+                    self._tick("unknowns")
+                except BudgetExhausted:
+                    # The cooperative budget interrupted the search mid-way:
+                    # the result is unknown but must NOT be cached (a later,
+                    # fresh-budget run should get a real answer) and must
+                    # propagate so the caller reports a timeout verdict.
+                    self._tick("budget_stops")
+                    raise
+        finally:
+            # Every cache-missing query is timed and attributed to the
+            # enclosing span's function — in the finally so the B event
+            # stays balanced and the phase table stays honest even when
+            # BudgetExhausted aborts the search.
+            dur = clock.now() - t0
+            if tracing:
+                obs_trace.emit("E", "solve")
+            obs_trace.record_phase(obs_trace.current_function(), "solve", dur)
+            obs_trace.record_query(dur, lambda: _describe_query(fs))
         cache[key] = result
         if len(cache) > self.cache_capacity:
             cache.popitem(last=False)

@@ -52,6 +52,8 @@ from typing import Optional
 
 from repro import faultinject
 from repro.errors import StoreCorrupted
+from repro.obs import span
+from repro.obs.metrics import metrics
 from repro.parallel import with_retries
 from repro.store import codec
 from repro.store.fingerprint import STORE_FORMAT
@@ -64,23 +66,33 @@ CACHEABLE_STATUSES = ("verified", "refuted")
 #: Aggregate counters (like PARALLEL_STATS): surfaced in
 #: ``HybridReport.render()`` and the bench JSON. All zero on a run that
 #: never touched a store.
-STORE_STATS = {
-    "hits": 0,            # lookups answered from disk
-    "misses": 0,          # lookups that fell through to verification
-    "stores": 0,          # entries newly published
-    "skipped": 0,         # results not persisted (nondeterministic verdict)
-    "corrupt": 0,         # entries that failed validation
-    "quarantined": 0,     # corrupt entries moved to quarantine/
-    "healed": 0,          # quarantined fingerprints re-published
-    "io_retries": 0,      # transient I/O errors absorbed by retry
-    "io_errors": 0,       # I/O failures that exhausted the retries
-    "journal_bad_lines": 0,  # torn/invalid journal lines skipped
-}
+#: Registered with the metrics registry as group ``"store"`` but
+#: *excluded* from the fork-worker delta merge (``delta=False``): the
+#: parent already credits worker publishes through
+#: :meth:`ProofStore.note_worker_publish`, and worker-side lookup
+#: counters describe a private probe the parent repeats — merging
+#: either would double-count.
+STORE_STATS = metrics.register_legacy(
+    "store",
+    {
+        "hits": 0,            # lookups answered from disk
+        "misses": 0,          # lookups that fell through to verification
+        "stores": 0,          # entries newly published
+        "skipped": 0,         # results not persisted (nondeterministic verdict)
+        "corrupt": 0,         # entries that failed validation
+        "quarantined": 0,     # corrupt entries moved to quarantine/
+        "healed": 0,          # quarantined fingerprints re-published
+        "io_retries": 0,      # transient I/O errors absorbed by retry
+        "io_errors": 0,       # I/O failures that exhausted the retries
+        "journal_bad_lines": 0,  # torn/invalid journal lines skipped
+    },
+    delta=False,
+)
 
 
 def reset_store_stats() -> None:
-    for k in STORE_STATS:
-        STORE_STATS[k] = 0
+    """Deprecated alias: resets route through the metrics registry."""
+    metrics.reset("store")
 
 
 class ProofStore:
@@ -166,6 +178,10 @@ class ProofStore:
         ``strict`` mode it raises :class:`StoreCorrupted`. I/O errors
         are retried with backoff; a persistent one is a miss (the proof
         is re-run — slower, never wrong)."""
+        with span("store.get", fp=fp[:12]):
+            return self._get(fp, context)
+
+    def _get(self, fp: str, context: str):
         path = self._entry_path(fp)
         if not path.exists():
             # The common cold-run path: a plain miss, not an I/O fault —
@@ -257,6 +273,10 @@ class ProofStore:
         written now or already present). Never raises: a cache that
         cannot be written costs performance, not the run — persistent
         I/O failures are counted and swallowed."""
+        with span("store.put", function=function):
+            return self._put(fp, function, entries)
+
+    def _put(self, fp: str, function: str, entries: list) -> bool:
         statuses = [getattr(e, "status", "?") for e in entries]
         if not entries or any(s not in CACHEABLE_STATUSES for s in statuses):
             STORE_STATS["skipped"] += 1
