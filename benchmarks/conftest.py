@@ -1,7 +1,7 @@
 """Shared fixtures for the experiment benchmarks (see DESIGN.md §4).
 
 Besides the fixtures, this conftest tracks the perf trajectory: at the
-end of a benchmark session it writes ``BENCH_PR4.json`` at the repo
+end of a benchmark session it writes ``BENCH_PR6.json`` at the repo
 root with per-test wall-clock, the aggregate solver counters
 (:data:`repro.solver.core.GLOBAL_STATS` — checks, LRU cache
 hits/misses/evictions, branches, plus the robustness counters:
@@ -19,6 +19,12 @@ accumulate while the benches run: per-function phase timings
 :func:`repro.obs.trace.phases_snapshot`), the slowest solver queries,
 and the ``tactic.*`` / ``gillian.*`` counters — so a perf regression
 in the record can be localised to a phase without re-running anything.
+
+Since PR 6 it also records the solver strategy portfolio: per-strategy
+query counts and latency histograms (``solver.strategy.*``) and the
+process-wide selector's decision/exploration counters, hit rate and
+per-bucket winners — the evidence behind the E10 auto-vs-baseline
+comparison (gauges ``bench.e10.*``).
 
 The pool and store counters are process-global, so an autouse fixture
 zeroes them before every benchmark (one bench's retries must not bleed
@@ -41,7 +47,7 @@ from repro.rustlib.linked_list import build_program
 from repro.rustlib.specs import install_callee_specs
 from repro.store import STORE_STATS, reset_store_stats
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 #: Tier-1 suite wall-clock on the reference machine, recorded when this
 #: tracking was introduced (PR 1): the seed solver vs. the hash-consed /
@@ -132,8 +138,25 @@ def pytest_sessionfinish(session, exitstatus):
         for k, v in sorted(snapshot["counters"].items())
         if k.startswith("tactic.") or k.startswith("gillian.")
     }
+    from repro.solver.portfolio import GLOBAL_SELECTOR
+
+    strategy_counters = {
+        k: v
+        for k, v in sorted(snapshot["counters"].items())
+        if k.startswith("solver.strategy.")
+    }
+    strategy_hists = {
+        k: {
+            "count": h["count"],
+            "total": round(h["total"], 4),
+            "min": round(h["min"], 6) if h["min"] is not None else None,
+            "max": round(h["max"], 6) if h["max"] is not None else None,
+        }
+        for k, h in sorted(snapshot["histograms"].items())
+        if k.startswith("solver.strategy.")
+    }
     payload = {
-        "pr": 4,
+        "pr": 6,
         "python": platform.python_version(),
         "tier1_wall_clock": _TIER1_WALL_CLOCK,
         "bench_total_seconds": round(sum(r["seconds"] for r in _rows), 3),
@@ -164,6 +187,17 @@ def pytest_sessionfinish(session, exitstatus):
             {**q, "seconds": round(q["seconds"], 4)} for q in top_queries()
         ],
         "tactic_counts": tactic_counts,
+        # Strategy portfolio (PR 6): per-strategy query counts and
+        # latency histograms, plus the learned selector's state —
+        # decisions/explorations, hit rate, per-bucket winners. The
+        # bench.e10.* gauges inside "metrics" carry the measured
+        # auto-vs-baseline solve self-times on the two hottest
+        # functions.
+        "strategies": {
+            "counters": strategy_counters,
+            "histograms": strategy_hists,
+            "selector": GLOBAL_SELECTOR.summary(),
+        },
         "metrics": metrics_summary(snapshot),
     }
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

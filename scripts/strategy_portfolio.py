@@ -1,0 +1,115 @@
+"""Cross-strategy acceptance check for the solver portfolio.
+
+Verifies the LinkedList hybrid functions once per registered search
+strategy, once under ``race`` (every query runs *all* strategies and
+asserts in-query verdict agreement), and once under warmed ``auto``
+selection — then asserts every run produced the identical verdict
+fingerprint. This is the CI gate for the portfolio's hard invariant:
+strategies trade cost, never answers.
+
+Each run gets a fresh :class:`Solver` (a shared result cache would let
+one strategy's verdicts mask another's), while the ``auto`` runs share
+one :class:`StrategySelector` so the last run measures warmed
+selection. Prints a per-strategy table (wall clock and solve
+self-time) and exits non-zero on the first divergence.
+
+Run with ``python scripts/strategy_portfolio.py [--seed-runs=N]``.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.hybrid.pipeline import HybridVerifier  # noqa: E402
+from repro.rustlib.contracts import (  # noqa: E402
+    LINKED_LIST_CONTRACTS,
+    MANUAL_PURE_PRECONDITIONS,
+)
+from repro.rustlib.linked_list import build_program  # noqa: E402
+from repro.rustlib.specs import install_callee_specs  # noqa: E402
+from repro.solver import Solver  # noqa: E402
+from repro.solver.portfolio import StrategySelector  # noqa: E402
+from repro.solver.strategies import STRATEGIES  # noqa: E402
+
+FUNCTIONS = [
+    "LinkedList::new",
+    "LinkedList::push_front_node",
+    "LinkedList::pop_front_node",
+    "LinkedList::front_mut",
+]
+
+
+def run_once(program, ownables, strategy, selector=None):
+    solver = Solver(strategy=strategy, selector=selector)
+    hv = HybridVerifier(
+        program,
+        ownables,
+        LINKED_LIST_CONTRACTS,
+        manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+        solver=solver,
+    )
+    t0 = time.perf_counter()
+    report = hv.run(FUNCTIONS)
+    wall = time.perf_counter() - t0
+    fingerprint = tuple((e.function, e.half, e.ok) for e in report.entries)
+    solve_self = sum(
+        ph.get("solve", {}).get("self", 0.0) for ph in report.phase_stats.values()
+    )
+    return fingerprint, wall, solve_self
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed-runs",
+        type=int,
+        default=2,
+        help="auto-mode warm-up runs before the measured auto run",
+    )
+    args = parser.parse_args(argv)
+
+    program, ownables = build_program()
+    install_callee_specs(program, ownables)
+
+    rows = []
+    fingerprints = {}
+    for name in list(STRATEGIES) + ["race"]:
+        fp, wall, solve = run_once(program, ownables, name)
+        fingerprints[name] = fp
+        rows.append((name, wall, solve))
+        print(f"  {name:15s}  wall {wall:7.3f}s  solve-self {solve:7.3f}s")
+
+    selector = StrategySelector()
+    for i in range(args.seed_runs):
+        run_once(program, ownables, "auto", selector)
+    fp, wall, solve = run_once(program, ownables, "auto", selector)
+    fingerprints["auto(warm)"] = fp
+    rows.append(("auto(warm)", wall, solve))
+    print(f"  {'auto(warm)':15s}  wall {wall:7.3f}s  solve-self {solve:7.3f}s")
+
+    reference = fingerprints["baseline"]
+    diverged = {n: fp for n, fp in fingerprints.items() if fp != reference}
+    if diverged:
+        print("FAIL: verdict divergence against baseline:", file=sys.stderr)
+        for name, fp in diverged.items():
+            for ref, got in zip(reference, fp):
+                if ref != got:
+                    print(f"  {name}: {ref} != {got}", file=sys.stderr)
+        return 1
+    if not all(ok for _, _, ok in reference):
+        bad = [fn for fn, _, ok in reference if not ok]
+        print(f"FAIL: functions did not verify: {bad}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(fingerprints)} runs x {len(FUNCTIONS)} functions, "
+        "identical verdicts"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

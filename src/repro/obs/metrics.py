@@ -154,6 +154,9 @@ class Metrics:
         before it starts an item)."""
         return {
             "counters": dict(self._counters),
+            "histograms": {
+                k: (h.count, h.total) for k, h in self._histograms.items()
+            },
             "groups": {
                 g: dict(d)
                 for g, d in self._legacy.items()
@@ -170,6 +173,21 @@ class Metrics:
             for k, v in self._counters.items()
             if v != base_c.get(k, 0)
         }
+        # Histogram count/total deltas are exact; min/max are shipped
+        # as-is (a window min is not derivable from two snapshots) and
+        # merged with min/max semantics, which over-approximates the
+        # window but is exact for fork-inherited state.
+        base_h = baseline.get("histograms", {})
+        histograms = {}
+        for k, h in self._histograms.items():
+            bc, bt = base_h.get(k, (0, 0.0))
+            if h.count != bc:
+                histograms[k] = {
+                    "count": h.count - bc,
+                    "total": h.total - bt,
+                    "min": h.min,
+                    "max": h.max,
+                }
         groups: dict[str, dict] = {}
         base_g = baseline.get("groups", {})
         for g, d in self._legacy.items():
@@ -179,12 +197,25 @@ class Metrics:
             gd = {k: v - bg.get(k, 0) for k, v in d.items() if v != bg.get(k, 0)}
             if gd:
                 groups[g] = gd
-        return {"counters": counters, "groups": groups}
+        return {"counters": counters, "histograms": histograms, "groups": groups}
 
     def merge_delta(self, delta: dict) -> None:
         """Fold a worker's :meth:`delta_since` into this process."""
         for k, v in delta.get("counters", {}).items():
             self.inc(k, v)
+        for k, hd in delta.get("histograms", {}).items():
+            h = self._histograms.get(k)
+            if h is None:
+                h = self._histograms[k] = _Histogram()
+            h.count += hd.get("count", 0)
+            h.total += hd.get("total", 0.0)
+            for attr in ("min", "max"):
+                v = hd.get(attr)
+                if v is None:
+                    continue
+                cur = getattr(h, attr)
+                pick = min if attr == "min" else max
+                setattr(h, attr, v if cur is None else pick(cur, v))
         for g, gd in delta.get("groups", {}).items():
             stats = self._legacy.get(g)
             if stats is None:

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs.trace import TOPLEVEL
+
 #: Report columns, in order: (header, span names, "total" or "self").
 #: ``self`` columns subtract aggregating children so one second of
 #: wall time is attributed to exactly one column — the columns of a
@@ -100,6 +102,42 @@ def render_tactics(counters: dict) -> str:
         return "  (no tactic counters)"
     width = max(len(k) for k in picked)
     return "\n".join(f"  {k.ljust(width)}  {v}" for k, v in picked.items())
+
+
+def render_strategies(strategy_stats: dict) -> str:
+    """``strategy_stats``: the ``HybridReport.strategy_stats`` shape —
+    ``{strategy: {queries, seconds}}`` plus an optional ``"selector"``
+    summary. Renders the per-strategy solver breakdown."""
+    rows = [
+        (name, rec)
+        for name, rec in strategy_stats.items()
+        if name != "selector" and isinstance(rec, dict)
+    ]
+    lines = ["== solver strategies =="]
+    if not rows:
+        lines.append("  (no strategy activity)")
+    else:
+        width = max(len(n) for n, _ in rows)
+        for name, rec in sorted(rows, key=lambda r: -r[1].get("seconds", 0.0)):
+            q = rec.get("queries", 0)
+            s = rec.get("seconds", 0.0)
+            mean = f"{s / q * 1e3:8.2f}ms" if q else "       --"
+            lines.append(
+                f"  {name.ljust(width)}  {q:6d} queries  {s:8.3f}s  mean {mean}"
+            )
+    sel = strategy_stats.get("selector")
+    if sel:
+        hr = sel.get("hit_rate")
+        lines.append(
+            f"  selector: {sel.get('decisions', 0)} decisions, "
+            f"{sel.get('explorations', 0)} explorations"
+            + (f", hit rate {hr:.0%}" if hr is not None else "")
+            + f", {sel.get('buckets', 0)} buckets"
+        )
+        best = sel.get("best") or {}
+        for bucket, winner in sorted(best.items()):
+            lines.append(f"    {bucket}  ->  {winner}")
+    return "\n".join(lines)
 
 
 def render_profile(
@@ -195,7 +233,7 @@ def profile_from_trace(doc: dict) -> tuple[dict, list[dict], dict]:
             continue
         if stack:
             stack[-1][3] += dur
-        rec = phases.setdefault(fn or "", {}).setdefault(
+        rec = phases.setdefault(fn or TOPLEVEL, {}).setdefault(
             name, {"calls": 0, "total": 0.0, "self": 0.0}
         )
         rec["calls"] += 1
@@ -205,7 +243,7 @@ def profile_from_trace(doc: dict) -> tuple[dict, list[dict], dict]:
             queries.append(
                 {
                     "seconds": dur,
-                    "function": fn or "",
+                    "function": fn or TOPLEVEL,
                     "query": args0.get("query", "?"),
                 }
             )
@@ -215,7 +253,8 @@ def profile_from_trace(doc: dict) -> tuple[dict, list[dict], dict]:
 
 def metrics_summary(snapshot: dict) -> dict:
     """Reduce a :meth:`Metrics.snapshot` to the bench-JSON payload:
-    counters plus legacy group dicts (histograms summarised)."""
+    counters plus legacy group dicts (histograms summarised, gauges
+    as-is)."""
     out: dict[str, Any] = {
         "counters": dict(snapshot.get("counters", {})),
         "groups": {g: dict(d) for g, d in snapshot.get("groups", {}).items()},
@@ -223,4 +262,7 @@ def metrics_summary(snapshot: dict) -> dict:
     hists = snapshot.get("histograms", {})
     if hists:
         out["histograms"] = {k: dict(h) for k, h in hists.items()}
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        out["gauges"] = dict(gauges)
     return out

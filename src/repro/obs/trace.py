@@ -40,9 +40,9 @@ instrumented build against a true no-op baseline.
 from __future__ import annotations
 
 import contextvars
-import heapq
 import json
 import os
+import re
 import threading
 from typing import Any, Callable, Optional
 
@@ -55,6 +55,11 @@ OFF = False
 
 #: How many slowest solver queries to retain.
 TOP_K_QUERIES = 16
+
+#: Attribution label for work done outside any function-scoped span
+#: (e.g. solver queries issued by spec construction or tests). Never
+#: the empty string — ``''`` rows in a phase table are unactionable.
+TOPLEVEL = "<toplevel>"
 
 
 class _TraceState:
@@ -73,10 +78,24 @@ _TRACE = _TraceState()
 #: (function, span-name) -> [calls, total_seconds, self_seconds]
 _PHASES: dict[tuple[str, str], list] = {}
 
-#: Top-K slowest solver queries: heap of
-#: (dur, (pid, seq), function, description).
-_QUERIES: list[tuple] = []
+#: Top-K slowest solver queries, keyed by *shape* — the description
+#: with SSA counters scrubbed — so K near-identical instances of one
+#: hot query occupy one slot, not all of them.  Values are
+#: (dur, (pid, seq), function, description); only the slowest instance
+#: of each shape is retained.
+_QUERIES: dict[str, tuple] = {}
 _QUERY_SEQ = 0
+#: Cached minimum duration in a full table (the lazy-describe guard).
+_QUERIES_MIN = 0.0
+
+#: SSA / fresh-variable counters in query descriptions (``#1234``).
+_SHAPE_COUNTERS = re.compile(r"#\d+")
+
+
+def query_shape(description: str) -> str:
+    """The dedup key of a query description: counters scrubbed, so two
+    instances of one query differing only in SSA numbering collide."""
+    return _SHAPE_COUNTERS.sub("#", description)
 
 _CURRENT: contextvars.ContextVar[Optional["_Span"]] = contextvars.ContextVar(
     "repro_obs_span", default=None
@@ -84,10 +103,11 @@ _CURRENT: contextvars.ContextVar[Optional["_Span"]] = contextvars.ContextVar(
 
 
 def _clear_aggregates() -> None:
-    global _QUERY_SEQ
+    global _QUERY_SEQ, _QUERIES_MIN
     _PHASES.clear()
     _QUERIES.clear()
     _QUERY_SEQ = 0
+    _QUERIES_MIN = 0.0
 
 
 metrics.on_reset(_clear_aggregates)
@@ -236,7 +256,7 @@ def add_child_time(dur: float) -> None:
 
 
 def _phase_add(function: Optional[str], name: str, total: float, self_: float) -> None:
-    key = (function or "", name)
+    key = (function or TOPLEVEL, name)
     rec = _PHASES.get(key)
     if rec is None:
         _PHASES[key] = [1, total, self_]
@@ -304,28 +324,47 @@ def _phases_delta_raw(baseline: dict) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _insert_query(rec: tuple) -> None:
+    """Insert one (dur, qid, fn, desc) record, dedup by shape: only
+    the slowest instance of a shape is kept, and the table holds at
+    most :data:`TOP_K_QUERIES` distinct shapes."""
+    global _QUERIES_MIN
+    shape = query_shape(rec[3])
+    cur = _QUERIES.get(shape)
+    if cur is not None:
+        if rec[0] > cur[0]:
+            _QUERIES[shape] = rec
+    else:
+        _QUERIES[shape] = rec
+        if len(_QUERIES) > TOP_K_QUERIES:
+            drop = min(_QUERIES, key=lambda k: _QUERIES[k][0])
+            del _QUERIES[drop]
+    if len(_QUERIES) >= TOP_K_QUERIES:
+        _QUERIES_MIN = min(r[0] for r in _QUERIES.values())
+
+
 def record_query(dur: float, describe: Callable[[], str]) -> None:
     """Consider one solver query for the top-K table. ``describe`` is
-    only called when the query actually enters the table, so the
-    common (fast) query costs one comparison."""
+    only called when the query is slow enough to possibly enter the
+    table, so the common (fast) query costs one comparison."""
     global _QUERY_SEQ
     if OFF:
         return
-    if len(_QUERIES) >= TOP_K_QUERIES and dur <= _QUERIES[0][0]:
+    if len(_QUERIES) >= TOP_K_QUERIES and dur <= _QUERIES_MIN:
         return
     _QUERY_SEQ += 1
-    rec = (dur, (os.getpid(), _QUERY_SEQ), current_function() or "", describe())
-    if len(_QUERIES) < TOP_K_QUERIES:
-        heapq.heappush(_QUERIES, rec)
-    else:
-        heapq.heapreplace(_QUERIES, rec)
+    _insert_query(
+        (dur, (os.getpid(), _QUERY_SEQ), current_function() or TOPLEVEL,
+         describe())
+    )
 
 
 def top_queries(exclude_ids: Optional[set] = None) -> list[dict]:
-    """The slowest queries on record, slowest first, as plain dicts."""
+    """The slowest distinct query shapes on record, slowest first, as
+    plain dicts."""
     rows = [
         {"seconds": dur, "id": qid, "function": fn, "query": desc}
-        for dur, qid, fn, desc in _QUERIES
+        for dur, qid, fn, desc in _QUERIES.values()
         if not exclude_ids or qid not in exclude_ids
     ]
     rows.sort(key=lambda r: r["seconds"], reverse=True)
@@ -333,26 +372,41 @@ def top_queries(exclude_ids: Optional[set] = None) -> list[dict]:
 
 
 def query_ids() -> set:
-    return {qid for _, qid, _, _ in _QUERIES}
+    return {rec[1] for rec in _QUERIES.values()}
 
 
 def merge_queries(records: list[tuple]) -> None:
-    """Fold a worker's query records into the table (dedup by id)."""
+    """Fold a worker's query records into the table (dedup by id,
+    then by shape like any local record)."""
     seen = query_ids()
     for rec in records:
         dur, qid = rec[0], tuple(rec[1])
         if qid in seen:
             continue
-        rec = (dur, qid, rec[2], rec[3])
-        if len(_QUERIES) < TOP_K_QUERIES:
-            heapq.heappush(_QUERIES, rec)
-        elif dur > _QUERIES[0][0]:
-            heapq.heapreplace(_QUERIES, rec)
+        _insert_query((dur, qid, rec[2], rec[3]))
 
 
 # ---------------------------------------------------------------------------
 # Fork-worker delta protocol
 # ---------------------------------------------------------------------------
+
+#: Auxiliary delta providers: subsystems with process-local learned
+#: state (e.g. the solver's strategy selector) register
+#: (snapshot, delta_since, merge) triples here so their state rides
+#: the same worker-delta protocol as metrics and phases without this
+#: module importing them.
+_AUX_DELTA: dict[str, tuple[Callable, Callable, Callable]] = {}
+
+
+def register_aux_delta(
+    name: str,
+    snapshot: Callable[[], Any],
+    delta_since: Callable[[Any], Any],
+    merge: Callable[[Any], None],
+) -> None:
+    """Register an auxiliary state provider for the fork-worker delta
+    protocol (idempotent by name: re-registration replaces)."""
+    _AUX_DELTA[name] = (snapshot, delta_since, merge)
 
 
 def worker_begin() -> dict:
@@ -362,6 +416,7 @@ def worker_begin() -> dict:
         "metrics": metrics.delta_snapshot(),
         "phases": phases_snapshot(),
         "queries": query_ids(),
+        "aux": {name: fns[0]() for name, fns in _AUX_DELTA.items()},
     }
 
 
@@ -370,11 +425,17 @@ def worker_delta(mark: dict) -> Optional[dict]:
     shipped back through the pool future."""
     if OFF:
         return None
+    aux_marks = mark.get("aux", {})
     return {
         "events": _TRACE.events[mark["events_idx"]:] if _TRACE.enabled else [],
         "metrics": metrics.delta_since(mark["metrics"]),
         "phases": _phases_delta_raw(mark["phases"]),
-        "queries": [q for q in _QUERIES if q[1] not in mark["queries"]],
+        "queries": [q for q in _QUERIES.values() if q[1] not in mark["queries"]],
+        "aux": {
+            name: fns[1](aux_marks[name])
+            for name, fns in _AUX_DELTA.items()
+            if name in aux_marks
+        },
     }
 
 
@@ -387,6 +448,10 @@ def merge_worker_delta(delta: Optional[dict]) -> None:
     metrics.merge_delta(delta.get("metrics", {}))
     merge_phases(delta.get("phases", {}))
     merge_queries(delta.get("queries", []))
+    for name, aux in delta.get("aux", {}).items():
+        fns = _AUX_DELTA.get(name)
+        if fns is not None:
+            fns[2](aux)
 
 
 # ---------------------------------------------------------------------------

@@ -27,16 +27,28 @@ bracket each alternative with :meth:`TheoryBranch.push` /
 :meth:`TheoryBranch.pop` (trail-based undo in the congruence closure
 and the linear store). Sibling branches therefore share the
 common-prefix closure — including Fourier-Motzkin combinations —
-instead of recomputing it per branch, the prefix is closed once
-*before* branching (pruning whole disjunctions early), and the
-pending work-list is a persistent cons-list so the disjunction
-fan-out never copies it. The cross-query result cache is a bounded
-LRU with hit/miss/eviction counters in :attr:`Solver.stats`.
+instead of recomputing it per branch, and the pending work-list is a
+persistent cons-list so the disjunction fan-out never copies it. The
+cross-query result cache is a bounded LRU (capacity via the
+``REPRO_SOLVER_CACHE`` knob) with hit/miss/eviction counters in
+:attr:`Solver.stats`.
+
+The traversal itself — case-split order, theory-closure timing,
+literal ordering — is pluggable: a :class:`SearchStrategy`
+(:mod:`repro.solver.strategies`) decides it, and every registered
+strategy returns identical verdicts by construction (enforced by a
+differential suite and the ``race`` mode). ``REPRO_SOLVER_STRATEGY``
+picks a fixed strategy by name, ``auto`` selects per query via the
+learned portfolio selector (:mod:`repro.solver.portfolio`), and
+``race`` runs every strategy on every query, raising
+:class:`~repro.solver.strategies.StrategyDivergence` on disagreement.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import warnings
 from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
@@ -45,8 +57,9 @@ from repro.errors import BudgetExhausted  # re-exported; was defined here
 from repro.obs import clock
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import metrics
+from repro.solver.features import query_features
 from repro.solver.intervals import LinearStore
-from repro.solver.sorts import BOOL, INT, OptionSort, SeqSort
+from repro.solver.sorts import INT, OptionSort, SeqSort
 from repro.solver.terms import (
     FALSE,
     TRUE,
@@ -55,20 +68,16 @@ from repro.solver.terms import (
     IntLit,
     Term,
     Var,
-    and_,
     eq,
     fresh_var,
     intlit,
     is_some,
-    le,
     none,
     not_,
-    or_,
     rebuild,
     seq_empty,
     seq_len,
     some,
-    substitute,
     subterms,
 )
 
@@ -266,21 +275,28 @@ class TheoryBranch:
         self._register_subterms(tail_len)
         return True
 
+    def close_exhaustive(self, max_calls: int = 8) -> None:
+        """Run :meth:`close` to a *true* fixpoint (or until ``max_calls``
+        round-capped calls — a backstop no realistic query reaches).
+
+        Every search strategy decides a fully-asserted leaf with this,
+        so the leaf verdict is a function of the asserted literal set
+        alone — independent of how many intermediate ``close()`` calls
+        the strategy's closure timing performed on the way down. That
+        independence is what makes cross-strategy verdict equivalence
+        hold by construction rather than by luck."""
+        for _ in range(max_calls):
+            self.close()
+            if not self._dirty or self.conflict():
+                return
+
     def conflict(self) -> bool:
         return self.cc.conflict or self.lin.conflict
 
 
 # ---------------------------------------------------------------------------
-# Formula decomposition / branch search
+# Branch search (pluggable; see repro.solver.strategies)
 # ---------------------------------------------------------------------------
-
-
-def _find_bool_ite(t: Term) -> Optional[App]:
-    """Find an ``ite`` application to lift, if any."""
-    for s in subterms(t):
-        if isinstance(s, App) and s.op == "ite":
-            return s
-    return None
 
 
 class _BranchCapReached(Exception):
@@ -325,11 +341,65 @@ def _describe_query(fs: Sequence[Term]) -> str:
     return body if len(body) <= 160 else body[:157] + "..."
 
 
+#: Default LRU capacity when neither the constructor nor the
+#: ``REPRO_SOLVER_CACHE`` knob says otherwise.
+DEFAULT_CACHE_CAPACITY = 16384
+
+
+def _cache_capacity_from_env(environ: Optional[dict] = None) -> int:
+    env = os.environ if environ is None else environ
+    raw = env.get("REPRO_SOLVER_CACHE")
+    if not raw:
+        return DEFAULT_CACHE_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        capacity = 0
+    if capacity < 1:
+        warnings.warn(
+            f"REPRO_SOLVER_CACHE={raw!r} is not a positive integer; "
+            f"using the default ({DEFAULT_CACHE_CAPACITY})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return DEFAULT_CACHE_CAPACITY
+    return capacity
+
+
+def _strategy_from_env(environ: Optional[dict] = None) -> str:
+    from repro.solver.strategies import MODES, STRATEGIES
+
+    env = os.environ if environ is None else environ
+    raw = (env.get("REPRO_SOLVER_STRATEGY") or "").strip()
+    if not raw:
+        return "baseline"
+    if raw in STRATEGIES or raw in MODES:
+        return raw
+    warnings.warn(
+        f"REPRO_SOLVER_STRATEGY={raw!r} is not a registered strategy "
+        f"({', '.join(STRATEGIES)}) or mode ({', '.join(MODES)}); "
+        f"using 'baseline'",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return "baseline"
+
+
 class Solver:
     """Facade: check satisfiability / entailment with caching.
 
     The cross-query result cache is a bounded LRU (``cache_capacity``
-    entries); hit/miss/eviction counters live in :attr:`stats`.
+    entries, default from ``REPRO_SOLVER_CACHE``); hit/miss/eviction
+    counters and the configured capacity live in :attr:`stats`.
+
+    ``strategy`` picks how cache-missing queries are searched: a
+    concrete strategy name from :data:`repro.solver.strategies.STRATEGIES`
+    (default ``baseline``), ``auto`` (per-query learned selection via
+    ``selector`` — default the process-wide
+    :data:`repro.solver.portfolio.GLOBAL_SELECTOR`), or ``race`` (run
+    every strategy, assert verdict agreement). Defaults come from
+    ``REPRO_SOLVER_STRATEGY``. All strategies share this instance's
+    result cache — verdicts are strategy-independent by invariant.
 
     :attr:`budget` (a :class:`repro.budget.Budget` or ``None``) is the
     cooperative per-function budget: every cache-missing query ticks
@@ -341,10 +411,25 @@ class Solver:
     """
 
     def __init__(
-        self, branch_budget: int = 4096, cache_capacity: int = 16384
+        self,
+        branch_budget: int = 4096,
+        cache_capacity: Optional[int] = None,
+        strategy: Optional[str] = None,
+        selector=None,
     ) -> None:
+        from repro.solver.portfolio import GLOBAL_SELECTOR
+        from repro.solver.strategies import MODES, get_strategy
+
         self.branch_budget = branch_budget
+        if cache_capacity is None:
+            cache_capacity = _cache_capacity_from_env()
         self.cache_capacity = cache_capacity
+        if strategy is None:
+            strategy = _strategy_from_env()
+        elif strategy not in MODES:
+            get_strategy(strategy)  # explicit unknown name: raise now
+        self.strategy = strategy
+        self.selector = selector if selector is not None else GLOBAL_SELECTOR
         self.budget = None  # Optional[repro.budget.Budget]
         self._cache: OrderedDict[frozenset, Status] = OrderedDict()
         self.stats = {
@@ -352,6 +437,7 @@ class Solver:
             "cache_hits": 0,
             "cache_misses": 0,
             "cache_evictions": 0,
+            "cache_capacity": cache_capacity,
             "branches": 0,
             "unknowns": 0,
             "budget_stops": 0,
@@ -381,16 +467,40 @@ class Solver:
                 raise
         self._tick("checks")
         self._tick("cache_misses")
+        # Strategy dispatch: fixed name, learned per-query (auto), or
+        # differential (race). Decided before the timer starts so the
+        # observed latency is pure search cost.
+        mode = self.strategy
+        fkey = None
+        if mode == "auto":
+            fkey = query_features(fs)
+            sname, explored = self.selector.choose(fkey)
+        elif mode == "race":
+            sname = "race"
+        else:
+            sname = mode
         tracing = obs_trace.enabled()
         if tracing:
             obs_trace.emit("B", "solve", {"query": _describe_query(fs)})
+            if mode == "auto":
+                obs_trace.instant_event(
+                    "strategy.decision",
+                    **{
+                        "strategy": sname,
+                        "bucket": fkey,
+                        "strategy.explore": int(explored),
+                    },
+                )
         t0 = clock.now()
         try:
             if FALSE in fs:
                 result = Status.UNSAT
             else:
                 try:
-                    result = self._search(fs)
+                    if mode == "race":
+                        result = self._race(fs)
+                    else:
+                        result = self._run_strategy(sname, fs)
                 except _BranchCapReached:
                     result = Status.UNKNOWN
                     self._tick("unknowns")
@@ -411,6 +521,13 @@ class Solver:
                 obs_trace.emit("E", "solve")
             obs_trace.record_phase(obs_trace.current_function(), "solve", dur)
             obs_trace.record_query(dur, lambda: _describe_query(fs))
+        # Only completed searches feed the learning loop and the
+        # per-strategy metrics (race records its own, per contestant).
+        if mode == "auto":
+            self.selector.observe(fkey, sname, dur)
+        if mode != "race":
+            metrics.inc(f"solver.strategy.{sname}.queries")
+            metrics.observe(f"solver.strategy.{sname}.seconds", dur)
         cache[key] = result
         if len(cache) > self.cache_capacity:
             cache.popitem(last=False)
@@ -429,112 +546,51 @@ class Solver:
     def equal_under(self, pc: Sequence[Term], a: Term, b: Term) -> bool:
         return self.entails(pc, eq(a, b))
 
-    # -- search --------------------------------------------------------------
+    # -- search (delegated to the pluggable strategies) ----------------------
+
+    def _run_strategy(self, name: str, formulas: list[Term]) -> Status:
+        from repro.solver.strategies import get_strategy
+
+        return get_strategy(name).search(self, formulas)
 
     def _search(self, formulas: list[Term]) -> Status:
-        budget = [self.branch_budget]
-        branch = TheoryBranch()
-        # The work-list is a persistent cons-list ``(head, rest)`` —
-        # branching shares the tail between disjuncts with no copying.
-        pending = None
-        for f in formulas:
-            pending = (f, pending)
-        if self._branch_sat(pending, branch, budget):
-            return Status.SAT
-        return Status.UNSAT
+        """Back-compat entry point: search with the configured strategy
+        (the baseline unless ``strategy=``/``REPRO_SOLVER_STRATEGY``
+        says otherwise; ``auto``/``race`` fall back to baseline here —
+        callers wanting dispatch go through :meth:`check_sat`)."""
+        from repro.solver.strategies import MODES
 
-    def _branch_sat(
-        self,
-        pending: Optional[tuple],
-        branch: TheoryBranch,
-        budget: list[int],
-    ) -> bool:
-        """Return True if some branch of the formula set looks satisfiable.
+        name = "baseline" if self.strategy in MODES else self.strategy
+        return self._run_strategy(name, formulas)
 
-        ``pending`` is a cons-list of formulas still to decompose;
-        ``branch`` already holds the literals asserted on the path from
-        the root, and is restored (via push/pop) on exit from each
-        disjunct, so sibling branches share the prefix closure.
-        """
-        budget[0] -= 1
-        if budget[0] <= 0:
+    def _race(self, formulas: list[Term]) -> Status:
+        """Run *every* registered strategy on the query and assert the
+        verdicts agree (the executable form of the verdict-equivalence
+        invariant). ``UNKNOWN`` is resource-shaped and never counts as
+        divergence; if every strategy is UNKNOWN the cap is re-raised
+        so the caller's accounting matches a single capped search."""
+        from repro.solver.strategies import STRATEGIES, StrategyDivergence
+
+        verdicts: dict[str, Status] = {}
+        for name, strategy in STRATEGIES.items():
+            t0 = clock.now()
+            try:
+                verdicts[name] = strategy.search(self, formulas)
+            except _BranchCapReached:
+                verdicts[name] = Status.UNKNOWN
+            finally:
+                dur = clock.now() - t0
+                metrics.inc(f"solver.strategy.{name}.queries")
+                metrics.observe(f"solver.strategy.{name}.seconds", dur)
+        definite = {v for v in verdicts.values() if v != Status.UNKNOWN}
+        if len(definite) > 1:
+            raise StrategyDivergence(
+                f"strategies disagree on {_describe_query(formulas)}: "
+                + ", ".join(f"{n}={v.value}" for n, v in sorted(verdicts.items()))
+            )
+        if not definite:
             raise _BranchCapReached()
-        self._tick("branches")
-        if self.budget is not None:
-            self.budget.tick_branch("search")
-        while pending is not None:
-            f, pending = pending
-            if f == TRUE:
-                continue
-            if f == FALSE:
-                return False
-            if isinstance(f, App) and f.op == "and":
-                for a in f.args:
-                    pending = (a, pending)
-                continue
-            if isinstance(f, App) and f.op == "or":
-                # Close the shared prefix once, before fanning out: the
-                # work is reused by every disjunct, and a conflicting
-                # prefix refutes the whole disjunction immediately.
-                branch.close()
-                if branch.conflict():
-                    return False
-                for d in f.args:
-                    branch.push()
-                    try:
-                        if self._branch_sat((d, pending), branch, budget):
-                            return True
-                    finally:
-                        branch.pop()
-                return False
-            if isinstance(f, App) and f.op == "not":
-                inner = f.args[0]
-                if isinstance(inner, App) and inner.op == "and":
-                    pending = (or_(*[not_(a) for a in inner.args]), pending)
-                    continue
-                if isinstance(inner, App) and inner.op == "or":
-                    for a in inner.args:
-                        pending = (not_(a), pending)
-                    continue
-                if isinstance(inner, App) and inner.op == "ite" and inner.sort == BOOL:
-                    c, t, e = inner.args
-                    pending = (
-                        or_(and_(c, not_(t)), and_(not_(c), not_(e))),
-                        pending,
-                    )
-                    continue
-            if isinstance(f, App) and f.op == "ite" and f.sort == BOOL:
-                c, t, e = f.args
-                pending = (or_(and_(c, t), and_(not_(c), e)), pending)
-                continue
-            # Literal-level ite lifting (ite embedded in an atom).
-            # Numeric disequality: split into strict orderings so the
-            # linear layer can participate in refutation.
-            if (
-                isinstance(f, App)
-                and f.op == "not"
-                and isinstance(f.args[0], App)
-                and f.args[0].op == "="
-                and f.args[0].args[0].sort.is_numeric()
-            ):
-                a, b = f.args[0].args
-                pending = (
-                    or_(App("<", (a, b), BOOL), App("<", (b, a), BOOL)),
-                    pending,
-                )
-                continue
-            ite_term = _find_bool_ite(f)
-            if ite_term is not None and ite_term is not f:
-                c, t, e = ite_term.args
-                then_f = and_(c, substitute(f, {ite_term: t}))
-                else_f = and_(not_(c), substitute(f, {ite_term: e}))
-                pending = (or_(then_f, else_f), pending)
-                continue
-            branch.assert_literal(f)
-            if branch.conflict():
-                return False
-        branch.close()
-        return not branch.conflict()
+        return definite.pop()
 
 
 _DEFAULT_SOLVER: Optional[Solver] = None

@@ -1,0 +1,70 @@
+"""Cheap syntactic query features for per-query strategy selection.
+
+The selector (:mod:`repro.solver.portfolio`) buckets queries by a
+small feature key and learns, per bucket, which search strategy is
+fastest.  The features must therefore be (a) *cheap* — they run on
+every cache-missing query, so the budget is a few microseconds — and
+(b) *predictive of search shape*: how much case splitting the query
+will cause and which theories it exercises.
+
+Extraction walks each conjunct's memoised subterm tuple
+(:func:`repro.solver.terms._subterms_tuple` — hash-consed terms make
+the traversal a per-term ``lru_cache`` hit across queries), counting:
+
+* the number of conjuncts and total atom count (log₂-bucketed, so
+  "small / medium / large" rather than an unbounded key space);
+* presence of boolean ``ite`` terms (each one is a two-way split);
+* presence of ``tuple.*`` projections (structural propagation load);
+* presence of sequence length terms (the unrolling axiom's trigger);
+* a branch-width estimate — the widest ``or`` in the query,
+  log₂-bucketed (how bushy the DNF fan-out will be).
+
+The key is rendered as a short string (``"c2.a5.w1.i0.t1.s1"``) so it
+can serve directly as a JSON object key in the persisted selector
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.solver.sorts import BOOL
+from repro.solver.terms import App, Term, _subterms_tuple
+
+
+def _bucket(n: int) -> int:
+    """log₂ bucket: 0→0, 1→1, 2-3→2, 4-7→3, 8-15→4, …"""
+    return n.bit_length()
+
+
+def query_features(formulas: Sequence[Term]) -> str:
+    """The feature key of one query (a conjunction of ``formulas``)."""
+    n_atoms = 0
+    max_or = 0
+    has_ite = False
+    has_tuple = False
+    has_seq = False
+    for f in formulas:
+        for s in _subterms_tuple(f):
+            if not isinstance(s, App):
+                continue
+            op = s.op
+            if op == "or":
+                if len(s.args) > max_or:
+                    max_or = len(s.args)
+            elif op == "ite":
+                has_ite = True
+            elif op == "seq.len":
+                has_seq = True
+            elif not has_tuple and op.startswith("tuple."):
+                has_tuple = True
+            if s.sort == BOOL and op not in ("and", "or", "not", "ite"):
+                n_atoms += 1
+    return (
+        f"c{_bucket(len(formulas))}"
+        f".a{_bucket(n_atoms)}"
+        f".w{_bucket(max_or)}"
+        f".i{int(has_ite)}"
+        f".t{int(has_tuple)}"
+        f".s{int(has_seq)}"
+    )

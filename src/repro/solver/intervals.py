@@ -169,7 +169,17 @@ class LinearStore:
     _seen: set = field(default_factory=set)
     # Constraints before this index have been pairwise-combined.
     _fm_frontier: int = 0
-    # Backtracking trail: mutation records since the last push().
+    # atom -> constraints mentioning it (the propagation dependency
+    # index; drives the dirty work-list).
+    _atom_cons: dict = field(default_factory=dict)
+    # Constraints awaiting (re)propagation: newly added ones plus every
+    # constraint sharing an atom with a tightened bound. Propagation is
+    # demand-driven — a propagate() call with an empty work-list is a
+    # near no-op, which is what makes reusing an already-closed prefix
+    # (the prefix_reuse search strategy) cheap.
+    _queue: list = field(default_factory=list)
+    _queued: set = field(default_factory=set)
+    # -- backtracking: mutation records since the last push().
     _trail: list = field(default_factory=list)
     _frames: list = field(default_factory=list)
 
@@ -185,12 +195,15 @@ class LinearStore:
                 self.conflict_reason,
                 self._fm_frontier,
                 list(self.pending_eqs),
+                list(self._queue),
             )
         )
 
     def pop(self) -> None:
         """Undo every mutation since the matching :meth:`push`."""
-        mark, n_cons, conflict, reason, frontier, pending = self._frames.pop()
+        (
+            mark, n_cons, conflict, reason, frontier, pending, queue,
+        ) = self._frames.pop()
         trail = self._trail
         while len(trail) > mark:
             e = trail.pop()
@@ -202,11 +215,18 @@ class LinearStore:
                 del self.bounds[e[1]]
             else:  # _T_SEEN
                 self._seen.discard(e[1])
+        # Unindex the removed constraints. They were appended last, so
+        # they sit at the tail of each of their atoms' dependency lists.
+        for c in reversed(self.constraints[n_cons:]):
+            for a in c.coeffs:
+                self._atom_cons[a].pop()
         del self.constraints[n_cons:]
         self.conflict = conflict
         self.conflict_reason = reason
         self._fm_frontier = frontier
         self.pending_eqs = pending
+        self._queue = queue
+        self._queued = {id(c) for c in queue}
 
     def assert_le(self, lhs: Term, rhs: Term, strict: bool) -> None:
         """Assert ``lhs <= rhs`` (or ``<``)."""
@@ -249,30 +269,67 @@ class LinearStore:
                 self.bounds[a] = Bounds()
                 if trailing:
                     self._trail.append((_T_BOUND_NEW, a))
+            self._atom_cons.setdefault(a, []).append(c)
+        self._enqueue(c)
+
+    def _enqueue(self, c: LinConstraint) -> None:
+        if id(c) not in self._queued:
+            self._queued.add(id(c))
+            self._queue.append(c)
+
+    def _wake_dependents(self, atom: Term) -> None:
+        """A bound of ``atom`` tightened: every constraint mentioning it
+        may now derive more."""
+        for c in self._atom_cons.get(atom, ()):
+            self._enqueue(c)
 
     # -- propagation --------------------------------------------------------
 
     def propagate(self) -> bool:
         """Run bound propagation to (bounded) fixpoint.
 
-        Returns True if any bound changed in the final round (meaning
-        callers may want to re-run after feeding back equalities).
+        Work-list driven: only constraints that are new or share an
+        atom with a bound tightened since the last call are processed
+        (tightening an atom re-wakes its dependents, so the fixpoint
+        reached is the same as a full re-scan). A call with nothing
+        pending costs two comparisons — closing a branch on top of an
+        already-closed prefix only pays for the cone of the new
+        assertions.
+
+        Returns True if any bound changed (meaning callers may want to
+        re-run after feeding back equalities).
         """
         changed_any = False
-        for _ in range(_MAX_ROUNDS):
+        # Generous divergence backstop, equivalent in spirit to the old
+        # full-scan round cap: no realistic query re-processes a
+        # constraint this many times.
+        steps_left = _MAX_ROUNDS * max(len(self.constraints), 8)
+        while True:
             if self.conflict:
                 return changed_any
-            changed = False
-            for c in self.constraints:
+            progressed = False
+            queue, self._queue, self._queued = self._queue, [], set()
+            for i, c in enumerate(queue):
                 if self._propagate_constraint(c):
-                    changed = True
+                    progressed = True
                 if self.conflict:
+                    # Preserve the rest of the work-list: pop() must be
+                    # able to restore a coherent pending state.
+                    for rest in queue[i + 1:]:
+                        self._enqueue(rest)
+                    return True
+                steps_left -= 1
+                if steps_left <= 0:
+                    for rest in queue[i + 1:]:
+                        self._enqueue(rest)
+                    self._collapse_equalities()
                     return True
             if self._fourier_motzkin():
-                changed = True
-            if not changed:
+                progressed = True
+            if progressed:
+                changed_any = True
+            if not progressed and not self._queue:
                 break
-            changed_any = True
         self._collapse_equalities()
         return changed_any
 
@@ -353,11 +410,11 @@ class LinearStore:
             tb = bounds[target]
             if ct > 0:
                 new_hi = _exact_div(rhs_hi, ct)
-                if self._tighten_hi(tb, new_hi, rhs_strict):
+                if self._tighten_hi(target, tb, new_hi, rhs_strict):
                     changed = True
             else:
                 new_lo = _exact_div(rhs_hi, ct)
-                if self._tighten_lo(tb, new_lo, rhs_strict):
+                if self._tighten_lo(target, tb, new_lo, rhs_strict):
                     changed = True
             if tb.empty(integral=target.sort == INT):
                 self.conflict = True
@@ -365,7 +422,7 @@ class LinearStore:
                 return True
         return changed
 
-    def _tighten_hi(self, b: Bounds, hi: Rat, strict: bool) -> bool:
+    def _tighten_hi(self, atom: Term, b: Bounds, hi: Rat, strict: bool) -> bool:
         if b.hi is None or hi < b.hi or (hi == b.hi and strict and not b.hi_strict):
             if self._frames:
                 self._trail.append(
@@ -373,10 +430,11 @@ class LinearStore:
                 )
             b.hi = hi
             b.hi_strict = strict
+            self._wake_dependents(atom)
             return True
         return False
 
-    def _tighten_lo(self, b: Bounds, lo: Rat, strict: bool) -> bool:
+    def _tighten_lo(self, atom: Term, b: Bounds, lo: Rat, strict: bool) -> bool:
         if b.lo is None or lo > b.lo or (lo == b.lo and strict and not b.lo_strict):
             if self._frames:
                 self._trail.append(
@@ -384,6 +442,7 @@ class LinearStore:
                 )
             b.lo = lo
             b.lo_strict = strict
+            self._wake_dependents(atom)
             return True
         return False
 

@@ -1,0 +1,391 @@
+"""Learned per-query strategy selection (the solver portfolio).
+
+:class:`StrategySelector` learns, online, which registered search
+strategy (:mod:`repro.solver.strategies`) is fastest for each *bucket*
+of queries (:func:`repro.solver.features.query_features`), from the
+same per-query timing the observability layer records:
+
+* every auto-mode query is timed; the duration lands in the selector's
+  per-bucket per-strategy mean **and** in the process-wide metrics
+  registry (``solver.strategy.<name>.seconds`` histograms,
+  ``solver.strategy.<name>.queries`` counters);
+* selection is **epsilon-greedy over sticky windows,
+  deterministically**: a decision commits the bucket to one strategy
+  for the next ``window`` consecutive queries (windows keep stateful
+  strategies — prefix_reuse's cross-query cache — measured at their
+  steady state instead of cache-cold); each strategy gets ``warmup``
+  samples per bucket first (round-robin over the least-tried, registry
+  order breaking ties), then every ``explore_every``-th window in a
+  bucket re-tries the least-tried surviving contender; all other
+  windows exploit the best observed mean.  No RNG — two runs over the
+  same queries with the same timings make the same choices, and tests
+  can force every path;
+* cold buckets are **seeded from the obs timing history**: the
+  pipeline installs global per-strategy mean latencies from the
+  ``solver.strategy.*.seconds`` histograms as priors
+  (:func:`priors_from_metrics`), and warmup skips strategies whose
+  prior is far off the best — in-bucket evidence always overrides;
+* the state is **plain data** and persists: with a proof store
+  attached the pipeline loads ``<cache-root>/selector.json`` before a
+  run and saves it after, so warm runs start tuned instead of
+  re-exploring (the load *merges* — counts add up across processes);
+* forked pool workers inherit the state by fork and ship their
+  observations back through the observability worker-delta protocol
+  (:func:`repro.obs.trace.register_aux_delta`), so ``jobs=N`` learns
+  exactly what a serial run would.
+
+Persistence format (``selector.json``)::
+
+    {"version": 1,
+     "buckets": {"<feature-key>": {"<strategy>": [count, total_seconds]}}}
+
+(``count`` is a recency-weighted effective sample count — fractional,
+because every window decision decays the bucket's history.)
+
+Loading tolerates a missing, torn, or foreign file by starting cold —
+selector state is an optimisation, never a correctness input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.obs import trace as obs_trace
+from repro.solver.strategies import STRATEGIES
+
+#: Persistence schema version.
+SELECTOR_FORMAT = 1
+
+#: File name inside the proof-store root.
+SELECTOR_FILENAME = "selector.json"
+
+
+class StrategySelector:
+    """Per-bucket epsilon-greedy strategy selection over observed
+    query latencies."""
+
+    def __init__(
+        self,
+        warmup: int = 2,
+        explore_every: int = 24,
+        eliminate_over: float = 2.0,
+        window: int = 32,
+        decay: float = 0.98,
+    ) -> None:
+        #: bucket key -> {strategy name: [count, total_seconds]}
+        self._buckets: dict[str, dict[str, list]] = {}
+        #: bucket key -> window decisions made in this bucket (drives
+        #: the deterministic exploration cadence).
+        self._bucket_decisions: dict[str, int] = {}
+        #: bucket key -> [strategy, queries left, explored] — the
+        #: currently-committed window (runtime-only, not persisted).
+        self._active: dict[str, list] = {}
+        self.warmup = warmup
+        self.explore_every = explore_every
+        #: Successive elimination: once every strategy has its warmup
+        #: samples, strategies whose observed mean exceeds
+        #: ``eliminate_over`` × the bucket best stop being explored —
+        #: exploration money goes to telling the *contenders* apart,
+        #: not to re-confirming that a bad fit is bad.
+        self.eliminate_over = eliminate_over
+        #: Sticky selection: a choice commits for this many consecutive
+        #: queries of the bucket. Windows (a) average the heavy-tailed
+        #: per-query latencies into comparable means, and (b) preserve
+        #: the cross-query locality that stateful strategies
+        #: (prefix_reuse's closed-prefix cache) depend on — per-query
+        #: interleaving would measure every strategy cache-cold.
+        self.window = window
+        #: Global per-strategy mean-latency priors (seconds/query),
+        #: seeded from the obs layer's ``solver.strategy.*.seconds``
+        #: histograms (:func:`priors_from_metrics`). A cold bucket's
+        #: warmup round-robin skips strategies whose prior exceeds
+        #: ``prior_over`` × the best prior — history already collected
+        #: anywhere in the process prunes obviously-bad fits before a
+        #: single exploratory window is spent on them.
+        self._priors: dict[str, float] = {}
+        self.prior_over = 3.0
+        #: Recency weighting: every window decision scales the bucket's
+        #: observations by this factor. Query cost is non-stationary
+        #: (a run's first queries are ~10× slower than steady state
+        #: while the solver/store caches fill), so an unweighted mean
+        #: permanently punishes whichever strategy drew the cold
+        #: windows. Decay makes old samples fade: re-trials measured at
+        #: steady state dominate, and a strategy whose evidence has
+        #: fully decayed re-enters warmup — elimination is a verdict
+        #: that expires, not a life sentence.
+        self.decay = decay
+        self.decisions = 0
+        self.explorations = 0
+        #: Paths already merged by ``load(..., once=True)`` — guards
+        #: the process-wide selector against double-counting when
+        #: several pipeline runs share one store.
+        self._loaded_paths: set[str] = set()
+
+    # -- selection -----------------------------------------------------------
+
+    def choose(self, key: str) -> tuple[str, bool]:
+        """Pick a strategy for a query in bucket ``key``; returns
+        ``(name, explored)`` where ``explored`` marks a warmup or
+        epsilon window (as opposed to exploiting the best mean).
+        Decisions are per *window*: a pick persists for the bucket's
+        next :attr:`window` queries."""
+        act = self._active.get(key)
+        if act is not None and act[1] > 0:
+            act[1] -= 1
+            return act[0], act[2]
+        bucket = self._buckets.get(key)
+        names = list(STRATEGIES)
+        if self._priors:
+            best_prior = min(
+                self._priors.get(s, float("inf")) for s in names
+            )
+            if best_prior < float("inf"):
+                cut = best_prior * self.prior_over
+                # A strategy with no prior keeps the benefit of the
+                # doubt (treated as the best prior), and in-bucket
+                # evidence always trumps a global prior.
+                eligible = [
+                    s
+                    for s in names
+                    if self._priors.get(s, best_prior) <= cut
+                    or (bucket and s in bucket)
+                ]
+                if eligible:
+                    names = eligible
+        self.decisions += 1
+        n = self._bucket_decisions.get(key, 0)
+        self._bucket_decisions[key] = n + 1
+        if bucket and self.decay < 1.0:
+            for rec in bucket.values():
+                rec[0] *= self.decay
+                rec[1] *= self.decay
+        if bucket:
+            counts = {s: bucket[s][0] if s in bucket else 0 for s in names}
+        else:
+            counts = {s: 0 for s in names}
+        least = min(names, key=lambda s: counts[s])
+        explored = False
+        if counts[least] < self.warmup:
+            pick, explored = least, True
+        else:
+            means = {
+                s: bucket[s][1] / bucket[s][0] if counts[s] else float("inf")
+                for s in names
+            }
+            pick = min(names, key=lambda s: means[s])
+            if self.explore_every and n % self.explore_every == 0:
+                # Epsilon window: re-try the least-tried *contender* —
+                # strategies already measured as far off the bucket
+                # best stay eliminated.
+                cutoff = means[pick] * self.eliminate_over
+                contenders = [s for s in names if means[s] <= cutoff]
+                cand = min(contenders, key=lambda s: counts[s])
+                if cand != pick:
+                    pick, explored = cand, True
+        if explored:
+            self.explorations += 1
+        self._active[key] = [pick, self.window - 1, explored]
+        return pick, explored
+
+    def seed(self, priors: dict) -> None:
+        """Install global per-strategy mean-latency priors (seconds
+        per query). Replaces earlier priors; unknown strategies and
+        non-positive means are dropped."""
+        self._priors = {
+            s: float(m)
+            for s, m in priors.items()
+            if s in STRATEGIES and isinstance(m, (int, float)) and m > 0
+        }
+
+    def observe(self, key: str, strategy: str, seconds: float) -> None:
+        """Record one timed query for bucket ``key``."""
+        bucket = self._buckets.setdefault(key, {})
+        rec = bucket.get(strategy)
+        if rec is None:
+            bucket[strategy] = [1, seconds]
+        else:
+            rec[0] += 1
+            rec[1] += seconds
+
+    def best(self, key: str) -> Optional[str]:
+        """The strategy with the best observed mean in ``key``, or
+        ``None`` for a cold bucket."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return None
+        return min(bucket, key=lambda s: bucket[s][1] / bucket[s][0])
+
+    # -- introspection -------------------------------------------------------
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._bucket_decisions.clear()
+        self._active.clear()
+        self._loaded_paths.clear()
+        self.decisions = 0
+        self.explorations = 0
+
+    def summary(self) -> dict:
+        """Plain-data state for reports and the bench JSON: selection
+        counters, hit rate (fraction of decisions that exploited), and
+        the per-bucket winner."""
+        per_strategy: dict[str, dict] = {}
+        for bucket in self._buckets.values():
+            for s, (count, total) in bucket.items():
+                agg = per_strategy.setdefault(s, {"queries": 0, "seconds": 0.0})
+                agg["queries"] += count
+                agg["seconds"] += total
+        for agg in per_strategy.values():
+            # Decay makes these *effective* (recency-weighted) counts —
+            # fractional; round for the report payload.
+            agg["queries"] = round(agg["queries"], 2)
+            agg["seconds"] = round(agg["seconds"], 6)
+        return {
+            "decisions": self.decisions,
+            "explorations": self.explorations,
+            "hit_rate": (
+                round((self.decisions - self.explorations) / self.decisions, 4)
+                if self.decisions
+                else None
+            ),
+            "buckets": len(self._buckets),
+            "best": {k: self.best(k) for k in sorted(self._buckets)},
+            "per_strategy": per_strategy,
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> bool:
+        """Atomically write the selector state next to the proof store.
+        Never raises: persistence is best-effort."""
+        doc = {
+            "version": SELECTOR_FORMAT,
+            "buckets": {
+                k: {s: [rec[0], rec[1]] for s, rec in bucket.items()}
+                for k, bucket in self._buckets.items()
+            },
+        }
+        path = os.fspath(path)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def load(self, path, once: bool = False) -> bool:
+        """Merge persisted state into this selector (counts add).
+        Missing / torn / foreign files are ignored — a cold start, not
+        an error. ``once=True`` makes repeat loads of the same path
+        no-ops (the pipeline loads per run; counts must not double)."""
+        if once:
+            real = os.path.realpath(os.fspath(path))
+            if real in self._loaded_paths:
+                return False
+            self._loaded_paths.add(real)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(doc, dict) or doc.get("version") != SELECTOR_FORMAT:
+            return False
+        buckets = doc.get("buckets")
+        if not isinstance(buckets, dict):
+            return False
+        known = set(STRATEGIES)
+        for key, bucket in buckets.items():
+            if not isinstance(bucket, dict):
+                continue
+            for s, rec in bucket.items():
+                if s not in known:
+                    continue  # a strategy this build doesn't register
+                if (
+                    not isinstance(rec, list)
+                    or len(rec) != 2
+                    or not isinstance(rec[0], (int, float))
+                    or isinstance(rec[0], bool)
+                    or rec[0] <= 0
+                    or not isinstance(rec[1], (int, float))
+                    or rec[1] < 0
+                ):
+                    continue
+                cur = self._buckets.setdefault(key, {}).get(s)
+                if cur is None:
+                    self._buckets[key][s] = [float(rec[0]), float(rec[1])]
+                else:
+                    cur[0] += float(rec[0])
+                    cur[1] += float(rec[1])
+        return True
+
+    # -- fork-worker delta protocol -----------------------------------------
+
+    def delta_snapshot(self) -> dict:
+        """Baseline for :meth:`delta_since` (plain data)."""
+        return {
+            k: {s: (rec[0], rec[1]) for s, rec in bucket.items()}
+            for k, bucket in self._buckets.items()
+        }
+
+    def delta_since(self, baseline: dict) -> dict:
+        out: dict[str, dict] = {}
+        for k, bucket in self._buckets.items():
+            base = baseline.get(k, {})
+            for s, rec in bucket.items():
+                b = base.get(s, (0, 0.0))
+                dc, dt = rec[0] - b[0], rec[1] - b[1]
+                if dc:
+                    out.setdefault(k, {})[s] = [dc, dt]
+        return out
+
+    def merge_delta(self, delta: dict) -> None:
+        for k, bucket in delta.items():
+            for s, (count, total) in bucket.items():
+                rec = self._buckets.setdefault(k, {}).get(s)
+                if rec is None:
+                    self._buckets[k][s] = [count, total]
+                else:
+                    rec[0] += count
+                    rec[1] += total
+
+
+#: The process-wide selector: every auto-mode Solver shares it, so the
+#: whole pipeline learns from every query (and forked workers inherit
+#: it, shipping their observations back through the obs delta).
+GLOBAL_SELECTOR = StrategySelector()
+
+
+def selector_path(store_root) -> str:
+    """Where the selector persists, given a proof-store root."""
+    return os.path.join(os.fspath(store_root), SELECTOR_FILENAME)
+
+
+def priors_from_metrics(registry) -> dict:
+    """Per-strategy mean query latency from the obs layer's
+    ``solver.strategy.<name>.seconds`` histograms — whatever timing
+    history the process has already collected (fixed-strategy runs,
+    earlier auto runs, race mode), ready for :meth:`StrategySelector.seed`."""
+    hists = registry.snapshot().get("histograms", {})
+    priors = {}
+    for name in STRATEGIES:
+        h = hists.get(f"solver.strategy.{name}.seconds")
+        if h and h.get("count"):
+            priors[name] = h["total"] / h["count"]
+    return priors
+
+
+obs_trace.register_aux_delta(
+    "solver.selector",
+    GLOBAL_SELECTOR.delta_snapshot,
+    GLOBAL_SELECTOR.delta_since,
+    GLOBAL_SELECTOR.merge_delta,
+)

@@ -1,0 +1,445 @@
+"""Pluggable DNF search strategies for the solver.
+
+The solver's search (formerly hard-coded in ``Solver._search`` /
+``_branch_sat``) is a DNF-style case split decided branch-by-branch by
+a :class:`~repro.solver.core.TheoryBranch`.  The *verdict* of a query
+is a function of the formula set alone — ``UNSAT`` means a sound
+refutation exists on every branch, ``SAT`` means some fully-asserted
+branch survives closure — but the *cost* of reaching it depends
+heavily on traversal order and on when the (expensive) theory closure
+runs.  A :class:`SearchStrategy` packages exactly those degrees of
+freedom:
+
+* ``order_toplevel`` — in which order the conjuncts of the query are
+  processed (a literal processed early can refute a branch before any
+  disjunction fans out);
+* ``order_disjuncts`` — in which order the alternatives of a
+  disjunction are explored (matters for SAT answers: the first
+  surviving branch wins);
+* ``prefix_close`` — whether the shared prefix is closed before a
+  disjunction fans out (prunes whole disjunctions at the price of one
+  closure per split);
+* ``eager_close`` — whether closure runs after *every* literal
+  assertion (finds conflicts at the earliest possible point, at the
+  price of many more closure fixpoints).
+
+**Invariant — verdict equivalence.**  Every registered strategy must
+return the same :class:`~repro.solver.core.Status` for the same query.
+The hooks above only reorder a search that, absent an early ``SAT``,
+explores every branch, and closure timing only moves *when* sound
+inferences are made, not which ones are derivable: every strategy
+finishes each surviving leaf with :meth:`TheoryBranch.close_exhaustive`,
+so the leaf verdict depends on the asserted literal set only.  The
+invariant is enforced by a randomized cross-strategy differential
+suite (``tests/solver/test_strategies.py``) and by the ``race``
+execution mode, which runs every strategy on a query and raises
+:class:`StrategyDivergence` if any pair disagrees.  The only permitted
+divergence is resource-shaped: a strategy that explores more branches
+can hit the per-query branch cap (``UNKNOWN``) or a cooperative budget
+sooner than another.
+
+Strategies are stateless singletons; register new ones with
+:func:`register` (the per-query selector in
+:mod:`repro.solver.portfolio` picks them up automatically).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.solver.sorts import BOOL
+from repro.solver.terms import (
+    FALSE,
+    TRUE,
+    App,
+    Term,
+    and_,
+    not_,
+    or_,
+    substitute,
+    subterms,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.solver.core import Solver, Status, TheoryBranch
+
+
+class StrategyDivergence(AssertionError):
+    """Two strategies returned different verdicts for one query —
+    a soundness bug in a strategy, never a user error. Raised by the
+    ``race`` execution mode and the differential test suite."""
+
+
+def _find_bool_ite(t: Term) -> Optional[App]:
+    """Find an ``ite`` application to lift, if any."""
+    for s in subterms(t):
+        if isinstance(s, App) and s.op == "ite":
+            return s
+    return None
+
+
+def _formula_weight(f: Term) -> int:
+    """A cheap size proxy (memoised subterm count) used by ordering
+    hooks; the interner memoises the traversal, so repeated queries
+    over shared terms cost a cache lookup."""
+    from repro.solver.terms import _subterms_tuple
+
+    return len(_subterms_tuple(f))
+
+
+def _split_kind(f: Term) -> int:
+    """How much case splitting processing ``f`` will cause — the
+    conflict-first ordering processes low kinds first:
+
+    0. plain literals (asserted directly; can refute immediately),
+    1. negations that expand by De Morgan / numeric disequalities,
+    2. boolean ``ite`` (a two-way split),
+    3. disjunctions (an n-way split).
+    """
+    if isinstance(f, App):
+        if f.op == "or":
+            return 3
+        if f.op == "ite" and f.sort == BOOL:
+            return 2
+        if f.op == "not":
+            inner = f.args[0]
+            if isinstance(inner, App) and inner.op in ("and", "or", "ite"):
+                return 1
+            if (
+                isinstance(inner, App)
+                and inner.op == "="
+                and inner.args[0].sort.is_numeric()
+            ):
+                return 1
+        if _find_bool_ite(f) is not None:
+            return 2
+    return 0
+
+
+class SearchStrategy:
+    """Base class *and* the baseline strategy: disjuncts in syntactic
+    order, prefix closure before each fan-out, lazy literal closure —
+    byte-for-byte the search the solver shipped with."""
+
+    #: Registry key; subclasses override.
+    name = "baseline"
+    #: Close the theory branch after every literal assertion.
+    eager_close = False
+    #: Close the shared prefix once before fanning out a disjunction.
+    prefix_close = True
+
+    # -- ordering hooks ------------------------------------------------------
+
+    def order_toplevel(self, formulas: Sequence[Term]) -> Iterable[Term]:
+        """Processing order of the query's conjuncts."""
+        return formulas
+
+    def order_disjuncts(self, args: Sequence[Term]) -> Iterable[Term]:
+        """Exploration order of a disjunction's alternatives."""
+        return args
+
+    # -- the search ----------------------------------------------------------
+
+    def search(self, solver: "Solver", formulas: list[Term]) -> "Status":
+        from repro.solver.core import Status, TheoryBranch
+
+        budget = [solver.branch_budget]
+        branch = TheoryBranch()
+        # The work-list is a persistent cons-list ``(head, rest)`` —
+        # branching shares the tail between disjuncts with no copying.
+        # Pushing reverses: the last formula yielded by the ordering
+        # hook is processed first (matching the pre-strategy search).
+        pending = None
+        for f in self.order_toplevel(formulas):
+            pending = (f, pending)
+        if self._branch_sat(solver, pending, branch, budget):
+            return Status.SAT
+        return Status.UNSAT
+
+    def _branch_sat(
+        self,
+        solver: "Solver",
+        pending: Optional[tuple],
+        branch: "TheoryBranch",
+        budget: list[int],
+    ) -> bool:
+        """Return True if some branch of the formula set looks satisfiable.
+
+        ``pending`` is a cons-list of formulas still to decompose;
+        ``branch`` already holds the literals asserted on the path from
+        the root, and is restored (via push/pop) on exit from each
+        disjunct, so sibling branches share the prefix closure.
+        """
+        from repro.solver.core import _BranchCapReached
+
+        budget[0] -= 1
+        if budget[0] <= 0:
+            raise _BranchCapReached()
+        solver._tick("branches")
+        if solver.budget is not None:
+            solver.budget.tick_branch("search")
+        while pending is not None:
+            f, pending = pending
+            if f == TRUE:
+                continue
+            if f == FALSE:
+                return False
+            if isinstance(f, App) and f.op == "and":
+                for a in f.args:
+                    pending = (a, pending)
+                continue
+            if isinstance(f, App) and f.op == "or":
+                # Optionally close the shared prefix once, before
+                # fanning out: the work is reused by every disjunct,
+                # and a conflicting prefix refutes the whole
+                # disjunction immediately.
+                if self.prefix_close:
+                    branch.close()
+                if branch.conflict():
+                    return False
+                for d in self.order_disjuncts(f.args):
+                    branch.push()
+                    try:
+                        if self._branch_sat(solver, (d, pending), branch, budget):
+                            return True
+                    finally:
+                        branch.pop()
+                return False
+            if isinstance(f, App) and f.op == "not":
+                inner = f.args[0]
+                if isinstance(inner, App) and inner.op == "and":
+                    pending = (or_(*[not_(a) for a in inner.args]), pending)
+                    continue
+                if isinstance(inner, App) and inner.op == "or":
+                    for a in inner.args:
+                        pending = (not_(a), pending)
+                    continue
+                if isinstance(inner, App) and inner.op == "ite" and inner.sort == BOOL:
+                    c, t, e = inner.args
+                    pending = (
+                        or_(and_(c, not_(t)), and_(not_(c), not_(e))),
+                        pending,
+                    )
+                    continue
+            if isinstance(f, App) and f.op == "ite" and f.sort == BOOL:
+                c, t, e = f.args
+                pending = (or_(and_(c, t), and_(not_(c), e)), pending)
+                continue
+            # Literal-level ite lifting (ite embedded in an atom).
+            # Numeric disequality: split into strict orderings so the
+            # linear layer can participate in refutation.
+            if (
+                isinstance(f, App)
+                and f.op == "not"
+                and isinstance(f.args[0], App)
+                and f.args[0].op == "="
+                and f.args[0].args[0].sort.is_numeric()
+            ):
+                a, b = f.args[0].args
+                pending = (
+                    or_(App("<", (a, b), BOOL), App("<", (b, a), BOOL)),
+                    pending,
+                )
+                continue
+            ite_term = _find_bool_ite(f)
+            if ite_term is not None and ite_term is not f:
+                c, t, e = ite_term.args
+                then_f = and_(c, substitute(f, {ite_term: t}))
+                else_f = and_(not_(c), substitute(f, {ite_term: e}))
+                pending = (or_(then_f, else_f), pending)
+                continue
+            branch.assert_literal(f)
+            if branch.conflict():
+                return False
+            if self.eager_close:
+                branch.close()
+                if branch.conflict():
+                    return False
+        # Leaf: every strategy decides the fully-asserted branch with
+        # the same exhaustive closure, so the verdict depends on the
+        # literal set only — not on how we got here.
+        branch.close_exhaustive()
+        return not branch.conflict()
+
+
+class InvertedStrategy(SearchStrategy):
+    """Case splits explored back-to-front: disjunctions emitted by
+    enum/match reasoning often list the "common" constructor first;
+    when the *last* alternative is the surviving one (SAT) or the
+    cheap refutation (UNSAT), inverting the order wins."""
+
+    name = "inverted"
+
+    def order_disjuncts(self, args: Sequence[Term]) -> Iterable[Term]:
+        return reversed(args)
+
+
+class EagerCloseStrategy(SearchStrategy):
+    """Theory closure after every literal assertion: conflicts surface
+    at the earliest possible assertion, pruning subtrees before any
+    fan-out — pays off on refutation-heavy (entailment) queries, costs
+    extra closure fixpoints on easily-satisfiable ones."""
+
+    name = "eager"
+    eager_close = True
+
+
+class LazyCloseStrategy(SearchStrategy):
+    """No prefix closure before fan-outs: closure runs only at the
+    leaves (exhaustively). Disjunction-light queries skip almost all
+    intermediate Fourier-Motzkin work; disjunction-heavy UNSAT queries
+    redo shared-prefix closure once per leaf."""
+
+    name = "lazy"
+    prefix_close = False
+
+
+class ConflictFirstStrategy(SearchStrategy):
+    """Conflict-first ordering: process plain literals before anything
+    that splits (and narrower splits before wider ones), so the theory
+    branch is maximally constrained — and most refutable — before the
+    first fan-out; disjuncts are explored smallest-first."""
+
+    name = "conflict_first"
+
+    def order_toplevel(self, formulas: Sequence[Term]) -> Iterable[Term]:
+        # Pushed onto a LIFO work-list: sort *descending* by split
+        # kind so the lowest kinds (plain literals) are processed first.
+        return sorted(formulas, key=_split_kind, reverse=True)
+
+    def order_disjuncts(self, args: Sequence[Term]) -> Iterable[Term]:
+        return sorted(args, key=_formula_weight)
+
+
+class PrefixReuseStrategy(SearchStrategy):
+    """Reuse the closed path-condition branch across queries.
+
+    The pipeline's hot query pattern is entailment
+    (``check_sat(pc + [¬goal])``): consecutive queries from the same
+    symbolic state repeat the same path-condition literals and vary
+    only the goal.  Per-branch search re-asserts and re-closes that
+    prefix every time — on the LinkedList workload the leaf closure
+    re-propagates hundreds of unchanged linear constraints per query.
+
+    This strategy splits the query into its literal conjuncts (split
+    kind 0, ``and``-flattened) and everything else, closes a
+    :class:`~repro.solver.core.TheoryBranch` holding just the literals
+    *exhaustively*, and caches it on the solver instance (a small LRU,
+    keyed by the literal tuple — hash-consed terms make the key cheap).
+    The goal and any splitting residue are then decided by the normal
+    search on top of a :meth:`~repro.solver.core.TheoryBranch.push` /
+    ``pop`` bracket, so a cache hit skips the entire prefix closure.
+
+    Verdict equivalence: closure derives sound consequences only, so a
+    reused closed prefix is observationally the asserted literal set —
+    the same sharing the baseline already does between sibling
+    disjuncts, extended across queries.  Leaves still finish with
+    ``close_exhaustive``.  A conflicting literal prefix refutes every
+    extension, so ``UNSAT`` on a cached conflict is exact.
+
+    The cached branches live on the solver (``solver._prefix_branches``)
+    — the strategy singleton itself stays stateless, and each solver's
+    cache is coherent with its own query stream.
+    """
+
+    name = "prefix_reuse"
+    prefix_close = False
+    #: Cached closed prefixes per solver (tiny: each holds a closed
+    #: TheoryBranch; the query stream alternates between a handful of
+    #: symbolic states at a time).
+    cache_slots = 4
+
+    def search(self, solver: "Solver", formulas: list[Term]) -> "Status":
+        from repro.solver.core import Status, TheoryBranch
+
+        if len(formulas) < 2:
+            return super().search(solver, formulas)
+        prefix, last = formulas[:-1], formulas[-1]
+        lits: list[Term] = []
+        residue: list[Term] = []
+        for f in prefix:
+            stack = [f]
+            while stack:
+                g = stack.pop()
+                if isinstance(g, App) and g.op == "and":
+                    stack.extend(g.args)
+                elif g == TRUE:
+                    continue
+                elif g != FALSE and _split_kind(g) == 0:
+                    lits.append(g)
+                else:
+                    # FALSE or anything that case-splits goes through
+                    # the normal search on top of the cached literals.
+                    residue.append(g)
+        key = tuple(lits)
+        cache = getattr(solver, "_prefix_branches", None)
+        if cache is None:
+            cache = solver._prefix_branches = OrderedDict()
+        entry = cache.get(key)
+        if entry is not None:
+            cache.move_to_end(key)
+            branch, conflict = entry
+        else:
+            branch = TheoryBranch()
+            for lit in lits:
+                branch.assert_literal(lit)
+                if branch.conflict():
+                    break
+            if not branch.conflict():
+                branch.close_exhaustive()
+            conflict = branch.conflict()
+            cache[key] = (branch, conflict)
+            if len(cache) > self.cache_slots:
+                cache.popitem(last=False)
+        if conflict:
+            return Status.UNSAT
+        budget = [solver.branch_budget]
+        pending = None
+        for f in [last] + residue:
+            pending = (f, pending)
+        branch.push()
+        try:
+            if self._branch_sat(solver, pending, branch, budget):
+                return Status.SAT
+            return Status.UNSAT
+        finally:
+            branch.pop()
+
+
+#: Registry: name -> stateless singleton, in registration order (the
+#: selector's deterministic tie-break follows this order).
+STRATEGIES: dict[str, SearchStrategy] = {}
+
+
+def register(strategy: SearchStrategy) -> SearchStrategy:
+    if strategy.name in STRATEGIES:
+        raise ValueError(f"duplicate strategy name {strategy.name!r}")
+    STRATEGIES[strategy.name] = strategy
+    return strategy
+
+
+register(SearchStrategy())
+register(InvertedStrategy())
+register(EagerCloseStrategy())
+register(LazyCloseStrategy())
+register(ConflictFirstStrategy())
+register(PrefixReuseStrategy())
+
+#: Execution modes accepted by ``REPRO_SOLVER_STRATEGY`` on top of the
+#: concrete strategy names.
+MODES = ("auto", "race")
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver strategy {name!r}; "
+            f"registered: {', '.join(STRATEGIES)} (plus modes {', '.join(MODES)})"
+        ) from None
+
+
+def strategy_names() -> list[str]:
+    return list(STRATEGIES)

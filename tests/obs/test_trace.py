@@ -179,10 +179,29 @@ class TestWorkerDelta:
             "events": [],
             "metrics": {},
             "phases": {},
-            "queries": [q for q in trace._QUERIES if q[1] not in mark_queries],
+            "queries": [
+                q for q in trace._QUERIES.values() if q[1] not in mark_queries
+            ],
         }
         trace.merge_worker_delta(delta)
         assert len([q for q in trace.top_queries() if q["query"] == "q"]) == 1
+
+    def test_merge_deduplicates_queries_by_shape(self):
+        # Same query shape from two workers (distinct SSA counters):
+        # the slower observation wins, the top-K holds one entry.
+        trace.record_query(0.5, lambda: "sv_q_f#12 = none")
+        delta = {
+            "events": [],
+            "metrics": {},
+            "phases": {},
+            "queries": [[0.9, "qid-other", None, "sv_q_f#99 = none"]],
+        }
+        trace.merge_worker_delta(delta)
+        matching = [
+            q for q in trace.top_queries() if q["query"].startswith("sv_q_f#")
+        ]
+        assert len(matching) == 1
+        assert matching[0]["seconds"] == pytest.approx(0.9)
 
     def test_metrics_travel_with_the_delta(self):
         mark = trace.worker_begin()

@@ -1,0 +1,301 @@
+"""Unit tests for the learned strategy selector and query features.
+
+The selector is deterministic by design (no RNG), so every path —
+window commitment, warmup round-robin, exploitation, epsilon
+exploration with successive elimination, recency decay, persistence,
+the fork-worker delta protocol — can be forced and asserted exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.solver.features import query_features
+from repro.solver.portfolio import (
+    SELECTOR_FILENAME,
+    StrategySelector,
+    selector_path,
+)
+from repro.solver.sorts import INT
+from repro.solver.strategies import STRATEGIES
+from repro.solver.terms import Var, add, intlit, le, or_
+
+NAMES = list(STRATEGIES)
+X = Var("x", INT)
+
+
+def warmed(selector, key, means):
+    """Satisfy warmup for ``key`` with the given per-strategy means."""
+    for s, mean in means.items():
+        for _ in range(max(2, selector.warmup)):
+            selector.observe(key, s, mean)
+    return selector
+
+
+class TestWindows:
+    def test_choice_commits_for_a_window(self):
+        sel = StrategySelector(window=5)
+        picks = [sel.choose("k") for _ in range(5)]
+        assert len({p[0] for p in picks}) == 1
+        assert sel.decisions == 1  # one window decision, five queries
+
+    def test_next_window_is_a_fresh_decision(self):
+        sel = StrategySelector(window=2, warmup=1)
+        first = sel.choose("k")[0]
+        sel.observe("k", first, 0.001)
+        sel.choose("k")
+        sel.observe("k", first, 0.001)
+        second = sel.choose("k")[0]
+        assert second != first  # warmup round-robins to the least-tried
+        assert sel.decisions == 2
+
+    def test_windows_are_per_bucket(self):
+        sel = StrategySelector(window=4)
+        sel.choose("a")
+        sel.choose("b")
+        assert sel.decisions == 2
+
+
+class TestWarmupAndExploit:
+    def test_warmup_round_robins_registry_order(self):
+        sel = StrategySelector(warmup=1, window=1, decay=1.0)
+        seen = []
+        for _ in NAMES:
+            name, explored = sel.choose("k")
+            assert explored
+            seen.append(name)
+            sel.observe("k", name, 0.001)
+        assert seen == NAMES
+
+    def test_exploits_best_mean(self):
+        sel = StrategySelector(warmup=1, explore_every=0, window=1, decay=1.0)
+        means = {s: 0.010 for s in NAMES}
+        means["lazy"] = 0.001
+        warmed(sel, "k", means)
+        name, explored = sel.choose("k")
+        assert name == "lazy" and not explored
+
+    def test_epsilon_explores_contenders_only(self):
+        # lazy best at 1ms; inverted a contender at 1.5ms; the rest
+        # eliminated at 10ms (> eliminate_over * best).
+        sel = StrategySelector(
+            warmup=1, explore_every=1, eliminate_over=2.0, window=1, decay=1.0
+        )
+        means = {s: 0.010 for s in NAMES}
+        means["lazy"] = 0.001
+        means["inverted"] = 0.0015
+        warmed(sel, "k", means)
+        picked = set()
+        for _ in range(6):
+            name, _ = sel.choose("k")
+            picked.add(name)
+            sel.observe("k", name, means[name])
+        assert "lazy" in picked
+        assert picked <= {"lazy", "inverted"}
+
+    def test_cold_bucket_never_crashes(self):
+        sel = StrategySelector(warmup=0, window=1)
+        name, explored = sel.choose("cold")
+        assert name in STRATEGIES and not explored
+
+
+class TestPriors:
+    def test_priors_prune_cold_warmup(self):
+        sel = StrategySelector(warmup=1, window=1, decay=1.0)
+        priors = {s: 0.001 for s in NAMES}
+        priors["eager"] = 0.1  # 100x the best: pruned
+        sel.seed(priors)
+        seen = set()
+        for _ in range(len(NAMES)):
+            name, _ = sel.choose("k")
+            seen.add(name)
+            sel.observe("k", name, 0.001)
+        assert "eager" not in seen
+        assert seen == set(NAMES) - {"eager"}
+
+    def test_in_bucket_evidence_overrides_prior(self):
+        sel = StrategySelector(warmup=1, explore_every=0, window=1, decay=1.0)
+        sel.seed({s: 0.001 if s != "eager" else 0.1 for s in NAMES})
+        # The bucket has seen eager be the fastest: priors must not
+        # hide that evidence.
+        means = {s: 0.010 for s in NAMES}
+        means["eager"] = 0.0001
+        warmed(sel, "k", means)
+        assert sel.choose("k")[0] == "eager"
+
+    def test_seed_drops_junk(self):
+        sel = StrategySelector()
+        sel.seed({"baseline": 0.001, "no_such": 0.001, "lazy": -1, "eager": "x"})
+        assert sel._priors == {"baseline": 0.001}
+
+    def test_priors_from_metrics(self):
+        from repro.obs.metrics import Metrics
+        from repro.solver.portfolio import priors_from_metrics
+
+        reg = Metrics()
+        reg.observe("solver.strategy.baseline.seconds", 0.004)
+        reg.observe("solver.strategy.baseline.seconds", 0.002)
+        reg.observe("solver.strategy.lazy.seconds", 0.001)
+        reg.observe("unrelated.seconds", 9.0)
+        priors = priors_from_metrics(reg)
+        assert priors == {
+            "baseline": pytest.approx(0.003),
+            "lazy": pytest.approx(0.001),
+        }
+
+
+class TestDecay:
+    def test_decay_shrinks_history(self):
+        sel = StrategySelector(warmup=0, window=1, decay=0.5)
+        sel.observe("k", "baseline", 0.004)
+        sel.choose("k")
+        assert sel._buckets["k"]["baseline"][0] == pytest.approx(0.5)
+
+    def test_fully_decayed_strategy_reenters_warmup(self):
+        sel = StrategySelector(
+            warmup=1, explore_every=0, window=1, decay=0.5
+        )
+        means = {s: 0.010 for s in NAMES}
+        means["lazy"] = 0.001
+        warmed(sel, "k", means)
+        # Exploit long enough for the losers' evidence to decay away.
+        for _ in range(8):
+            name, _ = sel.choose("k")
+            sel.observe("k", name, means[name])
+        name, explored = sel.choose("k")
+        assert explored  # a decayed loser is being re-audited
+        assert name != "lazy"
+
+    def test_decay_disabled(self):
+        sel = StrategySelector(warmup=0, window=1, decay=1.0)
+        sel.observe("k", "baseline", 0.004)
+        sel.choose("k")
+        assert sel._buckets["k"]["baseline"][0] == 1
+
+
+class TestPersistence:
+    def test_roundtrip_merges(self, tmp_path):
+        path = selector_path(tmp_path)
+        assert path.endswith(SELECTOR_FILENAME)
+        a = StrategySelector()
+        a.observe("k", "baseline", 0.004)
+        a.observe("k", "lazy", 0.001)
+        assert a.save(path)
+        b = StrategySelector()
+        b.observe("k", "baseline", 0.002)
+        assert b.load(path)
+        assert b._buckets["k"]["baseline"] == [2, pytest.approx(0.006)]
+        assert b._buckets["k"]["lazy"] == [1, pytest.approx(0.001)]
+        assert b.best("k") == "lazy"
+
+    def test_once_guard(self, tmp_path):
+        path = selector_path(tmp_path)
+        a = StrategySelector()
+        a.observe("k", "baseline", 0.004)
+        a.save(path)
+        b = StrategySelector()
+        assert b.load(path, once=True)
+        assert not b.load(path, once=True)
+        assert b._buckets["k"]["baseline"][0] == 1
+        b.clear()
+        assert b.load(path, once=True)  # clear() forgets loaded paths
+
+    def test_missing_torn_and_foreign_files(self, tmp_path):
+        sel = StrategySelector()
+        assert not sel.load(tmp_path / "absent.json")
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"version": 1, "buck')
+        assert not sel.load(torn)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"version": 99, "buckets": {}}))
+        assert not sel.load(foreign)
+        assert sel._buckets == {}
+
+    def test_load_skips_malformed_records(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "buckets": {
+                        "k": {
+                            "baseline": [1, 0.002],
+                            "lazy": [0, 0.1],  # non-positive count
+                            "eager": [1, -3],  # negative total
+                            "no_such_strategy": [1, 0.1],
+                            "inverted": "nope",
+                        }
+                    },
+                }
+            )
+        )
+        sel = StrategySelector()
+        assert sel.load(path)
+        assert list(sel._buckets["k"]) == ["baseline"]
+
+    def test_fractional_counts_roundtrip(self, tmp_path):
+        # Decay makes counts fractional; they must survive the disk.
+        path = selector_path(tmp_path)
+        a = StrategySelector(warmup=0, window=1, decay=0.5)
+        a.observe("k", "baseline", 0.004)
+        a.choose("k")
+        a.save(path)
+        b = StrategySelector()
+        assert b.load(path)
+        assert b._buckets["k"]["baseline"][0] == pytest.approx(0.5)
+
+
+class TestDelta:
+    def test_delta_roundtrip(self):
+        parent = StrategySelector()
+        parent.observe("k", "baseline", 0.004)
+        base = parent.delta_snapshot()
+        # "fork": the child continues from the same state.
+        child = StrategySelector()
+        child.merge_delta(parent.delta_since({}))
+        child.observe("k", "baseline", 0.002)
+        child.observe("j", "lazy", 0.001)
+        delta = child.delta_since(base)
+        assert "baseline" in delta["k"] and "lazy" in delta["j"]
+        parent.merge_delta(delta)
+        assert parent._buckets["k"]["baseline"] == [2, pytest.approx(0.006)]
+        assert parent._buckets["j"]["lazy"] == [1, pytest.approx(0.001)]
+
+    def test_empty_delta(self):
+        sel = StrategySelector()
+        sel.observe("k", "baseline", 0.004)
+        assert sel.delta_since(sel.delta_snapshot()) == {}
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        sel = StrategySelector(warmup=1, window=1)
+        name, _ = sel.choose("k")
+        sel.observe("k", name, 0.002)
+        s = sel.summary()
+        assert s["decisions"] == 1 and s["explorations"] == 1
+        assert s["hit_rate"] == 0.0
+        assert s["buckets"] == 1
+        assert s["best"] == {"k": name}
+        assert s["per_strategy"][name]["queries"] == 1
+
+    def test_hit_rate_none_when_idle(self):
+        assert StrategySelector().summary()["hit_rate"] is None
+
+
+class TestFeatures:
+    def test_deterministic(self):
+        fs = [le(add(X, intlit(1)), intlit(4)), or_(le(X, intlit(0)), le(intlit(0), X))]
+        assert query_features(fs) == query_features(list(fs))
+
+    def test_shape_sensitive(self):
+        small = [le(X, intlit(1))]
+        big = [
+            or_(le(X, intlit(i)), le(intlit(i), add(X, intlit(1))))
+            for i in range(6)
+        ]
+        assert query_features(small) != query_features(big)
+
+    def test_key_is_compact_text(self):
+        key = query_features([le(X, intlit(1))])
+        assert isinstance(key, str) and len(key) < 40
