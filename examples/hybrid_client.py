@@ -13,6 +13,9 @@ Run with ``python examples/hybrid_client.py``. Flags / knobs:
   times, slowest solver queries, tactic counts);
 * ``--jobs N`` — fan the per-function verifications out over N
   forked workers;
+* ``--verify-verdicts`` — adversarially cross-check the verdicts
+  (concrete replay, mutation probes, differential re-verification;
+  also via ``REPRO_ADVERSARY=1``);
 * ``REPRO_TRACE=out.json`` — export the run as a Chrome trace
   (Perfetto-loadable); ``REPRO_CACHE=1`` attaches the proof store.
 """
@@ -67,6 +70,7 @@ def build_stack_client():
 def main() -> int:
     argv = sys.argv[1:]
     verbose = "--verbose" in argv
+    verify_verdicts = True if "--verify-verdicts" in argv else None
     jobs = 1
     if "--jobs" in argv:
         jobs = int(argv[argv.index("--jobs") + 1])
@@ -91,6 +95,7 @@ def main() -> int:
             "LinkedList::front_mut",
         ],
         jobs=jobs,
+        verify_verdicts=verify_verdicts,
     )
     print(report.render(verbose=verbose))
     return 0 if report.ok else 1

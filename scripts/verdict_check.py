@@ -1,0 +1,125 @@
+"""Adversarial verdict-checking acceptance gate.
+
+Runs the hybrid pipeline over the LinkedList corpus (client + unsafe
+implementation) with ``--verify-verdicts`` semantics, then asserts the
+adversary layer's acceptance criteria:
+
+1. every function comes back ``confirmed`` — no shipped verdict is
+   refuted by concrete replay or by differential re-verification, and
+   every verified function is killed by at least one mutant (no
+   ``suspect``, i.e. no demonstrably vacuous proof);
+2. the layer is crash-safe: a re-run with
+   ``REPRO_FAULT=adversary.replay:raise`` must *degrade* every
+   cross-check entry to ``cross_check_failed`` and still return a
+   complete report (same fault-boundary model as the pipeline).
+
+The mutation budget is seeded and count-bounded (``--mutants``), so
+the gate is deterministic and fast enough for CI.
+
+Run with ``python scripts/verdict_check.py [--mutants=N] [--seed=N]``.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "examples"))
+
+from repro import faultinject  # noqa: E402
+from repro.adversary import AdversaryConfig, cross_check  # noqa: E402
+from repro.hybrid.pipeline import HybridVerifier  # noqa: E402
+from repro.rustlib.contracts import (  # noqa: E402
+    LINKED_LIST_CONTRACTS,
+    MANUAL_PURE_PRECONDITIONS,
+)
+from repro.rustlib.linked_list import build_program  # noqa: E402
+from repro.rustlib.specs import install_callee_specs  # noqa: E402
+
+from hybrid_client import build_stack_client  # noqa: E402
+
+FUNCTIONS = [
+    "client::stack_lifo",
+    "LinkedList::new",
+    "LinkedList::push_front_node",
+    "LinkedList::pop_front_node",
+    "LinkedList::front_mut",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--mutants", type=int, default=16,
+                    help="mutation probes per function (count bound)")
+    ap.add_argument("--replays", type=int, default=4,
+                    help="concrete replays per function")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="input-generation / sampling seed")
+    args = ap.parse_args()
+
+    program, ownables = build_program()
+    install_callee_specs(program, ownables)
+    program.add_body(build_stack_client())
+    hv = HybridVerifier(
+        program,
+        ownables,
+        LINKED_LIST_CONTRACTS,
+        manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+    )
+    hv.store = None  # the gate must verify, not replay a cache
+
+    config = AdversaryConfig(
+        replays=args.replays,
+        mutants=args.mutants,
+        diff_sample=len(FUNCTIONS),  # diff every function — small corpus
+        seed=args.seed,
+    )
+
+    report = hv.run(FUNCTIONS)
+    if not report.ok:
+        fail("baseline verification failed:\n" + report.render())
+
+    # -- criterion 1: everything confirmed ---------------------------------
+    adv = cross_check(hv, report, config)
+    print(adv.render())
+    if adv.internal_error:
+        fail(f"adversary layer errored internally: {adv.internal_error}")
+    for e in adv.entries:
+        if e.status == "cross_check_failed":
+            fail(f"shipped verdict contradicted: {e}")
+        if e.status == "suspect":
+            fail(f"vacuous proof (no mutant killed): {e}")
+        if e.status != "confirmed":
+            fail(f"function not positively corroborated: {e}")
+
+    # -- criterion 2: injected faults degrade, never crash ------------------
+    faultinject.install("adversary.replay:raise")
+    try:
+        adv2 = cross_check(hv, report, config)
+    finally:
+        faultinject.clear()
+    checked = [e for e in adv2.entries if e.status != "unchecked"]
+    if not checked or not all(
+        e.status == "cross_check_failed" for e in checked
+    ):
+        fail(
+            "injected adversary.replay fault did not degrade to "
+            "cross_check_failed:\n" + adv2.render()
+        )
+    print("\nfault-degradation check: "
+          f"{len(checked)} entries degraded to cross_check_failed, no crash")
+
+    print("\nverdict check PASSED: "
+          f"{len(adv.entries)} functions confirmed "
+          f"(replays={args.replays}, mutants<={args.mutants}, seed={args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

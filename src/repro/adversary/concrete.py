@@ -1,0 +1,737 @@
+"""A small concrete MIR interpreter for verdict cross-checking.
+
+The symbolic halves of the pipeline (Gillian-Rust, Creusot vcgen)
+never *run* a body — they reason about all executions at once.  That
+makes their verdicts only as trustworthy as the encoder + solver
+stack underneath them.  This module is the independent check: it
+executes a :class:`repro.lang.mir.Body` on *concrete* values over a
+concrete heap, so a "verified" postcondition can be tested against
+real runs and a "refuted" one can be confirmed by an actual witness.
+
+The interpreter is deliberately tiny and strict:
+
+* Values are immutable Python data — ints, bools, ``()`` for unit,
+  :class:`StructVal` for structs/tuples, :class:`EnumVal` for enum
+  variants, :class:`Addr` for pointers (both raw pointers and
+  references; ``Box<T>`` is its inner pointer, matching the
+  ``repr_sort`` collapse in the ownable layer).  Place writes rebuild
+  the spine functionally, so aliasing bugs in the interpreter itself
+  cannot silently corrupt sibling fields.
+* The heap is a map from allocation ids to cells; reads of freed or
+  never-allocated cells, double frees, out-of-bounds slice accesses
+  and reads of uninitialised slots raise :class:`ConcreteUB`.  The
+  uninitialised marker is the shared ``UNINIT`` sentinel from
+  :mod:`repro.core.heap.structural`, the same convention the symbolic
+  byte-image interpreter uses.
+* Checked arithmetic panics (``ConcretePanic``) exactly where rustc's
+  overflow checks would; ``*_unchecked`` wraps; ``div``/``rem`` by
+  zero and ``MIN / -1`` panic; casts truncate like ``as``.
+* Anything outside the supported fragment (loops beyond the fuel
+  budget, unknown intrinsics, missing bodies) raises
+  :class:`ReplayUnsupported` / :class:`ReplayLimit` — the replay layer
+  reports those inputs as skipped rather than guessing.
+
+Ghost statements are run-time no-ops except ``GhostAssert``, which is
+routed to an optional hook so the replay layer can evaluate the
+asserted Pearlite formula against the concrete state (a failed ghost
+assertion in a *verified* function is a cross-check failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.heap.structural import UNINIT
+from repro.lang.mir import (
+    AddressOf,
+    Aggregate,
+    Assign,
+    BinaryOp,
+    Body,
+    Call,
+    Cast,
+    Constant,
+    Copy,
+    DerefProj,
+    Discriminant,
+    DowncastProj,
+    FieldProj,
+    Ghost,
+    GhostAssert,
+    Goto,
+    IndexProj,
+    Move,
+    Nop,
+    Operand,
+    Place,
+    Program,
+    Ref,
+    Return,
+    Rvalue,
+    SwitchInt,
+    Unreachable,
+    UnaryOp,
+    Use,
+)
+from repro.lang.types import (
+    AdtTy,
+    BoolTy,
+    CharTy,
+    IntTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    Ty,
+    UnitTy,
+)
+from repro.gillian.engine import borrowed_locals
+
+
+# ---------------------------------------------------------------------------
+# Outcomes
+# ---------------------------------------------------------------------------
+
+
+class ConcretePanic(Exception):
+    """The execution panicked (overflow, div-by-zero, explicit)."""
+
+
+class ConcreteUB(Exception):
+    """The execution hit undefined behaviour (UAF, OOB, uninit read)."""
+
+
+class ConcreteAssertFailed(Exception):
+    """A ghost assertion evaluated to false on the concrete state."""
+
+    def __init__(self, formula: str) -> None:
+        super().__init__(f"ghost assertion failed: {formula}")
+        self.formula = formula
+
+
+class ReplayUnsupported(Exception):
+    """The body uses a feature outside the concrete fragment."""
+
+
+class ReplayLimit(Exception):
+    """Fuel or call-depth budget exhausted (possible non-termination)."""
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Addr:
+    """A pointer: allocation id plus a projection path.
+
+    Path elements are field indices (``int``) or ``("v", k)`` variant
+    downcasts; for array cells the *first* element is the element
+    index.  A dangling sentinel uses ``base=-1``.
+    """
+
+    base: int
+    path: tuple = ()
+
+    def __repr__(self) -> str:
+        return f"@{self.base}{''.join(f'.{p}' for p in self.path)}"
+
+
+DANGLING = Addr(-1, ())
+
+
+@dataclass(frozen=True)
+class StructVal:
+    """A struct or tuple value (fields in declaration order)."""
+
+    fields: tuple
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(repr(f) for f in self.fields) + "}"
+
+
+@dataclass(frozen=True)
+class EnumVal:
+    """An enum value: variant index plus payload fields."""
+
+    variant: int
+    fields: tuple = ()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"v{self.variant}({inner})"
+
+
+#: Option is the built-in enum the corpus uses everywhere.
+NONE_VAL = EnumVal(0, ())
+
+
+def some_val(v: object) -> EnumVal:
+    return EnumVal(1, (v,))
+
+
+# ---------------------------------------------------------------------------
+# Heap
+# ---------------------------------------------------------------------------
+
+
+class Cell:
+    """One allocation: either a typed slot or an array of elements."""
+
+    __slots__ = ("kind", "ty", "value", "elems", "freed")
+
+    def __init__(self, kind: str, ty: Ty, value=UNINIT, elems=None) -> None:
+        self.kind = kind  # "typed" | "array"
+        self.ty = ty
+        self.value = value
+        self.elems = elems  # list for arrays
+        self.freed = False
+
+
+class CHeap:
+    """A concrete heap keyed by allocation id."""
+
+    def __init__(self) -> None:
+        self.cells: dict[int, Cell] = {}
+        self._next = 1
+
+    def alloc_typed(self, ty: Ty, value=UNINIT) -> Addr:
+        base = self._next
+        self._next += 1
+        self.cells[base] = Cell("typed", ty, value=value)
+        return Addr(base, ())
+
+    def alloc_array(self, elem_ty: Ty, n: int) -> Addr:
+        base = self._next
+        self._next += 1
+        self.cells[base] = Cell("array", elem_ty, elems=[UNINIT] * n)
+        return Addr(base, (0,))
+
+    def cell(self, base: int) -> Cell:
+        c = self.cells.get(base)
+        if c is None:
+            raise ConcreteUB(f"access to unallocated address @{base}")
+        if c.freed:
+            raise ConcreteUB(f"use after free of @{base}")
+        return c
+
+    def free(self, addr: Addr) -> None:
+        if not isinstance(addr, Addr):
+            raise ConcreteUB(f"free of non-pointer {addr!r}")
+        c = self.cells.get(addr.base)
+        if c is None:
+            raise ConcreteUB(f"free of unallocated address {addr!r}")
+        if c.freed:
+            raise ConcreteUB(f"double free of {addr!r}")
+        if addr.path not in ((), (0,)):
+            raise ConcreteUB(f"free of interior pointer {addr!r}")
+        c.freed = True
+
+    # -- path access --------------------------------------------------------
+
+    def read(self, addr: Addr) -> object:
+        c = self.cell(addr.base)
+        if c.kind == "array":
+            if not addr.path or not isinstance(addr.path[0], int):
+                raise ConcreteUB(f"array cell read without index: {addr!r}")
+            idx = addr.path[0]
+            if not (0 <= idx < len(c.elems)):
+                raise ConcreteUB(f"out-of-bounds read at {addr!r}")
+            return _walk_read(c.elems[idx], addr.path[1:], addr)
+        return _walk_read(c.value, addr.path, addr)
+
+    def write(self, addr: Addr, value: object) -> None:
+        c = self.cell(addr.base)
+        if c.kind == "array":
+            if not addr.path or not isinstance(addr.path[0], int):
+                raise ConcreteUB(f"array cell write without index: {addr!r}")
+            idx = addr.path[0]
+            if not (0 <= idx < len(c.elems)):
+                raise ConcreteUB(f"out-of-bounds write at {addr!r}")
+            c.elems[idx] = _walk_write(c.elems[idx], addr.path[1:], value, addr)
+        else:
+            c.value = _walk_write(c.value, addr.path, value, addr)
+
+
+def _walk_read(value: object, path: tuple, where: Addr) -> object:
+    for elem in path:
+        if value is UNINIT:
+            raise ConcreteUB(f"projection through uninitialised value at {where!r}")
+        if isinstance(elem, int):
+            if isinstance(value, StructVal):
+                value = value.fields[elem]
+            elif isinstance(value, EnumVal):
+                value = value.fields[elem]
+            else:
+                raise ConcreteUB(f"field projection on {value!r} at {where!r}")
+        elif isinstance(elem, tuple) and elem and elem[0] == "v":
+            if not isinstance(value, EnumVal) or value.variant != elem[1]:
+                raise ConcreteUB(
+                    f"downcast to variant {elem[1]} of {value!r} at {where!r}"
+                )
+        else:  # pragma: no cover - path grammar is internal
+            raise ConcreteUB(f"bad path element {elem!r}")
+    return value
+
+
+def _walk_write(value: object, path: tuple, new: object, where: Addr) -> object:
+    if not path:
+        return new
+    elem = path[0]
+    if isinstance(elem, tuple) and elem and elem[0] == "v":
+        if not isinstance(value, EnumVal) or value.variant != elem[1]:
+            raise ConcreteUB(f"downcast write to variant {elem[1]} of {value!r}")
+        return _walk_write(value, path[1:], new, where)
+    if not isinstance(elem, int):  # pragma: no cover
+        raise ConcreteUB(f"bad path element {elem!r}")
+    if value is UNINIT:
+        raise ConcreteUB(f"partial write into uninitialised value at {where!r}")
+    if isinstance(value, StructVal):
+        fields = list(value.fields)
+        fields[elem] = _walk_write(fields[elem], path[1:], new, where)
+        return StructVal(tuple(fields))
+    if isinstance(value, EnumVal):
+        fields = list(value.fields)
+        fields[elem] = _walk_write(fields[elem], path[1:], new, where)
+        return EnumVal(value.variant, tuple(fields))
+    raise ConcreteUB(f"field write into {value!r} at {where!r}")
+
+
+# ---------------------------------------------------------------------------
+# Type walking
+# ---------------------------------------------------------------------------
+
+
+def pointee_ty(ty: Ty) -> Ty:
+    if isinstance(ty, (RefTy, RawPtrTy)):
+        return ty.pointee
+    if isinstance(ty, AdtTy) and ty.name == "Box":
+        return ty.args[0]
+    raise ReplayUnsupported(f"deref of non-pointer type {ty}")
+
+
+def place_ty(body: Body, registry, place: Place) -> Ty:
+    """The type of a place, mirroring the engine's layout walk."""
+    ty = body.local_ty(place.local)
+    variant = 0
+    for proj in place.projections:
+        if isinstance(proj, DerefProj):
+            ty = pointee_ty(ty)
+            variant = 0
+        elif isinstance(proj, DowncastProj):
+            variant = proj.variant
+        elif isinstance(proj, FieldProj):
+            if isinstance(ty, TupleTy):
+                ty = ty.elems[proj.index]
+            elif isinstance(ty, AdtTy):
+                ty = registry.field_ty(ty, variant, proj.index)
+            else:
+                raise ReplayUnsupported(f"field of non-aggregate {ty}")
+            variant = 0
+        elif isinstance(proj, IndexProj):
+            raise ReplayUnsupported("index projection typing")
+        else:  # pragma: no cover
+            raise ReplayUnsupported(f"projection {proj!r}")
+    return ty
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _wrap(v: int, ty: IntTy) -> int:
+    span = 1 << ty.bits
+    v = (v - ty.min_value) % span + ty.min_value
+    return v
+
+
+def _checked(v: int, ty: Ty, what: str) -> int:
+    if isinstance(ty, IntTy) and not (ty.min_value <= v <= ty.max_value):
+        raise ConcretePanic(f"attempt to {what} with overflow")
+    return v
+
+
+def eval_binop(op: str, a: object, b: object, ty: Ty) -> object:
+    """Evaluate a MIR binop with Rust semantics; ``ty`` is the result
+    (for arithmetic: operand) type used for overflow checks."""
+    if op == "add":
+        return _checked(a + b, ty, "add")
+    if op == "sub":
+        return _checked(a - b, ty, "subtract")
+    if op == "mul":
+        return _checked(a * b, ty, "multiply")
+    if op in ("div", "rem"):
+        if b == 0:
+            raise ConcretePanic(
+                "attempt to divide by zero" if op == "div"
+                else "attempt to calculate the remainder with a divisor of zero"
+            )
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        r = a - q * b
+        out = q if op == "div" else r
+        return _checked(out, ty, "divide")
+    if op == "add_unchecked":
+        return _wrap(a + b, ty) if isinstance(ty, IntTy) else a + b
+    if op == "sub_unchecked":
+        return _wrap(a - b, ty) if isinstance(ty, IntTy) else a - b
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    if op == "and":
+        return bool(a) and bool(b)
+    if op == "or":
+        return bool(a) or bool(b)
+    if op == "offset":
+        if not isinstance(a, Addr):
+            raise ConcreteUB(f"offset of non-pointer {a!r}")
+        if a.path and isinstance(a.path[0], int):
+            return Addr(a.base, (a.path[0] + b,) + a.path[1:])
+        if b == 0:
+            return a
+        raise ConcreteUB(f"offset {b} from non-array pointer {a!r}")
+    raise ReplayUnsupported(f"binop {op}")
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+#: dest := intrinsic(args) handlers live on the Interp below; names
+#: must match the symbolic engine's intrinsic table.
+_INTRINSIC_NAMES = ("Box::new", "intrinsic::box_free", "intrinsic::alloc_array")
+
+
+class Frame:
+    """One activation: environment, heap slots for borrowed locals."""
+
+    __slots__ = ("body", "env", "slots")
+
+    def __init__(self, body: Body, env: dict, slots: dict) -> None:
+        self.body = body
+        self.env = env
+        self.slots = slots
+
+
+class Interp:
+    """Concrete executor over a :class:`Program` and a :class:`CHeap`."""
+
+    def __init__(
+        self,
+        program: Program,
+        heap: Optional[CHeap] = None,
+        fuel: int = 20_000,
+        max_depth: int = 32,
+        ghost_hook: Optional[Callable[[GhostAssert, Frame, "Interp"], None]] = None,
+    ) -> None:
+        self.program = program
+        self.heap = heap if heap is not None else CHeap()
+        self.fuel = fuel
+        self.max_depth = max_depth
+        self.ghost_hook = ghost_hook
+
+    # -- entry --------------------------------------------------------------
+
+    def call(self, name: str, args: list, depth: int = 0) -> object:
+        if depth > self.max_depth:
+            raise ReplayLimit(f"call depth exceeded at {name}")
+        body = self.program.bodies.get(name)
+        if body is None:
+            if name in _INTRINSIC_NAMES:
+                raise ReplayUnsupported(f"direct call to intrinsic {name}")
+            raise ReplayUnsupported(f"no body for callee {name}")
+        if len(args) != len(body.params):
+            raise ReplayUnsupported(f"{name}: arity mismatch")
+        env: dict[str, object] = {n: UNINIT for n in body.locals}
+        slots: dict[str, Addr] = {}
+        for (pname, _pty), v in zip(body.params, args):
+            env[pname] = v
+        for local in borrowed_locals(body):
+            ty = body.local_ty(local)
+            addr = self.heap.alloc_typed(ty, env.get(local, UNINIT))
+            slots[local] = addr
+            env.pop(local, None)
+        frame = Frame(body, env, slots)
+        block = body.blocks.get(body.entry)
+        if block is None:
+            raise ReplayUnsupported(f"{name}: missing entry block")
+        while True:
+            self._tick()
+            for st in block.statements:
+                self._tick()
+                self._exec_statement(st, frame)
+            term = block.terminator
+            if term is None:
+                raise ReplayUnsupported(f"{name}: block without terminator")
+            if isinstance(term, Goto):
+                block = self._block(body, term.target)
+            elif isinstance(term, SwitchInt):
+                d = self._operand(term.discr, frame)
+                if isinstance(d, bool):
+                    d = 1 if d else 0
+                target = term.otherwise
+                for v, t in term.targets:
+                    if v == d:
+                        target = t
+                        break
+                if target is None:
+                    raise ConcreteUB(f"switch on {d} fell off the targets")
+                block = self._block(body, target)
+            elif isinstance(term, Call):
+                vals = [self._operand(a, frame) for a in term.args]
+                out = self._call_target(term, vals, depth)
+                self._write_place(term.dest, out, frame)
+                block = self._block(body, term.target)
+            elif isinstance(term, Return):
+                return self._return_value(frame)
+            elif isinstance(term, Unreachable):
+                raise ConcreteUB("reached an `unreachable` terminator")
+            else:  # pragma: no cover
+                raise ReplayUnsupported(f"terminator {term!r}")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise ReplayLimit("fuel exhausted (possible non-termination)")
+
+    def _block(self, body: Body, name: str):
+        bb = body.blocks.get(name)
+        if bb is None:
+            raise ReplayUnsupported(f"{body.name}: missing block {name}")
+        return bb
+
+    def _return_value(self, frame: Frame) -> object:
+        from repro.lang.builder import RETURN_PLACE
+
+        if RETURN_PLACE in frame.slots:
+            v = self.heap.read(frame.slots[RETURN_PLACE])
+        else:
+            v = frame.env.get(RETURN_PLACE, UNINIT)
+        if v is UNINIT:
+            if isinstance(frame.body.return_ty, UnitTy):
+                return ()
+            raise ConcreteUB(f"{frame.body.name}: return value uninitialised")
+        return v
+
+    def _call_target(self, term: Call, vals: list, depth: int) -> object:
+        name = term.func
+        if name == "Box::new":
+            if len(vals) != 1:
+                raise ReplayUnsupported("Box::new arity")
+            inner = term.ty_args[0] if term.ty_args else None
+            addr = self.heap.alloc_typed(inner, vals[0])
+            return addr
+        if name == "intrinsic::box_free":
+            if len(vals) != 1:
+                raise ReplayUnsupported("box_free arity")
+            self.heap.free(vals[0])
+            return ()
+        if name == "intrinsic::alloc_array":
+            if len(vals) != 1 or not term.ty_args:
+                raise ReplayUnsupported("alloc_array shape")
+            n = vals[0]
+            if not isinstance(n, int) or n < 0:
+                raise ConcreteUB(f"alloc_array of {n!r} elements")
+            return self.heap.alloc_array(term.ty_args[0], n)
+        return self.call(name, vals, depth + 1)
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec_statement(self, st, frame: Frame) -> None:
+        if isinstance(st, Assign):
+            self._write_place(st.place, self._rvalue(st.rvalue, frame), frame)
+        elif isinstance(st, Ghost):
+            g = st.ghost
+            if isinstance(g, GhostAssert) and self.ghost_hook is not None:
+                self.ghost_hook(g, frame, self)
+            # fold/unfold/lemmas/prophecy updates have no run-time effect
+        elif isinstance(st, Nop):
+            pass
+        else:  # pragma: no cover
+            raise ReplayUnsupported(f"statement {st!r}")
+
+    # -- places -------------------------------------------------------------
+
+    def _resolve(self, place: Place, frame: Frame):
+        """Resolve to ("local", name, path) or ("mem", Addr)."""
+        if place.local in frame.slots:
+            kind: object = ("mem", frame.slots[place.local])
+        else:
+            if place.local not in frame.env:
+                raise ReplayUnsupported(
+                    f"{frame.body.name}: unknown local {place.local}"
+                )
+            kind = ("local", place.local, ())
+        for proj in place.projections:
+            if isinstance(proj, DerefProj):
+                v = self._read_resolved(kind, frame)
+                if not isinstance(v, Addr):
+                    raise ConcreteUB(f"deref of non-pointer {v!r}")
+                if v.base < 0:
+                    raise ConcreteUB(f"deref of dangling pointer {v!r}")
+                kind = ("mem", v)
+            elif isinstance(proj, FieldProj):
+                kind = self._extend(kind, proj.index)
+            elif isinstance(proj, DowncastProj):
+                kind = self._extend(kind, ("v", proj.variant))
+            elif isinstance(proj, IndexProj):
+                idx = frame.env.get(proj.local, UNINIT)
+                if proj.local in frame.slots:
+                    idx = self.heap.read(frame.slots[proj.local])
+                if not isinstance(idx, int):
+                    raise ConcreteUB(f"index by non-integer {idx!r}")
+                kind = self._extend(kind, idx)
+            else:  # pragma: no cover
+                raise ReplayUnsupported(f"projection {proj!r}")
+        return kind
+
+    @staticmethod
+    def _extend(kind, elem):
+        if kind[0] == "mem":
+            addr = kind[1]
+            return ("mem", Addr(addr.base, addr.path + (elem,)))
+        return ("local", kind[1], kind[2] + (elem,))
+
+    def _read_resolved(self, kind, frame: Frame) -> object:
+        if kind[0] == "mem":
+            return self.heap.read(kind[1])
+        _, name, path = kind
+        return _walk_read(frame.env[name], path, Addr(0, path))
+
+    def _read_place(self, place: Place, frame: Frame) -> object:
+        kind = self._resolve(place, frame)
+        if kind[0] == "mem":
+            v = self.heap.read(kind[1])
+        else:
+            _, name, path = kind
+            v = _walk_read(frame.env[name], path, Addr(0, path))
+        if v is UNINIT:
+            raise ConcreteUB(f"read of uninitialised place {place}")
+        return v
+
+    def _write_place(self, place: Place, value: object, frame: Frame) -> None:
+        kind = self._resolve(place, frame)
+        if kind[0] == "mem":
+            self.heap.write(kind[1], value)
+        else:
+            _, name, path = kind
+            if path:
+                frame.env[name] = _walk_write(frame.env[name], path, value, Addr(0, path))
+            else:
+                frame.env[name] = value
+
+    def _addr_of(self, place: Place, frame: Frame) -> Addr:
+        kind = self._resolve(place, frame)
+        if kind[0] != "mem":
+            raise ReplayUnsupported(
+                f"address of non-materialised local {place} "
+                "(not in borrowed_locals)"
+            )
+        return kind[1]
+
+    # -- operands / rvalues --------------------------------------------------
+
+    def _operand(self, op: Operand, frame: Frame) -> object:
+        if isinstance(op, (Copy, Move)):
+            # Move is treated as Copy: values are immutable and the
+            # verifier-facing IR never reads a moved-from place.
+            return self._read_place(op.place, frame)
+        if isinstance(op, Constant):
+            c = op.const
+            if isinstance(c.ty, UnitTy) or c.value is None:
+                return () if c.value is None else c.value
+            if c.value == "null":
+                return DANGLING
+            return c.value
+        raise ReplayUnsupported(f"operand {op!r}")
+
+    def _rvalue(self, rv: Rvalue, frame: Frame) -> object:
+        if isinstance(rv, Use):
+            return self._operand(rv.operand, frame)
+        if isinstance(rv, BinaryOp):
+            a = self._operand(rv.lhs, frame)
+            b = self._operand(rv.rhs, frame)
+            ty = self._operand_ty(rv.lhs, frame)
+            return eval_binop(rv.op, a, b, ty)
+        if isinstance(rv, UnaryOp):
+            v = self._operand(rv.operand, frame)
+            if rv.op == "not":
+                return not v
+            if rv.op == "neg":
+                ty = self._operand_ty(rv.operand, frame)
+                return _checked(-v, ty, "negate")
+            raise ReplayUnsupported(f"unop {rv.op}")
+        if isinstance(rv, (Ref, AddressOf)):
+            return self._addr_of(rv.place, frame)
+        if isinstance(rv, Aggregate):
+            vals = tuple(self._operand(o, frame) for o in rv.operands)
+            ty = rv.ty
+            if isinstance(ty, (TupleTy, UnitTy)):
+                return StructVal(vals) if vals else ()
+            if isinstance(ty, AdtTy):
+                d = self.program.registry.lookup(ty.name)
+                if d.is_struct:
+                    return StructVal(vals)
+                return EnumVal(rv.variant, vals)
+            raise ReplayUnsupported(f"aggregate of {ty}")
+        if isinstance(rv, Discriminant):
+            v = self._read_place(rv.place, frame)
+            if isinstance(v, EnumVal):
+                return v.variant
+            raise ConcreteUB(f"discriminant of non-enum {v!r}")
+        if isinstance(rv, Cast):
+            v = self._operand(rv.operand, frame)
+            if isinstance(rv.target, IntTy) and isinstance(v, int):
+                return _wrap(v, rv.target)
+            # pointer-to-pointer casts are transmutes of the Addr
+            return v
+        raise ReplayUnsupported(f"rvalue {rv!r}")
+
+    def _operand_ty(self, op: Operand, frame: Frame) -> Ty:
+        if isinstance(op, (Copy, Move)):
+            return place_ty(frame.body, self.program.registry, op.place)
+        if isinstance(op, Constant):
+            return op.const.ty
+        raise ReplayUnsupported(f"operand {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Default values (used by the produce layer for unconstrained fields)
+# ---------------------------------------------------------------------------
+
+
+def default_value(ty: Ty) -> object:
+    """A valid inhabitant for fields no predicate part constrains."""
+    if isinstance(ty, IntTy):
+        return 0
+    if isinstance(ty, BoolTy):
+        return False
+    if isinstance(ty, CharTy):
+        return ord("a")
+    if isinstance(ty, UnitTy):
+        return ()
+    if isinstance(ty, TupleTy):
+        return StructVal(tuple(default_value(e) for e in ty.elems))
+    if isinstance(ty, RawPtrTy):
+        return DANGLING
+    if isinstance(ty, AdtTy) and ty.name == "Option":
+        return NONE_VAL
+    if isinstance(ty, ParamTy):
+        return 0
+    raise ReplayUnsupported(f"no default value for {ty}")

@@ -1,0 +1,1015 @@
+"""Concrete interpretation of Gilsonite ownership predicates.
+
+The replay pass needs two things the symbolic pipeline never builds:
+
+* **produce** — given a type's ``own:T`` predicate, *invent* a concrete
+  heap structure satisfying it (a real linked list of length 3, a raw
+  vec with a 2-element prefix), together with holes for its logical
+  representation; and
+* **consume** — given a concrete value after execution, walk the
+  predicate against the real heap to (a) check the ownership invariant
+  still holds (no leaked/duplicated/dangling cells) and (b) extract
+  the representation model the Pearlite contract talks about.
+
+Both directions share one machinery: predicate assertions are
+processed as a worklist of star-parts over an environment mapping term
+variables to *values with holes*.  A :class:`Hole` is an unknown that
+unification can bind later (the logical variables bound by ``Exists``
+and the OUT-moded representation parameters).  Parts that cannot make
+progress yet (their inputs still unbound) raise :class:`Unresolved`
+and are retried after the others — the concrete analogue of the
+symbolic matcher's delayed constraints.  All binding goes through a
+trail so disjunct exploration can backtrack (consume tries disjuncts
+in order; produce picks one via the seeded :class:`Chooser`).
+
+Separation is enforced with a footprint set: a heap location consumed
+by two different parts of one predicate instance is a mismatch, which
+is exactly what catches cyclic ``next`` chains or broken ``prev``
+back-pointers that a buggy mutant might build.
+
+The supported fragment is the spatial core (Pure / PointsTo[Uninit] /
+PointsToSlice[Uninit] / Pred / Exists / Star / Emp).  Prophetic parts
+(Borrow, ValueObs, ProphCtrl, Observation, lifetime assertions) are
+out of scope — predicates using them raise :class:`PredUnsupported`
+and the replay layer reports the function as skipped, never guessed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adversary.concrete import (
+    Addr,
+    CHeap,
+    ConcreteUB,
+    DANGLING,
+    EnumVal,
+    NONE_VAL,
+    ReplayUnsupported,
+    StructVal,
+    default_value,
+)
+from repro.core.heap.structural import UNINIT
+from repro.gilsonite.ast import (
+    Assertion,
+    Emp,
+    Exists,
+    PointsTo,
+    PointsToSlice,
+    PointsToSliceUninit,
+    PointsToUninit,
+    Pred,
+    PredicateDef,
+    Pure,
+    Star,
+)
+from repro.gilsonite.ownable import own_pred_name
+from repro.lang.mir import Program
+from repro.lang.types import (
+    AdtTy,
+    BoolTy,
+    CharTy,
+    IntTy,
+    ParamTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    Ty,
+    UnitTy,
+)
+from repro.solver.terms import App, BoolLit, IntLit, Term, Var, fresh_var
+
+
+# ---------------------------------------------------------------------------
+# Failures
+# ---------------------------------------------------------------------------
+
+
+class PredUnsupported(Exception):
+    """Predicate uses a feature outside the concrete fragment."""
+
+
+class PredMismatch(Exception):
+    """The predicate does not hold on the concrete state."""
+
+
+class OwnershipViolation(Exception):
+    """A value's ownership invariant is broken on the concrete heap."""
+
+
+class Unresolved(Exception):
+    """Internal: this part needs bindings another part will provide."""
+
+
+# ---------------------------------------------------------------------------
+# Values with holes
+# ---------------------------------------------------------------------------
+
+
+class Hole:
+    """A mutable value-unknown; bound at most once (undone via trail)."""
+
+    __slots__ = ("bound", "value", "ty")
+
+    def __init__(self, ty: Optional[Ty] = None) -> None:
+        self.bound = False
+        self.value = None
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        return f"?{id(self) & 0xFFFF:x}" if not self.bound else f"!{self.value!r}"
+
+
+@dataclass(frozen=True)
+class SeqConsVal:
+    """Lazy sequence cons — the tail may still be an unbound hole."""
+
+    head: object
+    tail: object
+
+
+def deref(v: object) -> object:
+    while isinstance(v, Hole) and v.bound:
+        v = v.value
+    return v
+
+
+def force(v: object) -> object:
+    """Fully resolve a value; raises :class:`Unresolved` on any
+    unbound hole left inside."""
+    v = deref(v)
+    if isinstance(v, Hole):
+        raise Unresolved("unbound hole")
+    if isinstance(v, SeqConsVal):
+        tail = force(v.tail)
+        if not isinstance(tail, tuple):
+            raise PredMismatch(f"sequence tail is {tail!r}")
+        return (force(v.head),) + tail
+    if isinstance(v, tuple) and not isinstance(v, Addr):
+        return tuple(force(x) for x in v)
+    if isinstance(v, StructVal):
+        return StructVal(tuple(force(f) for f in v.fields))
+    if isinstance(v, EnumVal):
+        return EnumVal(v.variant, tuple(force(f) for f in v.fields))
+    return v
+
+
+# ---------------------------------------------------------------------------
+# Seeded choice
+# ---------------------------------------------------------------------------
+
+
+class Chooser:
+    """Drives produce-mode decisions: which disjunct, which leaf values,
+    how long the sequences are.  ``size`` bounds total structure."""
+
+    def __init__(self, seed: int, size: int) -> None:
+        self.rng = random.Random(seed)
+        self.size = size
+        self._pool = itertools.count(5, 6)
+        # Rotate the small-value cycle by the seed so successive replay
+        # attempts (seed·1000+i) draw different first values — an
+        # always-zero first argument would mask e.g. ``result == x``
+        # violations on bodies returning a constant.
+        base = (0, 1, 2, 7)
+        off = seed % len(base)
+        self._ints = itertools.cycle(base[off:] + base[:off])
+
+    def disjunct(self, name: str, n: int) -> int:
+        """Pick a disjunct; index 0 is the base case by convention."""
+        if n <= 1:
+            return 0
+        if self.size > 0:
+            self.size -= 1
+            return 1 if n == 2 else 1 + self.rng.randrange(n - 1)
+        return 0
+
+    def option_some(self) -> bool:
+        if self.size > 0:
+            self.size -= 1
+            return True
+        return False
+
+    def leaf(self) -> int:
+        return next(self._pool)
+
+    def int_value(self, ty: IntTy) -> int:
+        v = next(self._ints)
+        return max(ty.min_value, min(ty.max_value, v))
+
+    def bool_value(self) -> bool:
+        return bool(self.rng.getrandbits(1))
+
+    def seq_len(self) -> int:
+        k = self.size
+        self.size = 0
+        return k
+
+    def extra_len(self) -> int:
+        return self.rng.randrange(0, 3)
+
+
+# ---------------------------------------------------------------------------
+# Context
+# ---------------------------------------------------------------------------
+
+
+_MAX_PRED_DEPTH = 512
+
+
+class Ctx:
+    """One produce/consume episode over a heap."""
+
+    def __init__(
+        self,
+        program: Program,
+        heap: CHeap,
+        mode: str,
+        chooser: Optional[Chooser] = None,
+    ) -> None:
+        assert mode in ("produce", "consume")
+        self.program = program
+        self.heap = heap
+        self.mode = mode
+        self.chooser = chooser if chooser is not None else Chooser(0, 0)
+        self.env: dict[Var, object] = {}
+        self.footprint: set = set()
+        self.trail: list = []
+        self.allocated: list[int] = []
+        self.pred_depth = 0
+
+    # -- trail --------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self.trail)
+
+    def undo(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            kind, *rest = self.trail.pop()
+            if kind == "hole":
+                h = rest[0]
+                h.bound = False
+                h.value = None
+            elif kind == "env":
+                var, had, old = rest
+                if had:
+                    self.env[var] = old
+                else:
+                    self.env.pop(var, None)
+            elif kind == "fp":
+                self.footprint.discard(rest[0])
+            elif kind == "alloc":
+                self.heap.cells.pop(rest[0], None)
+                if rest[0] in self.allocated:
+                    self.allocated.remove(rest[0])
+            elif kind == "extend":
+                base, oldlen = rest
+                cell = self.heap.cells.get(base)
+                if cell is not None and cell.elems is not None:
+                    del cell.elems[oldlen:]
+            elif kind == "write":
+                base, old_value = rest
+                cell = self.heap.cells.get(base)
+                if cell is not None:
+                    cell.value = old_value
+
+    def bind_hole(self, hole: Hole, value: object) -> None:
+        assert not hole.bound
+        hole.bound = True
+        hole.value = value
+        self.trail.append(("hole", hole))
+
+    def set_env(self, var: Var, value: object) -> None:
+        had = var in self.env
+        self.trail.append(("env", var, had, self.env.get(var)))
+        self.env[var] = value
+
+    def add_footprint(self, key) -> None:
+        if key in self.footprint:
+            raise PredMismatch(f"separation violation: {key} consumed twice")
+        self.footprint.add(key)
+        self.trail.append(("fp", key))
+
+    def note_alloc(self, base: int) -> None:
+        self.allocated.append(base)
+        self.trail.append(("alloc", base))
+
+
+# ---------------------------------------------------------------------------
+# Term evaluation (lazy: results may contain holes)
+# ---------------------------------------------------------------------------
+
+
+def eval_term(ctx: Ctx, t: Term) -> object:
+    if isinstance(t, Var):
+        if t not in ctx.env:
+            raise PredUnsupported(f"unbound term variable {t}")
+        return ctx.env[t]
+    if isinstance(t, IntLit):
+        return t.value
+    if isinstance(t, BoolLit):
+        return t.value
+    if isinstance(t, App):
+        op = t.op
+        if op == "some":
+            return EnumVal(1, (eval_term(ctx, t.args[0]),))
+        if op == "none":
+            return NONE_VAL
+        if op == "is_some":
+            v = force(eval_term(ctx, t.args[0]))
+            if isinstance(v, EnumVal):
+                return v.variant == 1
+            raise PredMismatch(f"is_some of non-option {v!r}")
+        if op == "some.val":
+            v = force(eval_term(ctx, t.args[0]))
+            if isinstance(v, EnumVal) and v.variant == 1:
+                return v.fields[0]
+            raise PredMismatch(f"some.val of {v!r}")
+        if op == "seq.empty":
+            return ()
+        if op == "seq.cons":
+            return SeqConsVal(eval_term(ctx, t.args[0]), eval_term(ctx, t.args[1]))
+        if op == "seq.append":
+            a = force(eval_term(ctx, t.args[0]))
+            b = force(eval_term(ctx, t.args[1]))
+            return a + b
+        if op == "seq.len":
+            return len(force(eval_term(ctx, t.args[0])))
+        if op == "seq.at":
+            s = force(eval_term(ctx, t.args[0]))
+            i = force(eval_term(ctx, t.args[1]))
+            if not (0 <= i < len(s)):
+                raise PredMismatch(f"seq.at out of range: {i} of {len(s)}")
+            return s[i]
+        if op == "seq.head":
+            s = force(eval_term(ctx, t.args[0]))
+            if not s:
+                raise PredMismatch("seq.head of empty sequence")
+            return s[0]
+        if op == "seq.tail":
+            s = force(eval_term(ctx, t.args[0]))
+            if not s:
+                raise PredMismatch("seq.tail of empty sequence")
+            return s[1:]
+        if op == "seq.last":
+            s = force(eval_term(ctx, t.args[0]))
+            if not s:
+                raise PredMismatch("seq.last of empty sequence")
+            return s[-1]
+        if op == "seq.repeat":
+            x = force(eval_term(ctx, t.args[0]))
+            n = force(eval_term(ctx, t.args[1]))
+            return (x,) * n
+        if op == "tuple":
+            return StructVal(tuple(eval_term(ctx, a) for a in t.args))
+        if op.startswith("tuple."):
+            idx = int(op[len("tuple."):])
+            v = deref(eval_term(ctx, t.args[0]))
+            if isinstance(v, Hole):
+                raise Unresolved(f"projection from unbound {t}")
+            if isinstance(v, StructVal):
+                return v.fields[idx]
+            raise PredMismatch(f"tuple projection from {v!r}")
+        if op == "=":
+            return values_equal(force(eval_term(ctx, t.args[0])),
+                                force(eval_term(ctx, t.args[1])))
+        if op == "<":
+            return force(eval_term(ctx, t.args[0])) < force(eval_term(ctx, t.args[1]))
+        if op == "<=":
+            return force(eval_term(ctx, t.args[0])) <= force(eval_term(ctx, t.args[1]))
+        if op == "not":
+            return not force(eval_term(ctx, t.args[0]))
+        if op == "and":
+            return all(force(eval_term(ctx, a)) for a in t.args)
+        if op == "or":
+            return any(force(eval_term(ctx, a)) for a in t.args)
+        if op == "ite":
+            c = force(eval_term(ctx, t.args[0]))
+            return eval_term(ctx, t.args[1] if c else t.args[2])
+        if op == "+":
+            return sum(force(eval_term(ctx, a)) for a in t.args)
+        if op == "neg":
+            return -force(eval_term(ctx, t.args[0]))
+        if op == "*":
+            return force(eval_term(ctx, t.args[0])) * force(eval_term(ctx, t.args[1]))
+        if op == "div":
+            a = force(eval_term(ctx, t.args[0]))
+            b = force(eval_term(ctx, t.args[1]))
+            if b == 0:
+                raise PredMismatch("division by zero in predicate term")
+            return a // b
+        if op == "mod":
+            a = force(eval_term(ctx, t.args[0]))
+            b = force(eval_term(ctx, t.args[1]))
+            if b == 0:
+                raise PredMismatch("modulo by zero in predicate term")
+            return a % b
+        if op.startswith("ptr.o:"):
+            p = deref(eval_term(ctx, t.args[0]))
+            if isinstance(p, Hole):
+                raise Unresolved("offset of unbound pointer")
+            off = force(eval_term(ctx, t.args[1]))
+            if isinstance(p, Addr) and p.path and isinstance(p.path[0], int):
+                return Addr(p.base, (p.path[0] + off,) + p.path[1:])
+            raise PredMismatch(f"pointer offset of {p!r}")
+    raise PredUnsupported(f"term {t}")
+
+
+def values_equal(a: object, b: object) -> bool:
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# Unification
+# ---------------------------------------------------------------------------
+
+
+def unify(ctx: Ctx, a: object, b: object) -> None:
+    a = deref(a)
+    b = deref(b)
+    if a is b:
+        return
+    if isinstance(a, Hole):
+        ctx.bind_hole(a, b)
+        return
+    if isinstance(b, Hole):
+        ctx.bind_hole(b, a)
+        return
+    if isinstance(b, SeqConsVal) and not isinstance(a, SeqConsVal):
+        a, b = b, a
+    if isinstance(a, SeqConsVal):
+        if isinstance(b, SeqConsVal):
+            unify(ctx, a.head, b.head)
+            unify(ctx, a.tail, b.tail)
+            return
+        if isinstance(b, tuple) and not isinstance(b, Addr):
+            if not b:
+                raise PredMismatch("cons vs empty sequence")
+            unify(ctx, a.head, b[0])
+            unify(ctx, a.tail, b[1:])
+            return
+        raise PredMismatch(f"cons vs {b!r}")
+    if isinstance(a, EnumVal) and isinstance(b, EnumVal):
+        if a.variant != b.variant or len(a.fields) != len(b.fields):
+            raise PredMismatch(f"variant mismatch: {a!r} vs {b!r}")
+        for x, y in zip(a.fields, b.fields):
+            unify(ctx, x, y)
+        return
+    if isinstance(a, StructVal) and isinstance(b, StructVal):
+        if len(a.fields) != len(b.fields):
+            raise PredMismatch(f"arity mismatch: {a!r} vs {b!r}")
+        for x, y in zip(a.fields, b.fields):
+            unify(ctx, x, y)
+        return
+    if (
+        isinstance(a, tuple)
+        and isinstance(b, tuple)
+        and not isinstance(a, Addr)
+        and not isinstance(b, Addr)
+    ):
+        if len(a) != len(b):
+            raise PredMismatch(f"sequence length mismatch: {a!r} vs {b!r}")
+        for x, y in zip(a, b):
+            unify(ctx, x, y)
+        return
+    if a != b:
+        raise PredMismatch(f"value mismatch: {a!r} vs {b!r}")
+
+
+# ---------------------------------------------------------------------------
+# Linear inversion (for Pure equalities like `cap - len == u`)
+# ---------------------------------------------------------------------------
+
+
+def _linear_decompose(ctx: Ctx, t: Term):
+    """Return ``(const, [(coeff, hole)])`` for a linear int term."""
+    if isinstance(t, IntLit):
+        return t.value, []
+    if isinstance(t, App) and t.op == "+":
+        c, hs = 0, []
+        for a in t.args:
+            ca, ha = _linear_decompose(ctx, a)
+            c += ca
+            hs += ha
+        return c, hs
+    if isinstance(t, App) and t.op == "neg":
+        c, hs = _linear_decompose(ctx, t.args[0])
+        return -c, [(-k, h) for k, h in hs]
+    if isinstance(t, App) and t.op == "*":
+        a, b = t.args
+        if isinstance(a, IntLit):
+            m, inner = a.value, b
+        elif isinstance(b, IntLit):
+            m, inner = b.value, a
+        else:
+            raise Unresolved("nonlinear product")
+        c, hs = _linear_decompose(ctx, inner)
+        return c * m, [(k * m, h) for k, h in hs]
+    # leaf: evaluate; an unbound hole becomes an unknown
+    v = deref(eval_term(ctx, t))
+    if isinstance(v, Hole):
+        return 0, [(1, v)]
+    v = force(v)
+    if isinstance(v, bool) or not isinstance(v, int):
+        raise Unresolved(f"non-integer leaf {v!r}")
+    return v, []
+
+
+def _linear_solve(ctx: Ctx, t: Term, target: int) -> bool:
+    try:
+        const, holes = _linear_decompose(ctx, t)
+    except Unresolved:
+        return False
+    if len(holes) != 1:
+        return False
+    coeff, hole = holes[0]
+    if coeff == 0 or (target - const) % coeff != 0:
+        return False
+    ctx.bind_hole(hole, (target - const) // coeff)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Assertion processing
+# ---------------------------------------------------------------------------
+
+
+def _flatten(assertion: Assertion) -> list[Assertion]:
+    if isinstance(assertion, Star):
+        out: list[Assertion] = []
+        for p in assertion.parts:
+            out.extend(_flatten(p))
+        return out
+    if isinstance(assertion, Emp):
+        return []
+    return [assertion]
+
+
+def process(ctx: Ctx, assertion: Assertion) -> None:
+    """Process an assertion's parts to fixpoint, deferring parts that
+    cannot progress yet.  Raises PredMismatch if the assertion fails
+    or stalls with no part able to make progress."""
+    pending = _flatten(assertion)
+    while pending:
+        progress = False
+        still: list[Assertion] = []
+        for part in pending:
+            m = ctx.mark()
+            try:
+                _process_part(ctx, part)
+                progress = True
+            except Unresolved:
+                ctx.undo(m)
+                still.append(part)
+        pending = still
+        if pending and not progress:
+            raise PredMismatch(f"underdetermined predicate part: {pending[0]}")
+
+
+def _process_part(ctx: Ctx, part: Assertion) -> None:
+    if isinstance(part, Emp):
+        return
+    if isinstance(part, Pure):
+        _process_pure(ctx, part.formula)
+        return
+    if isinstance(part, Exists):
+        mapping: dict[Term, Term] = {}
+        for v in part.vars:
+            fv = fresh_var("adv_" + v.name.split("#")[0], v.sort)
+            mapping[v] = fv
+            ctx.set_env(fv, Hole())
+        process(ctx, part.body.subst(mapping))
+        return
+    if isinstance(part, PointsTo):
+        _points_to(ctx, part)
+        return
+    if isinstance(part, PointsToUninit):
+        _points_to_uninit(ctx, part)
+        return
+    if isinstance(part, PointsToSlice):
+        _points_to_slice(ctx, part)
+        return
+    if isinstance(part, PointsToSliceUninit):
+        _points_to_slice_uninit(ctx, part)
+        return
+    if isinstance(part, Pred):
+        _pred(ctx, part)
+        return
+    raise PredUnsupported(f"assertion {type(part).__name__} outside concrete fragment")
+
+
+def _process_pure(ctx: Ctx, formula: Term) -> None:
+    if isinstance(formula, BoolLit):
+        if not formula.value:
+            raise PredMismatch("pure formula is literally false")
+        return
+    if isinstance(formula, App) and formula.op == "and":
+        for part in formula.args:
+            _process_pure(ctx, part)
+        return
+    if isinstance(formula, App) and formula.op == "=":
+        lhs_t, rhs_t = formula.args
+        lhs = rhs = None
+        lhs_ok = rhs_ok = True
+        try:
+            lhs = eval_term(ctx, lhs_t)
+        except Unresolved:
+            lhs_ok = False
+        try:
+            rhs = eval_term(ctx, rhs_t)
+        except Unresolved:
+            rhs_ok = False
+        if lhs_ok and rhs_ok:
+            unify(ctx, lhs, rhs)
+            return
+        if lhs_ok != rhs_ok:
+            known, unknown_t = (lhs, rhs_t) if lhs_ok else (rhs, lhs_t)
+            kv = force(known)  # Unresolved propagates (defer)
+            if isinstance(kv, int) and not isinstance(kv, bool):
+                if _linear_solve(ctx, unknown_t, kv):
+                    return
+        raise Unresolved(f"equality not yet determined: {formula}")
+    v = force(eval_term(ctx, formula))
+    if v is not True:
+        raise PredMismatch(f"pure formula false: {formula}")
+
+
+# -- spatial parts -----------------------------------------------------------
+
+
+def _eval_ptr(ctx: Ctx, t: Term) -> object:
+    return deref(eval_term(ctx, t))
+
+
+def _require_addr(p: object, what: str) -> Addr:
+    if not isinstance(p, Addr):
+        raise PredMismatch(f"{what} applied to non-pointer {p!r}")
+    if p.base < 0:
+        raise PredMismatch(f"{what} applied to dangling pointer {p!r}")
+    return p
+
+
+def _points_to(ctx: Ctx, part: PointsTo) -> None:
+    p = _eval_ptr(ctx, part.ptr)
+    if isinstance(p, Hole):
+        if ctx.mode == "produce":
+            value = eval_term(ctx, part.value)
+            addr = ctx.heap.alloc_typed(part.ty, value)
+            ctx.note_alloc(addr.base)
+            ctx.add_footprint((addr.base, addr.path))
+            ctx.bind_hole(p, addr)
+            return
+        raise Unresolved("points-to with unbound pointer")
+    addr = _require_addr(p, "points-to")
+    ctx.add_footprint((addr.base, addr.path))
+    if ctx.mode == "produce":
+        cell = ctx.heap.cells.get(addr.base)
+        if cell is None:
+            raise PredMismatch(f"points-to to unallocated {addr!r}")
+        self_old = cell.value if cell.kind == "typed" and not addr.path else None
+        if cell.kind == "typed" and not addr.path:
+            ctx.trail.append(("write", addr.base, self_old))
+        ctx.heap.write(addr, eval_term(ctx, part.value))
+        return
+    try:
+        actual = ctx.heap.read(addr)
+    except ConcreteUB as e:
+        raise PredMismatch(f"points-to read failed: {e}") from e
+    if actual is UNINIT:
+        raise PredMismatch(f"points-to at uninitialised {addr!r}")
+    unify(ctx, eval_term(ctx, part.value), actual)
+
+
+def _points_to_uninit(ctx: Ctx, part: PointsToUninit) -> None:
+    p = _eval_ptr(ctx, part.ptr)
+    if isinstance(p, Hole):
+        if ctx.mode == "produce":
+            addr = ctx.heap.alloc_typed(part.ty, UNINIT)
+            ctx.note_alloc(addr.base)
+            ctx.add_footprint((addr.base, addr.path))
+            ctx.bind_hole(p, addr)
+            return
+        raise Unresolved("uninit points-to with unbound pointer")
+    addr = _require_addr(p, "uninit points-to")
+    ctx.add_footprint((addr.base, addr.path))
+    cell = ctx.heap.cells.get(addr.base)
+    if cell is None or cell.freed:
+        raise PredMismatch(f"uninit points-to at non-live {addr!r}")
+
+
+def _points_to_slice(ctx: Ctx, part: PointsToSlice) -> None:
+    p = _eval_ptr(ctx, part.ptr)
+    if isinstance(p, Hole):
+        if ctx.mode != "produce":
+            raise Unresolved("slice with unbound pointer")
+        try:
+            length = force(eval_term(ctx, part.length))
+        except Unresolved:
+            length = ctx.chooser.seq_len()
+            if not _linear_solve(ctx, part.length, length):
+                raise Unresolved("cannot invert slice length")
+        vals = deref(eval_term(ctx, part.values))
+        if isinstance(vals, Hole):
+            elems = tuple(ctx.chooser.leaf() for _ in range(length))
+            ctx.bind_hole(vals, elems)
+        else:
+            elems = force(vals)
+            if len(elems) != length:
+                raise PredMismatch("slice length/values mismatch")
+        addr = ctx.heap.alloc_array(part.elem_ty, length)
+        ctx.note_alloc(addr.base)
+        for i, e in enumerate(elems):
+            ctx.heap.write(Addr(addr.base, (i,)), e)
+            ctx.add_footprint((addr.base, i))
+        ctx.bind_hole(p, addr)
+        return
+    addr = _require_addr(p, "slice points-to")
+    length = force(eval_term(ctx, part.length))
+    if not addr.path or not isinstance(addr.path[0], int):
+        raise PredMismatch(f"slice pointer into non-array {addr!r}")
+    start = addr.path[0]
+    actual = []
+    for i in range(length):
+        ctx.add_footprint((addr.base, start + i))
+        try:
+            v = ctx.heap.read(Addr(addr.base, (start + i,)))
+        except ConcreteUB as e:
+            raise PredMismatch(f"slice read failed: {e}") from e
+        if v is UNINIT:
+            raise PredMismatch(f"initialised slice has uninit element {start + i}")
+        actual.append(v)
+    unify(ctx, eval_term(ctx, part.values), tuple(actual))
+
+
+def _points_to_slice_uninit(ctx: Ctx, part: PointsToSliceUninit) -> None:
+    p = _eval_ptr(ctx, part.ptr)
+    if isinstance(p, Hole):
+        raise Unresolved("uninit slice with unbound pointer")
+    addr = _require_addr(p, "uninit slice")
+    if not addr.path or not isinstance(addr.path[0], int):
+        raise PredMismatch(f"uninit slice pointer into non-array {addr!r}")
+    start = addr.path[0]
+    cell = ctx.heap.cells.get(addr.base)
+    if cell is None or cell.freed or cell.elems is None:
+        raise PredMismatch(f"uninit slice at non-live array {addr!r}")
+    try:
+        length = force(eval_term(ctx, part.length))
+    except Unresolved:
+        if ctx.mode != "produce":
+            raise
+        length = ctx.chooser.extra_len()
+        if not _linear_solve(ctx, part.length, length):
+            raise Unresolved("cannot invert uninit slice length")
+    if length < 0:
+        raise PredMismatch(f"negative uninit slice length {length}")
+    if ctx.mode == "produce" and start == len(cell.elems):
+        ctx.trail.append(("extend", addr.base, len(cell.elems)))
+        cell.elems.extend([UNINIT] * length)
+    if start + length > len(cell.elems):
+        raise PredMismatch(
+            f"uninit slice [{start}, {start + length}) exceeds allocation "
+            f"of {len(cell.elems)}"
+        )
+    for i in range(length):
+        ctx.add_footprint((addr.base, start + i))
+
+
+def _pred(ctx: Ctx, part: Pred) -> None:
+    pdef = ctx.program.predicates.get(part.name)
+    if pdef is None or not isinstance(pdef, PredicateDef):
+        raise PredUnsupported(f"unknown predicate {part.name}")
+    if pdef.guard is not None:
+        raise PredUnsupported(f"guarded predicate {part.name}")
+    if pdef.abstract:
+        # own:T for a type parameter: the representation is the value
+        # itself; produce invents an opaque leaf.
+        x = deref(eval_term(ctx, part.args[1]))
+        if isinstance(x, Hole):
+            if ctx.mode == "produce":
+                ctx.bind_hole(x, ctx.chooser.leaf())
+                x = deref(x)
+            else:
+                raise Unresolved(f"abstract {part.name} with unbound value")
+        unify(ctx, eval_term(ctx, part.args[2]), x)
+        return
+    ctx.pred_depth += 1
+    if ctx.pred_depth > _MAX_PRED_DEPTH:
+        ctx.pred_depth -= 1
+        raise PredUnsupported(f"predicate recursion too deep at {part.name}")
+    try:
+        bodies = pdef.instantiate(list(part.args))
+        if not bodies:
+            raise PredUnsupported(f"{part.name} has no disjuncts")
+        if ctx.mode == "produce":
+            pick = ctx.chooser.disjunct(part.name, len(bodies))
+            process(ctx, bodies[pick])
+            return
+        last: Optional[PredMismatch] = None
+        for body in bodies:
+            m = ctx.mark()
+            try:
+                process(ctx, body)
+                return
+            except PredMismatch as e:
+                ctx.undo(m)
+                last = e
+        raise PredMismatch(
+            f"no disjunct of {part.name} holds"
+            + (f" (last: {last})" if last else "")
+        )
+    finally:
+        ctx.pred_depth -= 1
+
+
+# ---------------------------------------------------------------------------
+# Value production for function inputs
+# ---------------------------------------------------------------------------
+
+
+def resolve_value(ctx: Ctx, v: object) -> object:
+    """Like :func:`force`, but unbound typed holes default to a valid
+    inhabitant (produce mode leaves unconstrained fields open)."""
+    v = deref(v)
+    if isinstance(v, Hole):
+        if v.ty is not None:
+            return default_value(v.ty)
+        raise PredUnsupported("unconstrained untyped hole in produced value")
+    if isinstance(v, SeqConsVal):
+        tail = resolve_value(ctx, v.tail)
+        return (resolve_value(ctx, v.head),) + tuple(tail)
+    if isinstance(v, tuple) and not isinstance(v, Addr):
+        return tuple(resolve_value(ctx, x) for x in v)
+    if isinstance(v, StructVal):
+        return StructVal(tuple(resolve_value(ctx, f) for f in v.fields))
+    if isinstance(v, EnumVal):
+        return EnumVal(v.variant, tuple(resolve_value(ctx, f) for f in v.fields))
+    return v
+
+
+def _resolve_heap(ctx: Ctx) -> None:
+    for base in ctx.allocated:
+        cell = ctx.heap.cells.get(base)
+        if cell is None:
+            continue
+        if cell.elems is not None:
+            cell.elems[:] = [
+                e if e is UNINIT else resolve_value(ctx, e) for e in cell.elems
+            ]
+        elif cell.value is not UNINIT:
+            cell.value = resolve_value(ctx, cell.value)
+
+
+def _struct_holes(program: Program, ty: AdtTy) -> StructVal:
+    d, mapping = program.registry.instantiate(ty)
+    if not d.is_struct:
+        raise PredUnsupported(f"produce for enum ADT {ty}")
+    fields = tuple(
+        Hole(ty=program.registry.subst(f.ty, mapping)) for f in d.struct_fields
+    )
+    return StructVal(fields)
+
+
+#: Opaque lifetime token used for the κ parameter of own predicates.
+LFT_TOKEN = "'static"
+
+
+def _own_pred_call(ctx: Ctx, ty: Ty, self_value: object) -> Hole:
+    """Bind fresh vars for (κ, self, repr) and process ``own:ty``;
+    returns the repr hole."""
+    name = own_pred_name(ty)
+    pdef = ctx.program.predicates.get(name)
+    if pdef is None:
+        raise PredUnsupported(f"no ownership predicate for {ty}")
+    repr_hole = Hole()
+    vars_ = []
+    for i, param in enumerate(pdef.params):
+        fv = fresh_var(f"adv_own{i}", param.var.sort)
+        vars_.append(fv)
+    ctx.set_env(vars_[0], LFT_TOKEN)
+    ctx.set_env(vars_[1], self_value)
+    ctx.set_env(vars_[2], repr_hole)
+    process(ctx, Pred(name, tuple(vars_)))
+    return repr_hole
+
+
+def produce_value(ctx: Ctx, ty: Ty) -> object:
+    """Invent a concrete value (and backing heap) of type ``ty``."""
+    ch = ctx.chooser
+    if isinstance(ty, IntTy):
+        return ch.int_value(ty)
+    if isinstance(ty, BoolTy):
+        return ch.bool_value()
+    if isinstance(ty, CharTy):
+        return ord("a")
+    if isinstance(ty, UnitTy):
+        return ()
+    if isinstance(ty, ParamTy):
+        return ch.leaf()
+    if isinstance(ty, TupleTy):
+        return StructVal(tuple(produce_value(ctx, e) for e in ty.elems))
+    if isinstance(ty, AdtTy) and ty.name == "Option":
+        if ch.option_some():
+            return EnumVal(1, (produce_value(ctx, ty.args[0]),))
+        return NONE_VAL
+    if isinstance(ty, AdtTy) and ty.name == "Box":
+        inner = produce_value(ctx, ty.args[0])
+        addr = ctx.heap.alloc_typed(ty.args[0], inner)
+        ctx.note_alloc(addr.base)
+        return addr
+    if isinstance(ty, RefTy):
+        inner = produce_value(ctx, ty.pointee)
+        addr = ctx.heap.alloc_typed(ty.pointee, inner)
+        ctx.note_alloc(addr.base)
+        return addr
+    if isinstance(ty, AdtTy):
+        self_val = _struct_holes(ctx.program, ty)
+        _own_pred_call(ctx, ty, self_val)
+        out = resolve_value(ctx, self_val)
+        _resolve_heap(ctx)
+        return out
+    raise PredUnsupported(f"cannot produce a value of type {ty}")
+
+
+# ---------------------------------------------------------------------------
+# Model extraction (and invariant validation)
+# ---------------------------------------------------------------------------
+
+
+def _repr_to_model(v: object) -> object:
+    v = force(v)
+    if isinstance(v, EnumVal):
+        if v.variant == 0 and not v.fields:
+            return ("None",)
+        if v.variant == 1 and len(v.fields) == 1:
+            return ("Some", _repr_to_model(v.fields[0]))
+        return (f"v{v.variant}",) + tuple(_repr_to_model(f) for f in v.fields)
+    if isinstance(v, StructVal):
+        return tuple(_repr_to_model(f) for f in v.fields)
+    if isinstance(v, tuple) and not isinstance(v, Addr):
+        return tuple(_repr_to_model(x) for x in v)
+    return v
+
+
+def model_of(program: Program, heap: CHeap, ty: Ty, value: object) -> object:
+    """The Pearlite-level model of a concrete value.
+
+    For custom ADTs this *consumes* the ownership predicate against
+    the live heap, so it doubles as an invariant check: a broken
+    structure raises :class:`OwnershipViolation`.
+    """
+    if isinstance(ty, (IntTy, BoolTy, CharTy)):
+        return value
+    if isinstance(ty, UnitTy):
+        return ()
+    if isinstance(ty, ParamTy):
+        return value
+    if isinstance(ty, TupleTy):
+        if not isinstance(value, StructVal):
+            raise OwnershipViolation(f"tuple value is {value!r}")
+        return tuple(
+            model_of(program, heap, e, f) for e, f in zip(ty.elems, value.fields)
+        )
+    if isinstance(ty, AdtTy) and ty.name == "Option":
+        if not isinstance(value, EnumVal):
+            raise OwnershipViolation(f"option value is {value!r}")
+        if value.variant == 0:
+            return ("None",)
+        return ("Some", model_of(program, heap, ty.args[0], value.fields[0]))
+    if isinstance(ty, AdtTy) and ty.name == "Box":
+        addr = value
+        if not isinstance(addr, Addr):
+            raise OwnershipViolation(f"box value is {value!r}")
+        try:
+            inner = heap.read(Addr(addr.base, ()))
+        except ConcreteUB as e:
+            raise OwnershipViolation(f"box points at dead memory: {e}") from e
+        if inner is UNINIT:
+            raise OwnershipViolation("box points at uninitialised memory")
+        return model_of(program, heap, ty.args[0], inner)
+    if isinstance(ty, RefTy):
+        addr = value
+        if not isinstance(addr, Addr):
+            raise OwnershipViolation(f"reference value is {value!r}")
+        try:
+            inner = heap.read(addr)
+        except ConcreteUB as e:
+            raise OwnershipViolation(f"reference points at dead memory: {e}") from e
+        if inner is UNINIT:
+            raise OwnershipViolation("reference points at uninitialised memory")
+        return model_of(program, heap, ty.pointee, inner)
+    if isinstance(ty, RawPtrTy):
+        return value
+    if isinstance(ty, AdtTy):
+        ctx = Ctx(program, heap, mode="consume")
+        try:
+            repr_hole = _own_pred_call(ctx, ty, value)
+        except PredMismatch as e:
+            raise OwnershipViolation(f"{ty} invariant broken: {e}") from e
+        try:
+            return _repr_to_model(repr_hole)
+        except Unresolved:
+            raise PredUnsupported(f"{ty} representation underdetermined")
+    raise PredUnsupported(f"no model for type {ty}")

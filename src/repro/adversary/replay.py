@@ -1,0 +1,426 @@
+"""Concrete counterexample replay — the first adversary pass.
+
+For every shipped verdict we try to *observe* it: generate concrete,
+precondition-satisfying inputs with the predicate produce layer, run
+the body on the concrete interpreter, and evaluate the Pearlite
+contract on the resulting models.
+
+* A **verified** function whose postcondition evaluates to false on a
+  real run (or that hits UB, fails a ghost assertion, breaks an
+  ownership invariant, or — when a functional contract was proved —
+  panics) is a ``cross_check_failed``: the pipeline shipped a wrong
+  verdict.
+* A **refuted** function for which some input actually violates the
+  contract is ``confirmed``: the refutation has a concrete witness.
+
+Inputs outside the executable fragment are *skipped*, never guessed:
+replay reports how many inputs it checked so the caller can tell "no
+violation in 6 runs" apart from "could not run anything".
+
+The Pearlite evaluator here is intentionally independent of
+``pearlite/encode.py`` — it interprets the surface AST directly over
+concrete models, so a bug in the solver encoding cannot hide itself.
+Model conventions: sequences are Python tuples, Option models are
+``("Some", m)`` / ``("None",)`` tags, mutable references carry a
+``(cur, fin)`` pair split across the pre/post state snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.adversary.concrete import (
+    CHeap,
+    ConcreteAssertFailed,
+    ConcretePanic,
+    ConcreteUB,
+    Frame,
+    Interp,
+    ReplayLimit,
+    ReplayUnsupported,
+)
+from repro.adversary.predicates import (
+    Chooser,
+    Ctx,
+    OwnershipViolation,
+    PredMismatch,
+    PredUnsupported,
+    Unresolved,
+    model_of,
+    produce_value,
+)
+from repro.core.heap.structural import UNINIT
+from repro.lang.mir import Body, GhostAssert, Program
+from repro.lang.types import IntTy, RefTy, Ty, UnitTy
+from repro.pearlite.ast import (
+    PBin,
+    PBool,
+    PCall,
+    PField,
+    PFinal,
+    PInt,
+    PMatch,
+    PModel,
+    PNot,
+    PTerm,
+    PVar,
+    PearliteSpec,
+)
+from repro.pearlite.parser import parse_pearlite
+
+
+# ---------------------------------------------------------------------------
+# Pearlite evaluation over concrete models
+# ---------------------------------------------------------------------------
+
+
+class EvalUnsupported(Exception):
+    """The contract references something outside the model fragment."""
+
+
+@dataclass(frozen=True)
+class Plain:
+    """A by-value binding: the model of a non-borrow argument."""
+
+    model: object
+
+
+@dataclass(frozen=True)
+class MutB:
+    """A mutable-borrow binding: ``x@`` is ``cur``, ``(^x)@`` is ``fin``."""
+
+    cur: object
+    fin: Optional[object] = None
+
+
+_INT_KINDS = (
+    "i8", "i16", "i32", "i64", "i128", "isize",
+    "u8", "u16", "u32", "u64", "u128", "usize",
+)
+
+
+def eval_pterm(t: PTerm, env: dict) -> object:
+    if isinstance(t, PVar):
+        b = env.get(t.name)
+        if b is None:
+            raise EvalUnsupported(f"unbound contract variable {t.name}")
+        return b.cur if isinstance(b, MutB) else b.model
+    if isinstance(t, PInt):
+        return t.value
+    if isinstance(t, PBool):
+        return t.value
+    if isinstance(t, PModel):
+        inner = t.inner
+        if isinstance(inner, PVar):
+            b = env.get(inner.name)
+            if b is None:
+                raise EvalUnsupported(f"unbound contract variable {inner.name}")
+            return b.cur if isinstance(b, MutB) else b.model
+        if isinstance(inner, PFinal) and isinstance(inner.inner, PVar):
+            return _final_of(inner.inner.name, env)
+        # models are idempotent in this fragment (x@@ == x@)
+        return eval_pterm(inner, env)
+    if isinstance(t, PFinal):
+        if isinstance(t.inner, PVar):
+            return _final_of(t.inner.name, env)
+        raise EvalUnsupported(f"^ of non-variable {t.inner}")
+    if isinstance(t, PNot):
+        return not _as_bool(eval_pterm(t.inner, env))
+    if isinstance(t, PBin):
+        op = t.op
+        if op == "==>":
+            return (not _as_bool(eval_pterm(t.lhs, env))) or _as_bool(
+                eval_pterm(t.rhs, env)
+            )
+        if op == "&&":
+            return _as_bool(eval_pterm(t.lhs, env)) and _as_bool(
+                eval_pterm(t.rhs, env)
+            )
+        if op == "||":
+            return _as_bool(eval_pterm(t.lhs, env)) or _as_bool(
+                eval_pterm(t.rhs, env)
+            )
+        a = eval_pterm(t.lhs, env)
+        b = eval_pterm(t.rhs, env)
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        raise EvalUnsupported(f"operator {op}")
+    if isinstance(t, PField):
+        v = eval_pterm(t.inner, env)
+        if isinstance(v, tuple) and t.name.isdigit():
+            idx = int(t.name)
+            if idx < len(v):
+                return v[idx]
+        raise EvalUnsupported(f"field .{t.name} of {v!r}")
+    if isinstance(t, PCall):
+        return _eval_call(t, env)
+    if isinstance(t, PMatch):
+        scrut = eval_pterm(t.scrutinee, env)
+        if not (isinstance(scrut, tuple) and scrut and isinstance(scrut[0], str)):
+            raise EvalUnsupported(f"match on non-variant model {scrut!r}")
+        for arm in t.arms:
+            if arm.ctor == scrut[0] or arm.ctor == "_":
+                inner = dict(env)
+                for name, v in zip(arm.binders, scrut[1:]):
+                    inner[name] = Plain(v)
+                return eval_pterm(arm.body, inner)
+        raise EvalUnsupported(f"no arm matches {scrut[0]}")
+    raise EvalUnsupported(f"term {t!r}")
+
+
+def _final_of(name: str, env: dict) -> object:
+    b = env.get(name)
+    if not isinstance(b, MutB):
+        raise EvalUnsupported(f"^{name} of non-borrow binding")
+    if b.fin is None:
+        raise EvalUnsupported(f"^{name} has no final state here")
+    return b.fin
+
+
+def _as_bool(v: object) -> bool:
+    if not isinstance(v, bool):
+        raise EvalUnsupported(f"non-boolean condition {v!r}")
+    return v
+
+
+def _eval_call(t: PCall, env: dict) -> object:
+    f = t.func
+    args = [eval_pterm(a, env) for a in t.args]
+    if f == "Seq::EMPTY":
+        return ()
+    if f == "Seq::cons":
+        return (args[0],) + tuple(args[1])
+    if f == "Seq::concat":
+        return tuple(args[0]) + tuple(args[1])
+    if f in (".len", "Seq::len"):
+        return len(args[0])
+    if f in (".get", "Seq::get", ".index_logic"):
+        s, i = args
+        if not (0 <= i < len(s)):
+            raise EvalUnsupported(f"sequence index {i} out of range")
+        return s[i]
+    if f == ".shallow_model":
+        return args[0]
+    if f == "Some":
+        return ("Some", args[0])
+    if f == "None":
+        return ("None",)
+    if "::" in f and not args:
+        kind, _, bound = f.partition("::")
+        if kind in _INT_KINDS and bound in ("MAX", "MIN"):
+            ty = IntTy(kind)
+            return ty.max_value if bound == "MAX" else ty.min_value
+    raise EvalUnsupported(f"logical function {f}")
+
+
+# ---------------------------------------------------------------------------
+# Contracts
+# ---------------------------------------------------------------------------
+
+
+def contract_clauses(
+    contract: Union[PearliteSpec, dict, None],
+) -> tuple[list[PTerm], list[PTerm]]:
+    if contract is None:
+        return [], []
+    if isinstance(contract, PearliteSpec):
+        return list(contract.requires), list(contract.ensures)
+    req = [
+        parse_pearlite(p) if isinstance(p, str) else p
+        for p in contract.get("requires", [])
+    ]
+    ens = [
+        parse_pearlite(p) if isinstance(p, str) else p
+        for p in contract.get("ensures", [])
+    ]
+    return req, ens
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one function."""
+
+    checked: int = 0  #: inputs executed to completion of the check
+    filtered: int = 0  #: inputs rejected by the precondition
+    skipped: int = 0  #: inputs outside the executable fragment
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+
+#: Structure-size schedule for successive inputs: empty first, then
+#: growing shapes (a fresh seed stream per attempt keeps leaves apart).
+_SIZE_SCHEDULE = (0, 1, 2, 3, 1, 2, 4, 3)
+
+
+def replay_function(
+    program: Program,
+    body: Body,
+    contract: Union[PearliteSpec, dict, None],
+    *,
+    attempts: int = 4,
+    seed: int = 0,
+    expect_violation: bool = False,
+    panic_is_violation: bool = False,
+    fuel: int = 20_000,
+) -> ReplayResult:
+    """Replay one function on ``attempts`` generated inputs."""
+    requires, ensures = contract_clauses(contract)
+    out = ReplayResult()
+    for i in range(attempts):
+        size = _SIZE_SCHEDULE[i % len(_SIZE_SCHEDULE)]
+        try:
+            verdict = _replay_once(
+                program,
+                body,
+                requires,
+                ensures,
+                seed=seed * 1000 + i,
+                size=size,
+                panic_is_violation=panic_is_violation,
+                fuel=fuel,
+            )
+        except (ReplayUnsupported, PredUnsupported, EvalUnsupported, Unresolved,
+                ReplayLimit, PredMismatch):
+            out.skipped += 1
+            continue
+        if verdict is None:
+            out.filtered += 1
+        elif verdict == "":
+            out.checked += 1
+        else:
+            out.checked += 1
+            out.violations.append(verdict)
+            if not expect_violation:
+                break
+    return out
+
+
+def _replay_once(
+    program: Program,
+    body: Body,
+    requires: list[PTerm],
+    ensures: list[PTerm],
+    *,
+    seed: int,
+    size: int,
+    panic_is_violation: bool,
+    fuel: int,
+) -> Optional[str]:
+    """One input: returns None if filtered by the precondition, "" if
+    the run checked out, or a violation description."""
+    heap = CHeap()
+    ctx = Ctx(program, heap, mode="produce", chooser=Chooser(seed, size))
+    args: list[tuple[str, Ty, object]] = []
+    for pname, pty in body.params:
+        args.append((pname, pty, produce_value(ctx, pty)))
+
+    # Pre-state models (also validates the produced structures).
+    pre_env: dict[str, object] = {}
+    for pname, pty, value in args:
+        if isinstance(pty, RefTy) and pty.mutable:
+            cur = model_of(program, heap, pty.pointee, heap.read(value))
+            pre_env[pname] = MutB(cur=cur)
+        else:
+            pre_env[pname] = Plain(model_of(program, heap, pty, value))
+
+    for clause in requires:
+        if not _as_bool(eval_pterm(clause, pre_env)):
+            return None
+
+    interp = Interp(
+        program,
+        heap,
+        fuel=fuel,
+        ghost_hook=lambda g, frame, it: _check_ghost(program, g, frame, it),
+    )
+    try:
+        ret = interp.call(body.name, [v for _, _, v in args])
+    except ConcretePanic as e:
+        if panic_is_violation:
+            return f"panicked on a verified functional contract: {e}"
+        return ""
+    except ConcreteUB as e:
+        return f"undefined behaviour: {e}"
+    except ConcreteAssertFailed as e:
+        return str(e)
+
+    # Post-state: resolve prophecies, re-check ownership invariants.
+    post_env = dict(pre_env)
+    for pname, pty, value in args:
+        if isinstance(pty, RefTy) and pty.mutable:
+            try:
+                fin = model_of(program, heap, pty.pointee, heap.read(value))
+            except OwnershipViolation as e:
+                return f"ownership invariant broken after call: {e}"
+            except ConcreteUB as e:
+                return f"borrowed structure destroyed: {e}"
+            post_env[pname] = MutB(cur=pre_env[pname].cur, fin=fin)
+    if not isinstance(body.return_ty, UnitTy):
+        try:
+            post_env["result"] = Plain(
+                model_of(program, heap, body.return_ty, ret)
+            )
+        except OwnershipViolation as e:
+            return f"returned value's invariant broken: {e}"
+
+    for clause in ensures:
+        if not _as_bool(eval_pterm(clause, post_env)):
+            return f"postcondition false on concrete run: {clause}"
+    return ""
+
+
+def _check_ghost(
+    program: Program, g: GhostAssert, frame: Frame, interp: Interp
+) -> None:
+    """Evaluate a ghost assertion against the concrete frame state."""
+    try:
+        term = parse_pearlite(g.formula)
+    except Exception as e:  # parse errors are an encoding problem
+        raise ReplayUnsupported(f"unparseable ghost formula: {e}") from e
+    env: dict[str, object] = {}
+    for name, ty in frame.body.all_locals():
+        if name in frame.slots:
+            value = interp.heap.read(frame.slots[name])
+        else:
+            value = frame.env.get(name, UNINIT)
+        if value is UNINIT:
+            continue
+        try:
+            if isinstance(ty, RefTy) and ty.mutable:
+                cur = model_of(
+                    program, interp.heap, ty.pointee, interp.heap.read(value)
+                )
+                env[name] = MutB(cur=cur)
+            else:
+                env[name] = Plain(model_of(program, interp.heap, ty, value))
+        except (OwnershipViolation, ConcreteUB):
+            # A local mid-mutation may not satisfy its invariant at the
+            # assert point; only the formula's own variables must bind.
+            continue
+    if not _as_bool(eval_pterm(term, env)):
+        raise ConcreteAssertFailed(g.formula)

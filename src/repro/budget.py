@@ -73,6 +73,32 @@ class BudgetSpec:
             clock=clock,
         )
 
+    def capped(
+        self,
+        deadline: Optional[float] = None,
+        max_solver_queries: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        max_branches: Optional[int] = None,
+    ) -> "BudgetSpec":
+        """A spec no looser than this one: each axis is the tighter of
+        the existing limit and the given cap (``None`` = no new cap).
+        Used by the adversary layer to mint the tight mutant-probe
+        budget from the run's own spec."""
+
+        def tight(cur, cap):
+            if cap is None:
+                return cur
+            if cur is None:
+                return cap
+            return min(cur, cap)
+
+        return BudgetSpec(
+            deadline=tight(self.deadline, deadline),
+            max_solver_queries=tight(self.max_solver_queries, max_solver_queries),
+            max_steps=tight(self.max_steps, max_steps),
+            max_branches=tight(self.max_branches, max_branches),
+        )
+
     @classmethod
     def from_env(cls, environ: Optional[dict] = None) -> "BudgetSpec":
         env = os.environ if environ is None else environ

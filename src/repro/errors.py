@@ -17,8 +17,13 @@ BudgetExhausted           timeout     deadline / step / query budget hit
 WorkerCrashed             crashed     a pool worker died (segfault, kill)
 EncodingError             error       spec → Gilsonite encoding failed
 StoreCorrupted            error       proof-store entry failed validation
+StrategyDivergence        error       race-mode strategies disagreed
 any other Exception       error       unexpected internal failure
 ========================  ==========  =====================================
+
+The adversary layer (:mod:`repro.adversary`) reuses the same model for
+its own per-function statuses: :class:`AdversaryCheckFailed` maps to
+``cross_check_failed`` on the report's adversary section.
 
 The pipeline (:mod:`repro.hybrid.pipeline`) catches at the per-function
 boundary and converts to a ✗-with-reason entry, so one pathological
@@ -124,6 +129,17 @@ class InjectedFault(VerificationError):
     harness's ``raise`` action when no explicit exception is named."""
 
     status = "error"
+
+
+class AdversaryCheckFailed(VerificationError):
+    """An adversary cross-check pass (:mod:`repro.adversary`) failed
+    hard — internal error or injected fault while replaying, mutating
+    or differentially re-verifying a function. The affected function's
+    adversary entry degrades to ``cross_check_failed``; the run itself
+    never crashes (same fault-boundary model as the per-function
+    verification path)."""
+
+    status = "cross_check_failed"
 
 
 def status_of(exc: BaseException) -> str:

@@ -49,7 +49,15 @@ Instrumented sites:
 ``solver.check_sat``    each solver query (cache hit or miss)
 ``store.write``         proof-store entry publish, context = fn name
 ``store.read``          proof-store entry lookup, context = fn name
+``adversary.replay``    concrete-replay cross-check, context = fn name
+``adversary.mutate``    mutation-probe cross-check, context = fn name
+``adversary.diff``      differential re-verification, context = fn name
 ======================  =================================================
+
+The three ``adversary.*`` sites sit inside the adversary layer's own
+fault boundary: an injected ``raise`` degrades the function's
+cross-check entry to ``cross_check_failed`` instead of crashing the
+run (see :mod:`repro.adversary`).
 
 The control-flow actions (``crash``/``raise``/``delay``/``ioerror``)
 fire through :func:`fire`; the data actions (``torn``/``bitflip``)

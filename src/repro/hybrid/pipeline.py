@@ -148,10 +148,17 @@ class HybridReport:
     #: plus a ``"selector"`` entry with the portfolio selector's
     #: summary when auto mode made decisions.
     strategy_stats: dict = field(default_factory=dict)
+    #: Adversarial cross-check results (``--verify-verdicts`` /
+    #: ``REPRO_ADVERSARY=1``): an
+    #: :class:`repro.adversary.report.AdversaryReport`, or ``None``
+    #: when the adversary layer did not run.
+    adversary: Optional[object] = None
 
     @property
     def ok(self) -> bool:
-        return all(e.ok for e in self.entries)
+        if not all(e.ok for e in self.entries):
+            return False
+        return self.adversary is None or self.adversary.ok
 
     @property
     def counters(self) -> dict[str, int]:
@@ -163,11 +170,18 @@ class HybridReport:
     @property
     def status(self) -> str:
         """Aggregate verdict: ``verified`` iff every entry verified,
-        else the most severe per-entry status present."""
+        else the most severe per-entry status present. A clean entry
+        set can still be demoted by the adversary layer: a
+        ``cross_check_failed`` or ``suspect`` cross-check outranks
+        ``verified`` (but never an entry-level failure)."""
         c = self.counters
         for s in _SEVERITY:
             if c.get(s):
                 return s
+        if self.adversary is not None:
+            adv = self.adversary.status
+            if adv in ("cross_check_failed", "suspect"):
+                return adv
         return "verified"
 
     def render(self, verbose: bool = False) -> str:
@@ -218,6 +232,9 @@ class HybridReport:
             if self.strategy_stats:
                 lines.append("")
                 lines.append(obs_report.render_strategies(self.strategy_stats))
+        if self.adversary is not None:
+            lines.append("")
+            lines.append(self.adversary.render())
         return "\n".join(lines)
 
 
@@ -361,6 +378,7 @@ class HybridVerifier:
         self,
         functions: Optional[list[str]] = None,
         jobs: Optional[int] = 1,
+        verify_verdicts: Optional[bool] = None,
     ) -> HybridReport:
         """Verify ``functions`` (default: every body in the program).
 
@@ -377,6 +395,13 @@ class HybridVerifier:
         With a store attached, cached functions are answered from disk
         and only the misses are verified (and published as they
         complete — checkpointing: a killed run resumes from here).
+
+        ``verify_verdicts=True`` (or ``REPRO_ADVERSARY=1`` when the
+        argument is left ``None``) runs the adversarial cross-check
+        (:mod:`repro.adversary`) over the finished verdicts and
+        attaches its report as ``report.adversary``; the adversary
+        layer sits behind its own fault boundary, so even a crashing
+        cross-check yields a report, never an exception.
         """
         started = clock.monotonic()
         report = HybridReport()
@@ -439,6 +464,10 @@ class HybridVerifier:
                 report.entries.extend(entries)
         if self.store is not None:
             self.store.end_run()
+        if verify_verdicts or (
+            verify_verdicts is None and _adversary_enabled()
+        ):
+            report.adversary = self._cross_check(report)
         report.elapsed = clock.monotonic() - started
         # The solver delta is over GLOBAL_STATS, not the driving
         # instance's stats: forked workers' ticks arrive through the
@@ -466,6 +495,22 @@ class HybridVerifier:
             self.solver.selector.save(selector_path(self.store.root))
         obs_trace.flush()
         return report
+
+    def _cross_check(self, report: HybridReport):
+        """Run the adversary layer over a finished report. Outermost
+        fault boundary for the whole layer: whatever goes wrong inside
+        (including the orchestrator itself) degrades to an
+        ``AdversaryReport`` carrying ``internal_error``."""
+        from repro.adversary import AdversaryReport, cross_check
+
+        try:
+            with span("adversary"):
+                return cross_check(self, report)
+        except Exception as e:
+            metrics.inc("adversary.internal_errors")
+            return AdversaryReport(
+                internal_error=f"{type(e).__name__}: {e}"
+            )
 
     # -- store plumbing ------------------------------------------------------
 
@@ -510,6 +555,14 @@ class HybridVerifier:
         fp = self._run_fps.get(name)
         if fp:
             self.store.put(fp, name, entries)
+
+
+def _adversary_enabled() -> bool:
+    """The env knob, checked without importing the adversary package —
+    the default path must not pay for the opt-in feature."""
+    import os
+
+    return os.environ.get("REPRO_ADVERSARY", "").lower() in ("1", "true", "on")
 
 
 def _verify_one_worker(verifier: "HybridVerifier", name: str) -> list[HybridEntry]:

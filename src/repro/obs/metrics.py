@@ -12,7 +12,9 @@ reset convention. The registry absorbs them:
   ``metrics.reset(group)``;
 * new first-class counters / gauges / histograms live directly in the
   registry under dotted names (``tactic.unfolds``,
-  ``gillian.consumes``, ``solver.query_seconds``…);
+  ``gillian.consumes``, ``solver.query_seconds``, and the adversary
+  layer's ``adversary.*`` family — per-status counts, replay/mutant/
+  diff work counters, ``adversary.pass_failures``…);
 * :meth:`Metrics.snapshot` renders everything as one plain-data dict
   for the bench JSON and ``REPRO_METRICS`` dumps;
 * :meth:`Metrics.delta_snapshot` / :meth:`Metrics.merge_delta` are the

@@ -161,6 +161,23 @@ def render_profile(
     )
 
 
+def render_adversary(report) -> str:
+    """``report``: an :class:`repro.adversary.report.AdversaryReport`.
+    Renders the cross-check section appended to the run report when
+    ``--verify-verdicts`` is on."""
+    lines = ["== adversary cross-check =="]
+    if report.internal_error:
+        lines.append(f"  ✗ adversary layer failed: {report.internal_error}")
+    lines += [f"  {e}" for e in report.entries]
+    c = report.counters
+    summary = ", ".join(f"{n} {s}" for s, n in c.items() if n) or "0 functions"
+    mark = "OK" if report.ok else "NOT OK"
+    lines.append(
+        f"  -- adversary {mark}: {summary} in {report.elapsed:.2f}s --"
+    )
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # Offline reconstruction from a Chrome trace file
 # ---------------------------------------------------------------------------

@@ -5,7 +5,9 @@ Two granularities, chosen for a strict overhead budget (tracing
 disabled must cost ≤2% on the tier-1 suite):
 
 * :func:`span` — *coarse* spans (one per pipeline phase per function:
-  encode, vcgen, symex, solve, store…). These always aggregate into
+  encode, vcgen, symex, solve, store…; the opt-in adversary layer adds
+  ``adversary`` plus per-pass ``adversary.replay`` /
+  ``adversary.mutate`` / ``adversary.diff``). These always aggregate into
   the in-process phase table (two clock reads and a dict update each),
   so ``HybridReport.render(verbose=True)`` can print a per-function
   phase breakdown on any run, no env vars required. When event

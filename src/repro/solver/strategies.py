@@ -48,6 +48,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+from repro.errors import VerificationError
 from repro.solver.sorts import BOOL
 from repro.solver.terms import (
     FALSE,
@@ -65,10 +66,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.solver.core import Solver, Status, TheoryBranch
 
 
-class StrategyDivergence(AssertionError):
+class StrategyDivergence(VerificationError, AssertionError):
     """Two strategies returned different verdicts for one query —
     a soundness bug in a strategy, never a user error. Raised by the
-    ``race`` execution mode and the differential test suite."""
+    ``race`` execution mode and the differential test suite.
+
+    Part of the :mod:`repro.errors` taxonomy (``status = "error"``):
+    when a race-mode run hits a divergence mid-verification, the
+    pipeline's per-function fault boundary degrades the function to a
+    ✗ ``error`` entry instead of letting a bare ``AssertionError``
+    crash the whole report.  Still an ``AssertionError`` for the
+    differential suite's historical ``pytest.raises`` contract."""
 
 
 def _find_bool_ite(t: Term) -> Optional[App]:

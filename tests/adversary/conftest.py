@@ -1,0 +1,25 @@
+"""Shared fixtures for the adversary suite."""
+
+import pytest
+
+from repro import faultinject
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    """Every test starts and ends with a clean fault table."""
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+@pytest.fixture(scope="module")
+def ll_env():
+    """The real LinkedList corpus (module-scoped: building the program
+    is cheap, but sharing it keeps the suite tidy)."""
+    from repro.rustlib.linked_list import build_program
+    from repro.rustlib.specs import install_callee_specs
+
+    program, ownables = build_program()
+    install_callee_specs(program, ownables)
+    return program, ownables

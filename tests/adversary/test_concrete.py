@@ -1,0 +1,184 @@
+"""The concrete MIR interpreter: Rust arithmetic semantics, heap
+discipline (UAF/double-free/uninit detection), control flow, fuel."""
+
+import pytest
+
+from repro.adversary.concrete import (
+    CHeap,
+    ConcretePanic,
+    ConcreteUB,
+    EnumVal,
+    Interp,
+    ReplayLimit,
+)
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import BOOL, U8, U64, box_ty, option_ty
+
+
+def _run(body, args, program=None, fuel=20_000):
+    prog = program or Program()
+    if body.name not in prog.bodies:
+        prog.add_body(body)
+    return Interp(prog, CHeap(), fuel=fuel).call(body.name, args)
+
+
+def _inc_u8():
+    fn = BodyBuilder("inc", params=[("x", U8)], ret=U8)
+    bb = fn.block()
+    bb.assign(fn.ret_place, fn.binop("add", fn.copy("x"), fn.const_int(1, U8)))
+    bb.ret()
+    return fn.finish()
+
+
+class TestArithmetic:
+    def test_checked_add(self):
+        assert _run(_inc_u8(), [41]) == 42
+
+    def test_checked_add_overflow_panics(self):
+        with pytest.raises(ConcretePanic):
+            _run(_inc_u8(), [255])
+
+    def test_unchecked_add_wraps(self):
+        fn = BodyBuilder("incw", params=[("x", U8)], ret=U8)
+        bb = fn.block()
+        bb.assign(
+            fn.ret_place,
+            fn.binop("add_unchecked", fn.copy("x"), fn.const_int(1, U8)),
+        )
+        bb.ret()
+        assert _run(fn.finish(), [255]) == 0
+
+    def test_div_by_zero_panics(self):
+        fn = BodyBuilder("div", params=[("x", U64), ("y", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.binop("div", fn.copy("x"), fn.copy("y")))
+        bb.ret()
+        assert _run(fn.finish(), [7, 2]) == 3
+        with pytest.raises(ConcretePanic):
+            _run(fn.finish(), [7, 0])
+
+    def test_comparison(self):
+        fn = BodyBuilder("lt", params=[("x", U64), ("y", U64)], ret=BOOL)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.binop("lt", fn.copy("x"), fn.copy("y")))
+        bb.ret()
+        assert _run(fn.finish(), [1, 2]) is True
+        assert _run(fn.finish(), [2, 1]) is False
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        fn = BodyBuilder("pick", params=[("c", BOOL)], ret=U64)
+        bb0 = fn.block()
+        bt = fn.block("bt")
+        bf = fn.block("bf")
+        bb0.if_else(fn.copy("c"), bt, bf)
+        bt.assign(fn.ret_place, fn.const_int(1, U64))
+        bt.ret()
+        bf.assign(fn.ret_place, fn.const_int(0, U64))
+        bf.ret()
+        assert _run(fn.finish(), [True]) == 1
+        assert _run(fn.finish(), [False]) == 0
+
+    def test_fuel_stops_infinite_loop(self):
+        fn = BodyBuilder("spin", params=[("x", U64)], ret=U64)
+        bb0 = fn.block()
+        bb1 = fn.block("bb1")
+        bb0.goto(bb1)
+        bb1.goto(bb1)
+        with pytest.raises(ReplayLimit):
+            _run(fn.finish(), [0], fuel=100)
+
+    def test_call_chain(self):
+        prog = Program()
+        callee = BodyBuilder("callee", params=[("x", U64)], ret=U64)
+        bb = callee.block()
+        bb.assign(
+            callee.ret_place,
+            callee.binop("add", callee.copy("x"), callee.const_int(1, U64)),
+        )
+        bb.ret()
+        prog.add_body(callee.finish())
+        fn = BodyBuilder("caller", params=[("x", U64)], ret=U64)
+        b0 = fn.block()
+        b1 = fn.block("bb1")
+        fn.local("t", U64)
+        b0.call("t", "callee", [fn.copy("x")], b1)
+        b1.assign(fn.ret_place, fn.copy("t"))
+        b1.ret()
+        assert _run(fn.finish(), [4], program=prog) == 5
+
+
+class TestHeap:
+    def test_box_new_deref_free(self):
+        fn = BodyBuilder("boxed", params=[("x", U64)], ret=U64)
+        b = fn.local("b", box_ty(U64))
+        b0 = fn.block()
+        b1 = fn.block("bb1")
+        b0.call(b, "Box::new", [fn.copy("x")], b1, ty_args=(U64,))
+        from repro.lang.mir import DerefProj, Place
+
+        b1.assign(fn.ret_place, fn.copy(Place("b", (DerefProj(),))))
+        b1.ret()
+        assert _run(fn.finish(), [9]) == 9
+
+    def test_double_free_is_ub(self):
+        from repro.lang.mir import DerefProj, Place
+
+        fn = BodyBuilder("dfree", params=[("x", U64)], ret=U64)
+        b = fn.local("b", box_ty(U64))
+        u = fn.local("u", U64)
+        blocks = [fn.block() if i == 0 else fn.block(f"bb{i}") for i in range(4)]
+        blocks[0].call(b, "Box::new", [fn.copy("x")], blocks[1], ty_args=(U64,))
+        blocks[1].call(u, "intrinsic::box_free", [fn.copy("b")], blocks[2])
+        blocks[2].call(u, "intrinsic::box_free", [fn.copy("b")], blocks[3])
+        blocks[3].assign(fn.ret_place, fn.copy("x"))
+        blocks[3].ret()
+        with pytest.raises(ConcreteUB):
+            _run(fn.finish(), [1])
+
+    def test_use_after_free_is_ub(self):
+        from repro.lang.mir import DerefProj, Place
+
+        fn = BodyBuilder("uaf", params=[("x", U64)], ret=U64)
+        b = fn.local("b", box_ty(U64))
+        u = fn.local("u", U64)
+        blocks = [fn.block() if i == 0 else fn.block(f"bb{i}") for i in range(3)]
+        blocks[0].call(b, "Box::new", [fn.copy("x")], blocks[1], ty_args=(U64,))
+        blocks[1].call(u, "intrinsic::box_free", [fn.copy("b")], blocks[2])
+        blocks[2].assign(fn.ret_place, fn.copy(Place("b", (DerefProj(),))))
+        blocks[2].ret()
+        with pytest.raises(ConcreteUB):
+            _run(fn.finish(), [1])
+
+    def test_read_uninit_local_is_ub(self):
+        fn = BodyBuilder("uninit", params=[("x", U64)], ret=U64)
+        fn.local("y", U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.copy("y"))
+        bb.ret()
+        with pytest.raises(ConcreteUB):
+            _run(fn.finish(), [1])
+
+
+class TestAggregates:
+    def test_option_roundtrip(self):
+        fn = BodyBuilder("some", params=[("x", U64)], ret=option_ty(U64))
+        bb = fn.block()
+        bb.assign(
+            fn.ret_place,
+            fn.aggregate(option_ty(U64), [fn.copy("x")], variant=1),
+        )
+        bb.ret()
+        out = _run(fn.finish(), [3])
+        assert out == EnumVal(1, (3,))
+
+    def test_discriminant(self):
+        fn = BodyBuilder("disc", params=[("x", U64)], ret=U64)
+        o = fn.local("o", option_ty(U64))
+        bb = fn.block()
+        bb.assign(o, fn.aggregate(option_ty(U64), [fn.copy("x")], variant=1))
+        bb.assign(fn.ret_place, fn.discriminant(o))
+        bb.ret()
+        assert _run(fn.finish(), [3]) == 1

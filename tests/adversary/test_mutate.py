@@ -1,0 +1,133 @@
+"""Mutation probes: deterministic mutant generation, the shared-state
+safety of mutant programs, and kill detection via re-verification."""
+
+import pytest
+
+from repro.adversary.mutate import (
+    Mutant,
+    mutant_program,
+    mutants_of,
+    probe_function,
+)
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import BOOL, U64, option_ty
+
+
+def _simple_body():
+    fn = BodyBuilder("f", params=[("x", U64)], ret=U64)
+    bb = fn.block()
+    t = fn.local("t", U64)
+    bb.assign(t, fn.binop("add", fn.copy("x"), fn.const_int(1, U64)))
+    bb.assign(fn.ret_place, fn.copy(t))
+    bb.ret()
+    return fn.finish()
+
+
+class TestMutantGeneration:
+    def test_deterministic(self, ll_env):
+        program, _ = ll_env
+        body = program.bodies["LinkedList::push_front_node"]
+        a = [m.desc for m in mutants_of(body, program.registry)]
+        b = [m.desc for m in mutants_of(body, program.registry)]
+        assert a == b
+        assert len(a) > 3
+
+    def test_priority_order(self):
+        """Binop flips come before dropped statements."""
+        prog = Program()
+        body = _simple_body()
+        descs = [m.desc for m in mutants_of(body, prog.registry)]
+        flip = next(i for i, d in enumerate(descs) if "add -> sub" in d)
+        drop = next(i for i, d in enumerate(descs) if "dropped" in d)
+        assert flip < drop
+
+    def test_original_body_untouched(self):
+        prog = Program()
+        body = _simple_body()
+        prog.add_body(body)
+        for m in mutants_of(body, prog.registry):
+            prog2 = mutant_program(prog, "f", m.body)
+            assert prog2.bodies["f"] is m.body
+            assert prog.bodies["f"] is body  # never mutated in place
+        # Shared registries, fresh bodies dict.
+        prog2 = mutant_program(prog, "f", body)
+        assert prog2.registry is prog.registry
+        assert prog2.bodies is not prog.bodies
+
+    def test_return_tweaks_by_type(self):
+        for ret, marker in (
+            (U64, "result + 1"),
+            (BOOL, "!result"),
+            (option_ty(U64), "result = None"),
+        ):
+            fn = BodyBuilder("g", params=[("x", U64)], ret=ret)
+            bb = fn.block()
+            if ret is U64:
+                bb.assign(fn.ret_place, fn.copy("x"))
+            elif ret is BOOL:
+                bb.assign(fn.ret_place, fn.const_bool(True))
+            else:
+                bb.assign(fn.ret_place, fn.aggregate(ret, [fn.copy("x")], variant=1))
+            bb.ret()
+            descs = [m.desc for m in mutants_of(fn.finish(), Program().registry)]
+            assert any(marker in d for d in descs), (marker, descs)
+
+
+class TestProbe:
+    @pytest.fixture(scope="class")
+    def ll_verifier(self, ll_env):
+        from repro.hybrid.pipeline import HybridVerifier
+        from repro.rustlib.contracts import (
+            LINKED_LIST_CONTRACTS,
+            MANUAL_PURE_PRECONDITIONS,
+        )
+
+        program, ownables = ll_env
+        hv = HybridVerifier(
+            program,
+            ownables,
+            LINKED_LIST_CONTRACTS,
+            manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
+        )
+        hv.store = None
+        return hv
+
+    def test_kills_on_real_spec(self, ll_verifier):
+        budget = ll_verifier.budget.capped(
+            deadline=5.0, max_solver_queries=4000
+        )
+        pr = probe_function(
+            ll_verifier, "LinkedList::new", max_mutants=8, budget=budget
+        )
+        assert pr.killed
+        assert pr.tried >= 1
+
+    def test_vacuous_spec_not_killed(self, ll_env):
+        """A function with no contract and a trivially-safe body: no
+        mutant can be refuted — the 'suspect' raw material."""
+        from repro.hybrid.pipeline import HybridVerifier
+
+        program, ownables = ll_env
+        fn = BodyBuilder("trivial", params=[("x", U64)], ret=U64, is_safe=True)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.copy("x"))
+        bb.ret()
+        program2 = Program(registry=program.registry)
+        program2.add_body(fn.finish())
+        hv = HybridVerifier(program2, ownables, {})
+        hv.store = None
+        budget = hv.budget.capped(deadline=5.0, max_solver_queries=4000)
+        pr = probe_function(hv, "trivial", max_mutants=4, budget=budget)
+        assert pr.tried >= 1
+        assert not pr.killed
+
+    def test_mutant_cap_respected(self, ll_verifier):
+        pr = probe_function(
+            ll_verifier,
+            "LinkedList::pop_front_node",
+            max_mutants=0,
+            budget=ll_verifier.budget.capped(deadline=1.0),
+        )
+        assert pr.tried == 0
+        assert not pr.killed

@@ -1,0 +1,167 @@
+"""Concrete replay: clean functions replay clean, planted bugs are
+observed, refutations get concrete witnesses, and the independent
+Pearlite evaluator handles the contract fragment."""
+
+import pytest
+
+from repro.adversary.mutate import mutant_program, mutants_of
+from repro.adversary.replay import (
+    MutB,
+    Plain,
+    eval_pterm,
+    replay_function,
+)
+from repro.lang.builder import BodyBuilder
+from repro.lang.mir import Program
+from repro.lang.types import U8, U64
+from repro.pearlite.parser import parse_pearlite
+from repro.rustlib.contracts import LINKED_LIST_CONTRACTS
+
+
+class TestPearliteEval:
+    def _ev(self, src, env):
+        return eval_pterm(parse_pearlite(src), env)
+
+    def test_arith_and_logic(self):
+        env = {"x": Plain(3), "y": Plain(4)}
+        assert self._ev("x@ + y@ == 7", env) is True
+        assert self._ev("x@ < y@ && y@ <= 4", env) is True
+        assert self._ev("x@ == 0 ==> y@ == 99", env) is True
+
+    def test_sequences(self):
+        env = {"s": Plain((1, 2, 3))}
+        assert self._ev("s@.len() == 3", env) is True
+        assert self._ev("s@.get(0) == 1", env) is True
+        assert self._ev("s@ == Seq::cons(1, Seq::cons(2, Seq::cons(3, Seq::EMPTY)))", env) is True
+
+    def test_mutable_borrow_final(self):
+        env = {"v": MutB(cur=(1,), fin=(2, 1))}
+        assert self._ev("(^v)@.len() == v@.len() + 1", env) is True
+
+    def test_option_match(self):
+        env = {"r": Plain(("Some", 5))}
+        assert self._ev("match r { None => false, Some(v) => v == 5 }", env) is True
+        env = {"r": Plain(("None",))}
+        assert self._ev("match r { None => true, Some(v) => false }", env) is True
+
+
+class TestReplayCorpus:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "LinkedList::new",
+            "LinkedList::push_front_node",
+            "LinkedList::pop_front_node",
+            "LinkedList::push_front",
+            "LinkedList::pop_front",
+            "LinkedList::len",
+            "LinkedList::is_empty",
+            "LinkedList::front_mut",
+        ],
+    )
+    def test_verified_functions_replay_clean(self, ll_env, name):
+        program, _ = ll_env
+        body = program.bodies[name]
+        r = replay_function(
+            program, body, LINKED_LIST_CONTRACTS.get(name), attempts=5, seed=0
+        )
+        assert not r.violated, r.violations
+        assert r.checked > 0, "replay must actually execute something"
+
+    def test_replay_observes_planted_bugs(self, ll_env):
+        """Most deterministic mutants of a list operation must be
+        caught by replay — otherwise the pass has no teeth."""
+        program, _ = ll_env
+        name = "LinkedList::push_front_node"
+        body = program.bodies[name]
+        caught = 0
+        tried = 0
+        for m in list(mutants_of(body, program.registry))[:8]:
+            prog2 = mutant_program(program, name, m.body)
+            r = replay_function(
+                prog2, m.body, LINKED_LIST_CONTRACTS.get(name),
+                attempts=5, seed=0,
+            )
+            tried += 1
+            caught += bool(r.violated)
+        assert caught >= tried // 2, f"only {caught}/{tried} mutants observed"
+
+
+class TestReplayVerdicts:
+    def test_postcondition_violation_is_reported(self):
+        """A body that breaks its own contract: replay must say so."""
+        fn = BodyBuilder("bad_inc", params=[("x", U8)], ret=U8)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.copy("x"))  # claims x+1, returns x
+        bb.ret()
+        prog = Program()
+        prog.add_body(fn.finish())
+        contract = {
+            "requires": ["x@ < 255"],
+            "ensures": ["result@ == x@ + 1"],
+        }
+        r = replay_function(prog, prog.bodies["bad_inc"], contract, attempts=4)
+        assert r.violated
+        assert "postcondition" in r.violations[0]
+
+    def test_expected_violation_confirms_refutation(self):
+        """With ``expect_violation=True`` (a refuted entry), finding a
+        witness is the *good* outcome and replay keeps attempting."""
+        fn = BodyBuilder("bad_zero", params=[("x", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.const_int(0, U64))
+        bb.ret()
+        prog = Program()
+        prog.add_body(fn.finish())
+        contract = {"requires": [], "ensures": ["result@ == x@"]}
+        r = replay_function(
+            prog, prog.bodies["bad_zero"], contract, attempts=4,
+            expect_violation=True,
+        )
+        assert r.violated
+        assert len(r.violations) >= 1
+
+    def test_precondition_filters(self):
+        fn = BodyBuilder("guarded", params=[("x", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.copy("x"))
+        bb.ret()
+        prog = Program()
+        prog.add_body(fn.finish())
+        contract = {"requires": ["x@ > u64::MAX"], "ensures": []}  # unsat
+        r = replay_function(prog, prog.bodies["guarded"], contract, attempts=4)
+        assert r.filtered == 4
+        assert r.checked == 0
+
+    def test_panic_only_flags_functional_verdicts(self):
+        fn = BodyBuilder("inv", params=[("x", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(
+            fn.ret_place, fn.binop("div", fn.const_int(1, U64), fn.copy("x"))
+        )
+        bb.ret()
+        prog = Program()
+        prog.add_body(fn.finish())
+        contract = {"requires": [], "ensures": []}
+        body = prog.bodies["inv"]
+        # Some attempt draws x=0 and panics (division by zero).
+        # Type-safety-only verdict: the panic is not a contradiction.
+        r = replay_function(prog, body, contract, attempts=8, seed=0)
+        assert not r.violated
+        # Functional verdict: the same panic contradicts it.
+        r = replay_function(
+            prog, body, contract, attempts=8, seed=0, panic_is_violation=True
+        )
+        assert r.violated
+        assert "panicked" in r.violations[0]
+
+    def test_ghost_assert_checked(self):
+        fn = BodyBuilder("ghosty", params=[("x", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(fn.ret_place, fn.copy("x"))
+        bb.ghost_assert("x@ == 12345")  # false for generated inputs
+        bb.ret()
+        prog = Program()
+        prog.add_body(fn.finish())
+        r = replay_function(prog, prog.bodies["ghosty"], None, attempts=4)
+        assert r.violated

@@ -138,6 +138,50 @@ class TestRace:
         finally:
             del STRATEGIES["_lying"]
 
+    def test_divergence_is_in_the_error_taxonomy(self):
+        """StrategyDivergence must map to an ``error`` status (and stay
+        an AssertionError for the differential suite's contract)."""
+        from repro.errors import VerificationError, status_of
+
+        e = StrategyDivergence("boom")
+        assert isinstance(e, VerificationError)
+        assert isinstance(e, AssertionError)
+        assert status_of(e) == "error"
+
+    def test_divergence_degrades_to_error_entry(self):
+        """A race-mode divergence mid-verification must become a
+        ✗ ``error`` entry, not crash the run."""
+        from repro.gilsonite.ownable import OwnableRegistry
+        from repro.hybrid.pipeline import HybridVerifier
+        from repro.lang.builder import BodyBuilder
+        from repro.lang.mir import Program
+        from repro.lang.types import U64
+
+        fn = BodyBuilder("f", params=[("x", U64)], ret=U64)
+        bb = fn.block()
+        bb.assign(
+            fn.ret_place, fn.binop("add", fn.copy("x"), fn.const_int(1, U64))
+        )
+        bb.ret()
+        program = Program()
+        program.add_body(fn.finish())
+        hv = HybridVerifier(
+            program,
+            OwnableRegistry(program),
+            {},
+            solver=Solver(strategy="race"),
+        )
+        hv.store = None
+        STRATEGIES["_lying"] = _Lying()
+        try:
+            report = hv.run(["f"])
+        finally:
+            del STRATEGIES["_lying"]
+        [entry] = report.entries
+        assert entry.status == "error"
+        assert not report.ok
+        assert "disagree" in entry.note
+
 
 class TestStrategyKnob:
     def test_unknown_name_raises_eagerly(self):
