@@ -16,6 +16,8 @@ Run with ``python examples/hybrid_client.py``. Flags / knobs:
 * ``--verify-verdicts`` — adversarially cross-check the verdicts
   (concrete replay, mutation probes, differential re-verification;
   also via ``REPRO_ADVERSARY=1``);
+* ``--list-sites`` — print every registered fault-injection site
+  (valid first components of a ``REPRO_FAULT`` rule) and exit;
 * ``REPRO_TRACE=out.json`` — export the run as a Chrome trace
   (Perfetto-loadable); ``REPRO_CACHE=1`` attaches the proof store.
 """
@@ -69,6 +71,12 @@ def build_stack_client():
 
 def main() -> int:
     argv = sys.argv[1:]
+    if "--list-sites" in argv:
+        from repro import faultinject
+
+        for site, doc in sorted(faultinject.registered_sites().items()):
+            print(f"{site:24s} {doc}")
+        return 0
     verbose = "--verbose" in argv
     verify_verdicts = True if "--verify-verdicts" in argv else None
     jobs = 1

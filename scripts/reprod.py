@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""``reprod`` — the long-lived verification daemon.
+
+Usage::
+
+    PYTHONPATH=src python scripts/reprod.py --socket /tmp/reprod.sock \
+        --jobs 2 --queue-bound 8 --deadline 30 --cache-dir .repro-cache
+
+Starts the daemon, prints one readiness line (``reprod listening on
+<socket> pid <pid>``) and serves until a ``drain``/``shutdown``
+request or SIGTERM/SIGINT, both of which drain gracefully: the
+in-flight request finishes its current chunk, everything never
+dispatched is journaled as the resume set, the journal is compacted,
+and the process exits 0. See ``src/repro/service/``.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.service.config import ServiceConfig  # noqa: E402
+from repro.service.daemon import VerifierDaemon  # noqa: E402
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--socket", default=None, help="Unix socket path")
+    ap.add_argument("--jobs", type=int, default=None, help="default pool width")
+    ap.add_argument("--queue-bound", type=int, default=None,
+                    help="admission queue bound (shed beyond it)")
+    ap.add_argument("--deadline", type=float, default=None,
+                    help="default per-request deadline in seconds")
+    ap.add_argument("--drain-timeout", type=float, default=None,
+                    help="graceful-drain wait in seconds")
+    ap.add_argument("--watchdog", type=float, default=None,
+                    help="absolute per-request cap; kills wedged pool workers")
+    ap.add_argument("--cache-dir", default=None, help="proof-store root")
+    args = ap.parse_args()
+
+    overrides = {}
+    if args.socket is not None:
+        overrides["socket"] = args.socket
+    if args.jobs is not None:
+        overrides["jobs"] = max(1, args.jobs)
+    if args.queue_bound is not None:
+        overrides["queue_bound"] = args.queue_bound
+    if args.deadline is not None:
+        overrides["deadline"] = args.deadline
+    if args.drain_timeout is not None:
+        overrides["drain_timeout"] = args.drain_timeout
+    if args.watchdog is not None:
+        overrides["watchdog"] = args.watchdog
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    config = ServiceConfig.from_env(**overrides)
+
+    daemon = VerifierDaemon(config)
+    daemon.start()
+    print(f"reprod listening on {config.socket} pid {os.getpid()}", flush=True)
+    # start() already ran; serve_forever() is idempotent about that —
+    # install the signal handlers and block until the drain completes.
+    import signal
+    import threading
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: daemon.begin_drain("sigterm"))
+        signal.signal(signal.SIGINT, lambda *_: daemon.begin_drain("sigint"))
+    daemon.stopped.wait()
+    daemon._teardown()
+    print(f"reprod drained ({daemon.drain_reason or 'stop'})", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Verification-service acceptance gate.
+
+Exercises a real ``scripts/reprod.py`` daemon end-to-end over its Unix
+socket and asserts the service's acceptance criteria:
+
+1. **warm resubmission is free** — the second submit of an unchanged
+   corpus re-verifies zero functions and skips program setup entirely
+   (no ``service.parse`` / ``service.logic`` phase spans);
+2. **contract edits re-verify exactly the transitive cone** — editing
+   ``demo::leaf``'s contract re-verifies ``leaf``, its direct caller
+   ``mid`` and its transitive caller ``top`` (forced past the store),
+   while the unrelated ``side`` is reused;
+3. **worker crashes degrade, never kill the daemon** — with
+   ``parallel.worker@leaf:crash`` injected at ``jobs=2``, the request
+   completes (parent-side serial retry) and ``health`` still answers;
+4. **SIGTERM drains and a restart resumes** — the daemon exits 0,
+   journals what it never got to, and a restarted daemon over the same
+   store re-verifies exactly the drained remainder.
+
+Run with ``python scripts/service_check.py``.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.store import ProofStore  # noqa: E402
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Daemon:
+    def __init__(self, root: pathlib.Path, tag: str, *, jobs: int = 1,
+                 fault: str = "", watchdog: float = 0.0) -> None:
+        self.socket = str(root / f"reprod-{tag}.sock")
+        self.cache = root / "cache"
+        cmd = [
+            sys.executable, str(REPO / "scripts" / "reprod.py"),
+            "--socket", self.socket,
+            "--cache-dir", str(self.cache),
+            "--jobs", str(jobs),
+        ]
+        if watchdog:
+            cmd += ["--watchdog", str(watchdog)]
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        env.pop("REPRO_FAULT", None)
+        if fault:
+            env["REPRO_FAULT"] = fault
+        self.proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                                     text=True)
+        line = self.proc.stdout.readline()
+        if "listening" not in line:
+            fail(f"daemon did not start: {line!r}")
+
+    def client(self) -> ServiceClient:
+        return ServiceClient.connect(self.socket, timeout=120.0, wait=5.0)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            with self.client() as c:
+                c.shutdown()
+            self.proc.wait(timeout=30)
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def check_incremental(root: pathlib.Path) -> None:
+    d = Daemon(root, "incr")
+    try:
+        with d.client() as c:
+            cold = c.submit("demo", id="cold")
+            if not cold["ok"] or len(cold["reverified"]) != 4:
+                fail(f"cold submit did not verify the corpus: {cold}")
+
+            warm = c.submit("demo", id="warm")
+            if warm["reverified"] or warm["cached"]:
+                fail(f"warm resubmit re-verified something: {warm}")
+            leaked = [p for p in warm["phases"]
+                      if p in ("service.parse", "service.logic")]
+            if leaked:
+                fail(f"warm resubmit paid program setup: {leaked}")
+            print(f"  warm resubmit: 0 re-verified, phases={sorted(warm['phases'])}")
+
+            edit = c.submit("demo", id="edit", contracts={
+                "demo::leaf": {"ensures": ["result == x", "x == x"]},
+            })
+            cone = ["demo::leaf", "demo::mid", "demo::top"]
+            if edit["reverified"] != cone:
+                fail(f"contract edit re-verified {edit['reverified']}, "
+                     f"wanted exactly {cone}")
+            if "demo::side" not in edit["reused"]:
+                fail(f"unrelated demo::side was not reused: {edit}")
+            if edit["reasons"]["demo::top"] != "invalidated:demo::leaf":
+                fail(f"demo::top not force-invalidated: {edit['reasons']}")
+            print(f"  contract edit: cone={cone}, side reused, "
+                  f"top={edit['reasons']['demo::top']}")
+    finally:
+        d.stop()
+        d.kill()
+
+
+def check_crash_degrades(root: pathlib.Path) -> None:
+    d = Daemon(root / "crash", "crash", jobs=2,
+               fault="parallel.worker@leaf:crash")
+    try:
+        with d.client() as c:
+            r = c.submit("demo", jobs=2)
+            bad = {n: s for n, s in r["functions"].items() if s != "verified"}
+            if not r["ok"] or bad:
+                fail(f"worker crash did not degrade cleanly: {bad or r}")
+            if not c.health()["ok"]:
+                fail("daemon unhealthy after worker crash")
+            print("  worker crash at jobs=2: all verified via retry, daemon healthy")
+    finally:
+        d.stop()
+        d.kill()
+
+
+def check_sigterm_resume(root: pathlib.Path) -> None:
+    base = root / "sigterm"
+    d = Daemon(base, "a", fault="pipeline.verify_one@mid:delay:1.5")
+    out = {}
+
+    def bg_submit():
+        with d.client() as c:
+            out["r"] = c.submit("demo")
+
+    t = threading.Thread(target=bg_submit)
+    t.start()
+    entries = base / "cache" / "entries"
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline and not any(entries.rglob("*.json")):
+        time.sleep(0.02)
+    d.proc.send_signal(signal.SIGTERM)
+    code = d.proc.wait(timeout=30)
+    t.join(timeout=30)
+    if code != 0:
+        fail(f"SIGTERM exit code {code}, wanted 0")
+    r = out.get("r", {})
+    drained = sorted(r.get("drained", []))
+    if drained != ["demo::side", "demo::top"]:
+        fail(f"drained set {drained}, wanted side+top")
+    journal = [rec for rec in ProofStore(base / "cache").journal.read()
+               if rec.get("kind") == "drain"]
+    if not journal or sorted(journal[-1]["pending"]) != drained:
+        fail(f"drain not journaled correctly: {journal}")
+    print(f"  SIGTERM: exit 0, drained={drained}, journaled")
+
+    d2 = Daemon(base, "b")
+    try:
+        with d2.client() as c:
+            r2 = c.submit("demo")
+            if sorted(r2["reverified"]) != drained:
+                fail(f"resume re-verified {r2['reverified']}, "
+                     f"wanted exactly {drained}")
+            if sorted(r2["cached"]) != ["demo::leaf", "demo::mid"]:
+                fail(f"resume did not reuse the finished half: {r2}")
+            print(f"  resume: re-verified exactly {drained}, "
+                  "finished half answered from the store")
+    finally:
+        d2.stop()
+        d2.kill()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="service-check-") as tmp:
+        root = pathlib.Path(tmp)
+        print("incremental re-verification:")
+        check_incremental(root)
+        print("worker-crash degradation:")
+        check_crash_degrades(root)
+        print("SIGTERM drain + resume:")
+        check_sigterm_resume(root)
+    print("\nservice check PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

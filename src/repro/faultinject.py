@@ -39,7 +39,10 @@ Rule grammar (comma-separated)::
   (unbounded when omitted). Each forked worker inherits its own copy
   of the counters.
 
-Instrumented sites:
+Instrumented sites (the :data:`SITES` registry — :func:`parse` warns
+on a rule naming a site nobody registered, because such a rule would
+silently never fire; new subsystems add theirs via
+:func:`register_site`):
 
 ======================  =================================================
 ``parallel.worker``     pool worker entry, context = the task item
@@ -49,9 +52,15 @@ Instrumented sites:
 ``solver.check_sat``    each solver query (cache hit or miss)
 ``store.write``         proof-store entry publish, context = fn name
 ``store.read``          proof-store entry lookup, context = fn name
+``store.compact``       journal compaction rewrite, context = journal path
+``journal.append``      journal record append (data actions), context = kind
 ``adversary.replay``    concrete-replay cross-check, context = fn name
 ``adversary.mutate``    mutation-probe cross-check, context = fn name
 ``adversary.diff``      differential re-verification, context = fn name
+``service.accept``      daemon request admission, context = op name
+``service.dispatch``    daemon dispatch of one chunk, context = session key
+``service.invalidate``  call-graph invalidation diff, context = session key
+``service.drain``       daemon drain/shutdown path, context = reason
 ======================  =================================================
 
 The three ``adversary.*`` sites sit inside the adversary layer's own
@@ -79,10 +88,46 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import EncodingError, InjectedFault, StoreCorrupted, WorkerCrashed
+
+#: Registered instrumented sites (name -> one-line description). A
+#: parse of a rule naming an unknown site *warns* instead of silently
+#: never firing; ``examples/hybrid_client.py --list-sites`` dumps this
+#: table.
+SITES: dict[str, str] = {
+    "parallel.worker": "pool worker entry (context: the task item)",
+    "pipeline.verify_one": "hybrid per-function driver (context: fn name)",
+    "verifier.function": "verify_function entry (context: fn name)",
+    "engine.step": "each engine basic-block step (context: fn name)",
+    "solver.check_sat": "each solver query (cache hit or miss)",
+    "store.write": "proof-store entry publish (context: fn name)",
+    "store.read": "proof-store entry lookup (context: fn name)",
+    "store.compact": "journal compaction rewrite (context: journal path)",
+    "journal.append": "journal record append, data actions (context: kind)",
+    "adversary.replay": "concrete-replay cross-check (context: fn name)",
+    "adversary.mutate": "mutation-probe cross-check (context: fn name)",
+    "adversary.diff": "differential re-verification (context: fn name)",
+    "service.accept": "daemon request admission (context: op name)",
+    "service.dispatch": "daemon dispatch of one chunk (context: session key)",
+    "service.invalidate": "call-graph invalidation diff (context: session key)",
+    "service.drain": "daemon drain/shutdown path (context: reason)",
+}
+
+
+def register_site(name: str, description: str = "") -> None:
+    """Register an instrumented site so rules naming it parse cleanly.
+    Idempotent; meant for subsystems (and tests) that add their own
+    :func:`fire`/:func:`corrupt` call sites."""
+    SITES.setdefault(name, description)
+
+
+def registered_sites() -> dict[str, str]:
+    """A copy of the site registry (name -> description)."""
+    return dict(SITES)
 
 _EXCEPTIONS = {
     "InjectedFault": InjectedFault,
@@ -138,6 +183,18 @@ def parse(spec: str) -> list[_Rule]:
         match = ""
         if "@" in site:
             site, match = site.split("@", 1)
+        if site != "*" and site not in SITES:
+            # A typo'd site would otherwise just never fire — the
+            # harness would silently test nothing. Warn, keep the rule
+            # (a dynamically-registered site may still appear later).
+            warnings.warn(
+                f"fault rule {part!r}: site {site!r} is not a registered "
+                f"instrumented site (see faultinject.registered_sites() / "
+                f"examples/hybrid_client.py --list-sites); the rule may "
+                f"never fire",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if action not in _ACTIONS:
             raise ValueError(
                 f"fault rule {part!r}: unknown action {action!r} "

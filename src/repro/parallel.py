@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 import warnings
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
@@ -126,7 +128,7 @@ def fanout(
     result instead of raising, so callers can degrade one entry while
     keeping the rest of the report. Items lost to a broken pool are
     first retried serially in the parent (``crash_retries`` attempts,
-    linear ``backoff``); only a retry-proof failure reaches
+    jittered exponential ``backoff``); only a retry-proof failure reaches
     ``on_error`` (as :class:`WorkerCrashed`).
     """
     global _PAYLOAD, _ACTIVE
@@ -194,24 +196,69 @@ def fanout(
     return out
 
 
+def jitter_seed(key) -> int:
+    """Deterministic per-key jitter seed (CRC over the repr, xor'd with
+    the pid): two workers retrying the *same* item in *different*
+    processes draw different jitter — the de-synchronisation that
+    prevents a thundering herd — while any single (process, item) pair
+    replays the exact same schedule, keeping tests pinnable."""
+    return zlib.crc32(repr(key).encode()) ^ os.getpid()
+
+
+def backoff_schedule(
+    attempts: int,
+    base: float = 0.02,
+    factor: float = 2.0,
+    cap: float = 1.0,
+    jitter: float = 0.5,
+    seed: int = 0,
+) -> list[float]:
+    """The sleep before each retry of a bounded-retry loop.
+
+    Retry ``k`` (1-based) sleeps ``min(cap, base * factor**(k-1))``
+    stretched by a seeded jitter factor in ``[1, 1+jitter)`` — i.e.
+    exponential backoff with deterministic multiplicative jitter.
+    Exponential, so a burst of workers that all lost the same pool
+    spread out instead of re-hitting the store in lockstep; seeded, so
+    a given ``seed`` always yields the same schedule (the unit tests
+    pin the exact values). Returns ``attempts - 1`` sleeps (the first
+    attempt never waits)."""
+    rng = random.Random(seed)
+    out = []
+    for k in range(max(0, attempts - 1)):
+        delay = min(cap, base * factor**k)
+        out.append(delay * (1.0 + jitter * rng.random()))
+    return out
+
+
 def with_retries(
     fn: Callable[[], R],
     attempts: int = 3,
     backoff: float = 0.02,
     exceptions: tuple = (OSError,),
     on_retry: Optional[Callable[[BaseException], None]] = None,
+    seed: Optional[int] = None,
 ) -> R:
-    """Run ``fn()`` with bounded retries and linear backoff.
+    """Run ``fn()`` with bounded retries and exponential backoff plus
+    seeded jitter (:func:`backoff_schedule`; ``backoff`` is the base of
+    the exponential, ``seed=None`` derives one from the pid).
 
     The proof store publishes through this from pool workers and the
     parent alike, so a transient I/O error (EAGAIN, a full fd table, an
-    NFS hiccup) costs a retry, not a lost proof. The final failure
+    NFS hiccup) costs a retry, not a lost proof — and many workers
+    retrying after a shared failure fan out over jittered exponential
+    delays instead of thundering back in lockstep. The final failure
     re-raises — callers decide whether losing the side effect is fatal
     (for cache writes it never is)."""
+    sleeps = backoff_schedule(
+        max(1, attempts),
+        base=backoff,
+        seed=jitter_seed("with_retries") if seed is None else seed,
+    )
     last: Optional[BaseException] = None
     for attempt in range(max(1, attempts)):
         if attempt:
-            time.sleep(backoff * attempt)
+            time.sleep(sleeps[attempt - 1])
         try:
             return fn()
         except exceptions as e:
@@ -232,13 +279,19 @@ def _call_serial(fn, payload, item, on_error):
 
 
 def _retry_serial(fn, payload, item, on_error, retries: int, backoff: float):
-    """Re-run an item lost to a broken pool, in the parent process."""
+    """Re-run an item lost to a broken pool, in the parent process.
+    Sleeps follow the jittered exponential schedule, seeded per item —
+    many parents retrying different items after a shared pool crash
+    don't re-hit the store at the same instants."""
     last: BaseException = WorkerCrashed(
         f"worker processing {item!r} died before returning a result"
     )
+    sleeps = backoff_schedule(
+        max(1, retries), base=backoff, seed=jitter_seed(item)
+    )
     for attempt in range(max(1, retries)):
         if attempt:
-            time.sleep(backoff * attempt)
+            time.sleep(sleeps[attempt - 1])
         PARALLEL_STATS["serial_retries"] += 1
         try:
             return fn(payload, item)

@@ -1,0 +1,86 @@
+"""A small synchronous client for the verification daemon."""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from repro.service import protocol
+
+
+class ServiceClient:
+    """One connection; requests and responses strictly in order.
+
+    Usable as a context manager. :meth:`submit` transparently honours
+    one round of explicit back-pressure: a shed response's
+    ``retry_after`` is slept and the request resent (bounded — the
+    daemon promises progress, not miracles)."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = 60.0) -> None:
+        self.socket_path = socket_path
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(socket_path)
+        self._lines = protocol.read_lines(self.sock)
+
+    @classmethod
+    def connect(
+        cls,
+        socket_path: str,
+        timeout: Optional[float] = 60.0,
+        wait: float = 0.0,
+    ) -> "ServiceClient":
+        """Connect, optionally retrying for up to ``wait`` seconds —
+        for callers that just started the daemon process."""
+        deadline = time.monotonic() + wait
+        while True:
+            try:
+                return cls(socket_path, timeout=timeout)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def request(self, message: dict) -> dict:
+        self.sock.sendall(protocol.encode(message))
+        for line in self._lines:
+            if line.strip():
+                return protocol.decode(line)
+        raise ConnectionError("daemon closed the connection mid-request")
+
+    # -- conveniences --------------------------------------------------------
+
+    def submit(self, corpus: str, retries: int = 3, **fields) -> dict:
+        msg = {"op": "submit", "corpus": corpus, **fields}
+        for _ in range(max(1, retries)):
+            resp = self.request(msg)
+            if resp.get("error") == "overloaded" and resp.get("retry_after"):
+                time.sleep(float(resp["retry_after"]))
+                continue
+            return resp
+        return resp
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,153 @@
+"""Call-graph-aware incremental re-verification.
+
+Fingerprints already localise *body* edits perfectly: a function's
+fingerprint hashes its own body plus the contracts of its **direct**
+callees, so editing a body dirties that one function and editing a
+contract dirties the function and its direct callers. What the
+fingerprint cannot see is the *transitive* cone above a contract edit:
+``top`` calls ``mid`` calls ``leaf`` — editing ``leaf``'s contract
+leaves ``top``'s fingerprint bit-identical (``top`` only assumed
+``mid``'s contract), yet the session's end-to-end assurance for
+``top`` rested on a proof of ``mid`` that may no longer hold. The
+service therefore re-establishes the whole dependent cone on a
+contract edit, exactly and only it.
+
+That makes the *force* flag load-bearing: a transitive caller's
+fingerprint is unchanged, so an ordinary lookup would hit the (stale
+for assurance purposes) store entry and skip the re-verification. The
+dirty set distinguishes
+
+* ``"new"``              — the session has never verified this name
+  (store lookups allowed: a warm store answers them);
+* ``"changed"``          — the fingerprint moved (store lookups
+  allowed — the new fingerprint is a different key);
+* ``"invalidated:<f>"``  — a transitive caller of the contract-edited
+  ``<f>``; **must** re-verify with the store *read* bypassed (the
+  fresh result then overwrites the entry under the same key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import faultinject
+from repro.lang.mir import Program
+from repro.store.fingerprint import _callees
+
+
+def call_graph(program: Program) -> dict[str, tuple[str, ...]]:
+    """``caller -> direct callees`` over every body in the program
+    (callees without bodies — pure axioms — still appear: their
+    contracts can be edited too)."""
+    return {
+        name: tuple(_callees(body))
+        for name, body in program.bodies.items()
+    }
+
+
+def reverse_graph(graph: dict[str, tuple[str, ...]]) -> dict[str, set[str]]:
+    rev: dict[str, set[str]] = {}
+    for caller, callees in graph.items():
+        for callee in callees:
+            rev.setdefault(callee, set()).add(caller)
+    return rev
+
+
+def transitive_callers(
+    rev: dict[str, set[str]], roots: set[str]
+) -> dict[str, str]:
+    """Every function reachable *upward* from ``roots`` along
+    caller edges, mapped to the root that dirties it (the first one
+    found — attribution, not semantics). Roots themselves are
+    excluded: their own fingerprints already moved."""
+    origin: dict[str, str] = {}
+    frontier = [(r, r) for r in sorted(roots)]
+    while frontier:
+        node, root = frontier.pop()
+        for caller in rev.get(node, ()):
+            if caller in roots or caller in origin:
+                continue
+            origin[caller] = root
+            frontier.append((caller, root))
+    return origin
+
+
+@dataclass
+class DirtySet:
+    #: dirty function -> ``new`` | ``changed`` | ``invalidated:<f>``
+    reasons: dict[str, str] = field(default_factory=dict)
+    #: the subset whose store *read* must be bypassed
+    force: set[str] = field(default_factory=set)
+
+    def __bool__(self) -> bool:
+        return bool(self.reasons)
+
+
+class InvalidationIndex:
+    """The session's committed view: per-function fingerprints (what
+    was verified) and contract digests (what the proofs assumed).
+    Purely in-memory — it describes *this session's* assurance, which
+    is exactly what does not survive a restart (the store does)."""
+
+    def __init__(self) -> None:
+        self.fps: dict[str, str] = {}
+        self.contract_digests: dict[str, str] = {}
+        #: Invalidated functions whose forced re-verification has not
+        #: yet produced a cacheable verdict, mapped to ``(reason, fp)``
+        #: at force time: they must *stay* forced for as long as the
+        #: fingerprint does not move (the store still holds the
+        #: pre-edit entry under that same key); once it moves, the
+        #: lookup key is fresh and forcing is no longer needed.
+        self.pending_force: dict[str, tuple[str, str]] = {}
+
+    def diff(
+        self,
+        fps: dict[str, str],
+        contract_digests: dict[str, str],
+        rev: dict[str, set[str]],
+        session: str = "",
+    ) -> DirtySet:
+        """The dirty set of the given (complete) program view against
+        the committed one. Side effect: commits the new contract
+        digests and evicts the committed fingerprints of everything
+        dirty — the caller then dispatches the dirty functions and
+        commits the ones that produce deterministic verdicts."""
+        faultinject.fire("service.invalidate", session)
+        roots = {
+            n
+            for n, d in contract_digests.items()
+            if n in self.contract_digests and self.contract_digests[n] != d
+        }
+        origin = transitive_callers(rev, roots) if roots else {}
+        out = DirtySet()
+        for name, fp in fps.items():
+            pending = self.pending_force.get(name)
+            if name in origin and self.fps.get(name) == fp:
+                out.reasons[name] = f"invalidated:{origin[name]}"
+                out.force.add(name)
+            elif pending is not None and pending[1] == fp:
+                # An earlier forced round never committed (drained):
+                # the fingerprint still has not moved, so it is still
+                # the stale store key — stay forced.
+                out.reasons[name] = pending[0]
+                out.force.add(name)
+            elif name not in self.fps:
+                out.reasons[name] = "new"
+                self.pending_force.pop(name, None)
+            elif self.fps[name] != fp:
+                out.reasons[name] = "changed"
+                self.pending_force.pop(name, None)
+        self.contract_digests = dict(contract_digests)
+        for name, reason in out.reasons.items():
+            self.fps.pop(name, None)
+            if name in out.force:
+                self.pending_force.setdefault(name, (reason, fps[name]))
+        return out
+
+    def commit(self, name: str, fp: str) -> None:
+        """Record a deterministic (cacheable) verdict for ``name``."""
+        self.fps[name] = fp
+        self.pending_force.pop(name, None)
+
+    def evict(self, name: str) -> None:
+        self.fps.pop(name, None)

@@ -19,6 +19,12 @@ Record kinds written today:
   one published proof entry.
 * ``{"kind": "quarantine", "fp": ..., "reason": ...}`` — a corrupt
   entry moved aside for transparent re-verification.
+* ``{"kind": "drain", "pending": [...]}`` — a verification daemon
+  drained mid-run; the listed functions were requested but never
+  published (the resume set the next run re-verifies).
+
+A long-lived appender calls :meth:`Journal.compact` to drop records
+older than the last complete run checkpoint.
 """
 
 from __future__ import annotations
@@ -28,6 +34,8 @@ import json
 import os
 from pathlib import Path
 from typing import Optional
+
+from repro import faultinject
 
 
 def _checksum(body: str) -> str:
@@ -45,20 +53,30 @@ class Journal:
 
     def append(self, record: dict) -> None:
         """Durably append one record (checksummed, single write)."""
+        data = self._encode(record)
+        # Data faults (torn / bitflip) simulate a crash or silent media
+        # corruption inside the one write a kill can interrupt.
+        data = faultinject.corrupt(
+            "journal.append", str(record.get("kind", "")), data
+        )
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    @staticmethod
+    def _encode(record: dict) -> bytes:
         body = json.dumps(record, sort_keys=True, separators=(",", ":"))
         line = json.dumps(
             {"c": _checksum(body), "r": record},
             sort_keys=True,
             separators=(",", ":"),
         )
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-        )
-        try:
-            os.write(fd, (line + "\n").encode())
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        return (line + "\n").encode()
 
     def read(self) -> list[dict]:
         """Every valid record, in append order; invalid lines are
@@ -100,6 +118,46 @@ class Journal:
             for r in self.read()
             if r.get("kind") == "entry" and "fp" in r
         }
+
+    def compact(self) -> dict:
+        """Rewrite the journal keeping only records newer than the last
+        complete checkpoint — the final ``{"kind": "run", "event":
+        "end"}`` record. Everything at or before that point is
+        redundant: the entry files those records describe are durably
+        in ``entries/`` (publish precedes the journal append), so
+        resume never needs them. A long-lived daemon calls this on
+        drain so its journal doesn't grow without bound.
+
+        The rewrite is atomic (tmp + fsync + rename): a crash mid-
+        compact leaves either the old journal or the new one, and a
+        *torn* compact write (see the ``store.compact`` fault site)
+        costs at most the torn tail line — :meth:`read` skips it, like
+        any other torn tail. Not safe against *concurrent appenders*:
+        callers serialise (the daemon compacts only from its single
+        dispatcher, with no run in flight).
+
+        Returns ``{"kept": n, "dropped": m}``; a journal with no
+        complete checkpoint is left untouched (``dropped == 0``)."""
+        records = self.read()
+        last_end = None
+        for i, r in enumerate(records):
+            if r.get("kind") == "run" and r.get("event") == "end":
+                last_end = i
+        if last_end is None:
+            return {"kept": len(records), "dropped": 0}
+        kept = records[last_end + 1:]
+        data = b"".join(self._encode(r) for r in kept)
+        data = faultinject.corrupt("store.compact", str(self.path), data)
+        tmp = self.path.with_name(self.path.name + f".compact.{os.getpid()}")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            if data:
+                os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        return {"kept": len(kept), "dropped": len(records) - len(kept)}
 
     def interrupted_runs(self) -> int:
         """Count of ``begin`` records with no matching ``end`` — how

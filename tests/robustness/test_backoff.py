@@ -1,0 +1,84 @@
+"""Retry backoff: exponential with deterministic seeded jitter.
+
+Many workers retrying after a shared pool crash must not thunder-herd
+the store: delays grow exponentially, and a seeded multiplicative
+jitter de-synchronises processes while keeping any one schedule
+exactly reproducible (pinned below).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import WorkerCrashed
+from repro.parallel import backoff_schedule, jitter_seed, with_retries
+
+
+class TestSchedule:
+    def test_pinned_schedule(self):
+        # The exact computed sleeps for a fixed seed: base * factor**k
+        # stretched by 1 + 0.5 * Random(7).random() per retry.
+        rng = random.Random(7)
+        expected = [
+            0.02 * (1 + 0.5 * rng.random()),
+            0.04 * (1 + 0.5 * rng.random()),
+            0.08 * (1 + 0.5 * rng.random()),
+        ]
+        assert backoff_schedule(4, base=0.02, seed=7) == pytest.approx(expected)
+
+    def test_deterministic_per_seed(self):
+        assert backoff_schedule(5, seed=42) == backoff_schedule(5, seed=42)
+        assert backoff_schedule(5, seed=42) != backoff_schedule(5, seed=43)
+
+    def test_exponential_growth_until_cap(self):
+        sched = backoff_schedule(8, base=0.01, factor=2.0, cap=0.05, jitter=0.0)
+        assert sched == pytest.approx(
+            [0.01, 0.02, 0.04, 0.05, 0.05, 0.05, 0.05]
+        )
+
+    def test_jitter_bounded(self):
+        for seed in range(20):
+            for raw, jittered in zip(
+                backoff_schedule(6, base=0.02, jitter=0.0, seed=seed),
+                backoff_schedule(6, base=0.02, jitter=0.5, seed=seed),
+            ):
+                assert raw <= jittered < raw * 1.5
+
+    def test_first_attempt_never_waits(self):
+        assert backoff_schedule(1) == []
+        assert backoff_schedule(0) == []
+
+    def test_seed_varies_by_item_and_process(self):
+        assert jitter_seed("fn0") != jitter_seed("fn1")
+        assert jitter_seed("fn0") == jitter_seed("fn0")
+
+
+class TestWithRetries:
+    def test_sleeps_follow_the_schedule(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.parallel.time.sleep", slept.append)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 4:
+                raise OSError("transient")
+            return "ok"
+
+        assert (
+            with_retries(flaky, attempts=4, backoff=0.02, seed=7) == "ok"
+        )
+        assert slept == pytest.approx(backoff_schedule(4, base=0.02, seed=7))
+
+    def test_final_failure_reraises_after_schedule(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.parallel.time.sleep", slept.append)
+
+        def always(): raise WorkerCrashed("still dead")
+
+        with pytest.raises(WorkerCrashed):
+            with_retries(
+                always, attempts=3, backoff=0.01,
+                exceptions=(WorkerCrashed,), seed=1,
+            )
+        assert slept == pytest.approx(backoff_schedule(3, base=0.01, seed=1))

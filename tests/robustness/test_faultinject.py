@@ -7,6 +7,12 @@ import pytest
 from repro import faultinject
 from repro.errors import InjectedFault, WorkerCrashed
 
+# The synthetic sites this suite fires by hand; registering them keeps
+# parse() from warning about rules that "may never fire" (they do —
+# we fire them ourselves below).
+for _site in ("s", "v", "other", "site", "anything"):
+    faultinject.register_site(_site, "test-only synthetic site")
+
 
 class TestParse:
     def test_basic_rule(self):
@@ -59,6 +65,34 @@ class TestParse:
         assert faultinject.parse("") == []
         faultinject.install("")
         assert not faultinject.active()
+
+    def test_unknown_site_warns_but_keeps_the_rule(self):
+        # A typo'd site must not silently test nothing.
+        with pytest.warns(RuntimeWarning, match="not a registered"):
+            [r] = faultinject.parse("store.wirte:torn")
+        assert r.site == "store.wirte"  # kept: may register later
+
+    def test_wildcard_site_never_warns(self):
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            faultinject.parse("*:raise")
+
+    def test_registered_sites_cover_the_docstring_table(self):
+        sites = faultinject.registered_sites()
+        for expected in (
+            "parallel.worker", "pipeline.verify_one", "store.write",
+            "store.compact", "journal.append", "service.accept",
+            "service.dispatch", "service.invalidate", "service.drain",
+        ):
+            assert expected in sites
+
+    def test_register_site_is_idempotent(self):
+        faultinject.register_site("s", "should not clobber")
+        assert faultinject.registered_sites()["s"] == (
+            "test-only synthetic site"
+        )
 
 
 class TestFire:

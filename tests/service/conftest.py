@@ -1,0 +1,130 @@
+"""Fixtures for the verification-service suite.
+
+Two daemon flavours:
+
+* ``local_daemon`` — in-process (threads in the test process), for
+  protocol/admission/drain behaviour at ``jobs=1``. Fast, and fault
+  rules installed with :func:`faultinject.install` apply directly.
+* ``subproc_daemon`` — a real ``scripts/reprod.py`` process, for
+  anything that forks a pool (``jobs>1``) or takes a SIGTERM: forking
+  from the threaded test process would be unsound, and signals only
+  make sense against a real process. Faults arrive via ``REPRO_FAULT``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import faultinject
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.daemon import VerifierDaemon
+from repro.store import ProofStore
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+@pytest.fixture
+def local_daemon(tmp_path):
+    """Factory for in-process daemons; every daemon (and its socket)
+    is torn down at test end."""
+    created = []
+
+    def make(cache=True, **cfg):
+        config = ServiceConfig(
+            socket=str(tmp_path / f"reprod{len(created)}.sock"),
+            cache_dir=str(tmp_path / "cache") if cache else None,
+            **cfg,
+        )
+        d = VerifierDaemon(config)
+        d.start()
+        created.append(d)
+        return d
+
+    yield make
+    for d in created:
+        d.begin_drain("test-teardown")
+        d.stopped.wait(timeout=10)
+        d._teardown()
+
+
+class SubprocDaemon:
+    """One ``scripts/reprod.py`` process plus its cache root."""
+
+    def __init__(self, tmp_path, *, jobs=1, fault=None, watchdog=None,
+                 deadline=None, queue_bound=None, cache_dir=None):
+        self.socket = str(tmp_path / "reprod.sock")
+        self.cache = Path(cache_dir) if cache_dir else tmp_path / "cache"
+        cmd = [
+            sys.executable, str(REPO / "scripts" / "reprod.py"),
+            "--socket", self.socket,
+            "--cache-dir", str(self.cache),
+            "--jobs", str(jobs),
+        ]
+        if watchdog is not None:
+            cmd += ["--watchdog", str(watchdog)]
+        if deadline is not None:
+            cmd += ["--deadline", str(deadline)]
+        if queue_bound is not None:
+            cmd += ["--queue-bound", str(queue_bound)]
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        env.pop("REPRO_FAULT", None)
+        if fault:
+            env["REPRO_FAULT"] = fault
+        self.proc = subprocess.Popen(
+            cmd, env=env, stdout=subprocess.PIPE, text=True
+        )
+        line = self.proc.stdout.readline()
+        assert "listening" in line, f"daemon failed to start: {line!r}"
+
+    def client(self, timeout=60.0) -> ServiceClient:
+        return ServiceClient.connect(self.socket, timeout=timeout, wait=5.0)
+
+    def store(self) -> ProofStore:
+        return ProofStore(self.cache)
+
+    def wait_for_first_publish(self, timeout=10.0) -> None:
+        entries = self.cache / "entries"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if any(entries.rglob("*.json")):
+                return
+            time.sleep(0.02)
+        raise AssertionError("no store entry appeared in time")
+
+    def sigterm(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout=20) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+@pytest.fixture
+def subproc_daemon(tmp_path):
+    created = []
+
+    def make(**kw):
+        d = SubprocDaemon(tmp_path, **kw)
+        created.append(d)
+        return d
+
+    yield make
+    for d in created:
+        d.kill()

@@ -1,0 +1,139 @@
+"""The hot session: incremental dispatch, warm reuse, call-graph
+invalidation, deadlines and drain — all in-process (no sockets)."""
+
+import pytest
+
+from repro.service.corpus import DEMO_FNS, load_corpus
+from repro.service.session import ServiceSession, entries_status
+from repro.store import ProofStore
+from repro.store.store import STORE_STATS
+
+
+@pytest.fixture
+def session(tmp_path):
+    return ServiceSession("demo", store=ProofStore(tmp_path / "cache"))
+
+
+ALL = sorted(DEMO_FNS)
+
+
+class TestIncremental:
+    def test_cold_submit_verifies_everything(self, session):
+        r = session.submit()
+        assert r["ok"] and r["status"] == "verified"
+        assert r["reverified"] == ALL
+        assert set(r["reasons"].values()) == {"new"}
+        assert "service.parse" in r["phases"]
+        assert "service.logic" in r["phases"]
+
+    def test_warm_resubmit_verifies_nothing_and_skips_setup(self, session):
+        session.submit()
+        r = session.submit()
+        assert r["ok"]
+        assert r["reverified"] == [] and r["cached"] == []
+        assert r["reused"] == ALL
+        # The acceptance observable: no program setup on the warm path.
+        assert "service.parse" not in r["phases"]
+        assert "service.logic" not in r["phases"]
+
+    def test_body_edit_reverifies_exactly_that_function(self, session):
+        session.submit()
+        r = session.submit(params={"pad": {"demo::leaf": 2}})
+        assert r["reverified"] == ["demo::leaf"]
+        assert r["reasons"] == {"demo::leaf": "changed"}
+        # The edit reloaded the program, so setup spans are back.
+        assert "service.parse" in r["phases"]
+
+    def test_contract_edit_reverifies_the_transitive_cone(self, session):
+        session.submit()
+        before = dict(STORE_STATS)
+        r = session.submit(
+            contracts={"demo::leaf": {"ensures": ["result == x", "x == x"]}}
+        )
+        assert r["ok"]
+        assert r["reverified"] == ["demo::leaf", "demo::mid", "demo::top"]
+        assert r["reasons"]["demo::top"] == "invalidated:demo::leaf"
+        assert r["reasons"]["demo::mid"] == "changed"
+        assert "demo::side" in r["reused"]
+        # demo::top's fingerprint did not move: the store still holds
+        # its old entry under the same key, and the forced dispatch
+        # must NOT read it (leaf/mid changed fingerprints are honest
+        # misses; only a hit could resurrect the stale result).
+        assert STORE_STATS["hits"] - before.get("hits", 0) == 0
+
+    def test_warm_after_contract_edit(self, session):
+        session.submit()
+        contracts = {"demo::leaf": {"ensures": ["result == x", "x == x"]}}
+        session.submit(contracts=contracts)
+        r = session.submit(contracts=contracts)
+        assert r["reverified"] == [] and r["reused"] == ALL
+
+    def test_restart_resumes_from_the_store(self, session, tmp_path):
+        session.submit()
+        fresh = ServiceSession("demo", store=ProofStore(tmp_path / "cache"))
+        r = fresh.submit()
+        # A fresh session trusts nothing ("new") but the warm store
+        # answers everything: zero actual re-verifications.
+        assert r["reverified"] == []
+        assert r["cached"] == ALL
+
+    def test_subset_request(self, session):
+        r = session.submit(functions=["demo::leaf", "demo::mid"])
+        assert sorted(r["functions"]) == ["demo::leaf", "demo::mid"]
+        r2 = session.submit(functions=["demo::top"])
+        assert r2["reverified"] == ["demo::top"]
+
+    def test_jobs_parallel_dispatch_matches_serial(self, session):
+        r = session.submit(jobs=2)
+        assert r["ok"] and r["reverified"] == ALL
+        assert all(s == "verified" for s in r["functions"].values())
+
+
+class TestDegradation:
+    def test_unknown_function_is_a_request_error(self, session):
+        with pytest.raises(KeyError, match="demo::nope"):
+            session.submit(functions=["demo::nope"])
+
+    def test_unknown_corpus_is_a_request_error(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown corpus"):
+            ServiceSession("no-such-corpus").submit()
+
+    def test_expired_deadline_drains_with_timeout_entries(self, session):
+        r = session.submit(deadline=0.0)
+        assert not r["ok"] and r["status"] == "timeout"
+        assert sorted(r["drained"]) == ALL
+        assert set(r["functions"].values()) == {"timeout"}
+        # The drain is journaled as the resume set.
+        drains = [
+            rec for rec in session.store.journal.read()
+            if rec.get("kind") == "drain"
+        ]
+        assert drains and sorted(drains[-1]["pending"]) == ALL
+        # Nothing was committed: the next submit re-verifies all.
+        r2 = session.submit()
+        assert r2["ok"] and r2["reverified"] == ALL
+
+    def test_stop_check_drains_between_chunks(self, session):
+        calls = []
+
+        def stop_after_two():
+            calls.append(1)
+            return "drain" if len(calls) > 2 else None
+
+        r = session.submit(stop_check=stop_after_two)
+        done = [n for n, s in r["functions"].items() if s == "verified"]
+        assert len(done) == 2 and len(r["drained"]) == 2
+        assert r["status"] == "error"
+        # Resume: exactly the drained half re-verifies; the completed
+        # half answers from the store/session.
+        r2 = session.submit()
+        assert sorted(r2["reverified"]) == sorted(r["drained"])
+
+    def test_nothing_cacheable_is_not_committed(self, session):
+        session.submit(deadline=0.0)  # all timeout
+        assert session.index.fps == {}
+
+    def test_entries_status_severity(self, session):
+        session.submit()
+        entries = session._results["demo::leaf"]
+        assert entries_status(entries) == "verified"
