@@ -1,7 +1,7 @@
 """Shared fixtures for the experiment benchmarks (see DESIGN.md §4).
 
 Besides the fixtures, this conftest tracks the perf trajectory: at the
-end of a benchmark session it writes ``BENCH_PR6.json`` at the repo
+end of a benchmark session it writes ``BENCH_PR10.json`` at the repo
 root with per-test wall-clock, the aggregate solver counters
 (:data:`repro.solver.core.GLOBAL_STATS` — checks, LRU cache
 hits/misses/evictions, branches, plus the robustness counters:
@@ -26,6 +26,11 @@ process-wide selector's decision/exploration counters, hit rate and
 per-bucket winners — the evidence behind the E10 auto-vs-baseline
 comparison (gauges ``bench.e10.*``).
 
+Since PR 10 it also records the work-stealing scheduler: the pool's
+steal / queue-wait counters, the memory-tier vs. disk split of the
+proof-store hits, and the E11 scaling curve (elapsed wall-clock per
+``jobs`` level with verdict-identity pinned; gauges ``bench.e11.*``).
+
 The pool and store counters are process-global, so an autouse fixture
 zeroes them before every benchmark (one bench's retries must not bleed
 into the next one's record) and accumulates the per-test deltas into
@@ -47,7 +52,7 @@ from repro.rustlib.linked_list import build_program
 from repro.rustlib.specs import install_callee_specs
 from repro.store import STORE_STATS, reset_store_stats
 
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 #: Tier-1 suite wall-clock on the reference machine, recorded when this
 #: tracking was introduced (PR 1): the seed solver vs. the hash-consed /
@@ -156,7 +161,7 @@ def pytest_sessionfinish(session, exitstatus):
         if k.startswith("solver.strategy.")
     }
     payload = {
-        "pr": 6,
+        "pr": 10,
         "python": platform.python_version(),
         "tier1_wall_clock": _TIER1_WALL_CLOCK,
         "bench_total_seconds": round(sum(r["seconds"] for r in _rows), 3),
@@ -197,6 +202,19 @@ def pytest_sessionfinish(session, exitstatus):
             "counters": strategy_counters,
             "histograms": strategy_hists,
             "selector": GLOBAL_SELECTOR.summary(),
+        },
+        # Work-stealing scheduler (PR 10): the session-total pool
+        # counters (steals, queue wait) and the tiered-store split
+        # (memory vs. disk hits, raw disk reads). The bench.e11.*
+        # gauges inside "metrics" carry the per-jobs scaling curve.
+        "scheduler": {
+            "steals": _parallel_totals.get("steals", 0),
+            "queue_wait_s": round(
+                _parallel_totals.get("queue_wait_s", 0.0), 4
+            ),
+            "store_mem_hits": _store_totals.get("mem_hits", 0),
+            "store_disk_hits": _store_totals.get("disk_hits", 0),
+            "store_disk_reads": _store_totals.get("disk_reads", 0),
         },
         "metrics": metrics_summary(snapshot),
     }

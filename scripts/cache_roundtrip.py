@@ -1,15 +1,25 @@
-"""Cold → warm → corrupt-and-heal acceptance check for the proof store.
+"""Cold → warm → corrupt-and-heal → hot → migrate acceptance check for
+the proof store.
 
-Runs the linked-list hybrid example three times against one cache:
+Runs the linked-list hybrid example repeatedly against one cache:
 
-1. **cold**  — empty store: every function verifies and publishes;
-2. **warm**  — same inputs: every function replays from disk, and the
-   report is identical to the cold one (modulo wall-clock);
-3. **heal**  — one entry file gets a flipped byte: exactly that one
+1. **cold**    — empty store: every function verifies and publishes
+   into the sharded layout (``layout.json`` stamped);
+2. **warm**    — same inputs, fresh process: every function replays
+   from disk, and the report is identical to the cold one (modulo
+   wall-clock);
+3. **heal**    — one entry file gets a flipped byte: exactly that one
    function is quarantined, re-verified and republished; the report is
-   still identical and the run never fails.
+   still identical and the run never fails;
+4. **hot**     — two runs inside one process: the second is answered
+   entirely by the in-process memory tier — **zero disk reads** (the
+   memtier gate);
+5. **migrate** — the ``layout.json`` stamp is removed (simulating a
+   flat-v2 store written before sharding was tunable) and the cache is
+   reopened with ``REPRO_CACHE_SHARDS=4096``: entries move into the
+   wider layout transparently and the next run still replays them all.
 
-Each run happens in a fresh subprocess (``REPRO_CACHE=1`` in its
+Each phase happens in a fresh subprocess (``REPRO_CACHE=1`` in its
 environment), so the cache is exercised across real process
 boundaries — the way CI and users hit it. Exits non-zero with a
 message on the first violated expectation.
@@ -35,7 +45,8 @@ FUNCTIONS = [
 ]
 
 # Runs in a subprocess: build the example program, run the pipeline
-# with the env-configured store, dump what the parent asserts on.
+# (argv[2] times, same process) with the env-configured store, dump
+# what the parent asserts on — one record per run.
 _DRIVER = """
 import json, sys
 sys.path.insert(0, "examples")
@@ -48,28 +59,35 @@ from repro.rustlib.specs import install_callee_specs
 program, ownables = build_program()
 install_callee_specs(program, ownables)
 program.add_body(build_stack_client())
-report = HybridVerifier(
+verifier = HybridVerifier(
     program, ownables, LINKED_LIST_CONTRACTS,
     manual_pure_pre=MANUAL_PURE_PRECONDITIONS,
-).run(json.loads(sys.argv[1]))
-print(json.dumps({
-    "ok": report.ok,
-    "entries": [[e.function, e.half, e.ok, e.status] for e in report.entries],
-    "store": report.store_stats,
-    "render": report.render(),
-}))
+)
+functions = json.loads(sys.argv[1])
+runs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+out = []
+for _ in range(runs):
+    report = verifier.run(functions)
+    out.append({
+        "ok": report.ok,
+        "entries": [[e.function, e.half, e.ok, e.status] for e in report.entries],
+        "store": report.store_stats,
+        "render": report.render(),
+    })
+print(json.dumps(out))
 """
 
 
-def run_pipeline(cache_dir):
+def run_pipeline(cache_dir, runs=1, extra_env=None):
     env = dict(
         os.environ,
         PYTHONPATH="src",
         REPRO_CACHE="1",
         REPRO_CACHE_DIR=str(cache_dir),
+        **(extra_env or {}),
     )
     proc = subprocess.run(
-        [sys.executable, "-c", _DRIVER, json.dumps(FUNCTIONS)],
+        [sys.executable, "-c", _DRIVER, json.dumps(FUNCTIONS), str(runs)],
         cwd=REPO,
         env=env,
         capture_output=True,
@@ -97,16 +115,21 @@ def main() -> int:
         cache_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-cache-"))
     n = len(FUNCTIONS)
 
-    print(f"[1/3] cold run against {cache_dir}")
-    cold = run_pipeline(cache_dir)
+    print(f"[1/5] cold run against {cache_dir}")
+    [cold] = run_pipeline(cache_dir)
     expect(cold["ok"], "cold run verifies everything")
     expect(
         cold["store"]["misses"] == n and cold["store"]["stores"] == n,
         f"cold run verifies and publishes all {n} functions",
     )
+    layout = json.loads((cache_dir / "layout.json").read_text())
+    expect(
+        layout == {"shards": 256, "version": 1},
+        "the cold open stamped the default 256-shard layout",
+    )
 
-    print("[2/3] warm run")
-    warm = run_pipeline(cache_dir)
+    print("[2/5] warm run")
+    [warm] = run_pipeline(cache_dir)
     expect(
         warm["store"]["hits"] == n and warm["store"]["misses"] == 0,
         f"warm run replays all {n} functions from the cache",
@@ -116,7 +139,7 @@ def main() -> int:
         "warm report is identical to the cold one",
     )
 
-    print("[3/3] corrupt one entry, heal run")
+    print("[3/5] corrupt one entry, heal run")
     entries = sorted((cache_dir / "entries").glob("*/*.json"))
     expect(len(entries) == n, f"{n} entry files on disk")
     victim = entries[0]
@@ -124,7 +147,7 @@ def main() -> int:
     blob[blob.find(b'"payload": "') + 20] ^= 0x01
     victim.write_bytes(bytes(blob))
 
-    heal = run_pipeline(cache_dir)
+    [heal] = run_pipeline(cache_dir)
     expect(heal["ok"], "heal run still verifies everything")
     expect(
         heal["store"]["quarantined"] == 1 and heal["store"]["corrupt"] == 1,
@@ -145,7 +168,47 @@ def main() -> int:
         "healed report is identical to the cold one",
     )
 
-    print("\n" + heal["render"])
+    print("[4/5] hot runs (memory tier): second run reads no disk")
+    first, second = run_pipeline(cache_dir, runs=2)
+    expect(
+        first["store"]["hits"] == n and first["store"]["disk_reads"] == n,
+        "first hot run pulls every entry off disk once",
+    )
+    expect(
+        second["store"]["mem_hits"] == n
+        and second["store"]["disk_reads"] == 0,
+        "second hot run is answered by the memory tier: zero disk reads",
+    )
+    expect(
+        second["entries"] == cold["entries"],
+        "hot report is identical to the cold one",
+    )
+
+    print("[5/5] flat-v2 migration to a 4096-shard layout")
+    (cache_dir / "layout.json").unlink()
+    [migrated] = run_pipeline(
+        cache_dir, extra_env={"REPRO_CACHE_SHARDS": "4096"}
+    )
+    layout = json.loads((cache_dir / "layout.json").read_text())
+    expect(
+        layout == {"shards": 4096, "version": 1},
+        "the reopen stamped the requested 4096-shard layout",
+    )
+    moved = sorted((cache_dir / "entries").glob("*/*.json"))
+    expect(
+        len(moved) == n and all(len(p.parent.name) == 3 for p in moved),
+        f"all {n} entries migrated into width-3 shard directories",
+    )
+    expect(
+        migrated["store"]["hits"] == n and migrated["store"]["misses"] == 0,
+        "the migrated store replays every function",
+    )
+    expect(
+        migrated["entries"] == cold["entries"],
+        "post-migration report is identical to the cold one",
+    )
+
+    print("\n" + migrated["render"])
     print("\ncache round-trip: all expectations hold")
     return 0
 

@@ -55,6 +55,7 @@ from repro.obs import report as obs_report
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import metrics
 from repro.parallel import PARALLEL_STATS, fanout
+from repro.sched.costs import GLOBAL_COSTS, costs_path, estimate_cost
 from repro.store import ProofStore, STORE_STATS, function_fingerprint, logic_digest
 
 from repro.creusot.vcgen import CreusotResult, CreusotVerifier
@@ -209,7 +210,8 @@ class HybridReport:
                 f"-- pool: {ps.get('fanouts', 0)} fanouts, "
                 f"{ps.get('worker_failures', 0)} worker failures, "
                 f"{ps.get('broken_pools', 0)} broken pools, "
-                f"{ps.get('serial_retries', 0)} serial retries --"
+                f"{ps.get('serial_retries', 0)} serial retries, "
+                f"{ps.get('steals', 0)} steals --"
             )
         st = self.store_stats
         if st:
@@ -218,9 +220,18 @@ class HybridReport:
                 f"{st.get('misses', 0)} misses, "
                 f"{st.get('stores', 0)} stored, "
                 f"{st.get('quarantined', 0)} quarantined, "
-                f"{st.get('healed', 0)} healed --"
+                f"{st.get('healed', 0)} healed "
+                f"({st.get('mem_hits', 0)} mem / "
+                f"{st.get('disk_hits', 0)} disk hits, "
+                f"{st.get('disk_reads', 0)} disk reads) --"
             )
         if verbose:
+            ps = self.parallel_stats
+            if ps and any(ps.values()):
+                lines.append(
+                    f"-- sched: {ps.get('steals', 0)} steals, "
+                    f"{ps.get('queue_wait_s', 0.0):.3f}s total queue wait --"
+                )
             lines.append("")
             lines.append(
                 obs_report.render_profile(
@@ -285,15 +296,33 @@ class HybridVerifier:
         ✗-with-reason entries — this is the pipeline's fault boundary;
         no exception escapes it."""
         budget = self.budget.start() if self.budget else None
-        with span("verify", function=name):
-            try:
-                faultinject.fire("pipeline.verify_one", name)
-                entries = self._verify_one_inner(name, budget)
-            except Exception as e:  # BudgetExhausted → timeout, … → error
-                return [self._failure_entry(name, e)]
+        started = clock.monotonic()
+        try:
+            with span("verify", function=name):
+                try:
+                    faultinject.fire("pipeline.verify_one", name)
+                    entries = self._verify_one_inner(name, budget)
+                except Exception as e:  # BudgetExhausted → timeout, …
+                    return [self._failure_entry(name, e)]
+        finally:
+            # Feed the scheduler's cost model — failures included: a
+            # function that burns its budget before failing is exactly
+            # the long job LJF ordering should front-load.
+            GLOBAL_COSTS.observe(name, clock.monotonic() - started)
         if obs.enabled():
             _emit_tactics_event(name, entries)
         return entries
+
+    def _cost_of(self, name: str) -> float:
+        """Expected verification seconds for ``name``: the learned
+        mean when the cost model has seen it, else a structural
+        estimate from MIR size and contract weight."""
+        known = GLOBAL_COSTS.cost(name)
+        if known is not None:
+            return known
+        return estimate_cost(
+            self.program.bodies.get(name), self.contracts.get(name)
+        )
 
     def _failure_entry(self, name: str, exc: BaseException) -> HybridEntry:
         body = self.program.bodies.get(name)
@@ -426,6 +455,9 @@ class HybridVerifier:
             self.solver.selector.load(
                 selector_path(self.store.root), once=True
             )
+            # Seed the scheduler's longest-job-first ordering from the
+            # per-function verify times previous runs persisted here.
+            GLOBAL_COSTS.load(costs_path(self.store.root), once=True)
         cached = self._lookup_cached(names)
         pending = [n for n in names if n not in cached]
         if jobs == 1 or not pending:
@@ -443,6 +475,7 @@ class HybridVerifier:
                 pending,
                 jobs,
                 on_error=lambda name, exc: [self._failure_entry(name, exc)],
+                cost_of=self._cost_of,
             )
             fresh = dict(zip(pending, results))
             for name in names:
@@ -493,6 +526,7 @@ class HybridVerifier:
         if self.store is not None:
             # Persist what the selector learned (best-effort, atomic).
             self.solver.selector.save(selector_path(self.store.root))
+            GLOBAL_COSTS.save(costs_path(self.store.root))
         obs_trace.flush()
         return report
 
@@ -572,9 +606,13 @@ def _verify_one_worker(verifier: "HybridVerifier", name: str) -> list[HybridEntr
     moment they complete, so a parent killed mid-run loses nothing
     already verified. The entry probe makes the serial retry of a
     *dead* worker's item resume rather than re-verify when the worker
-    published before dying."""
+    published before dying. The probe is guarded by ``has`` so the
+    common cold path (entry still absent — e.g. this item degraded to
+    the parent's serial path, whose run-level lookup already counted
+    the miss) doesn't re-count a miss for a lookup the run already
+    made."""
     store, fp = verifier.store, verifier._run_fps.get(name)
-    if store is not None and fp:
+    if store is not None and fp and store.has(fp):
         try:
             with span("store.lookup", function=name):
                 hit = store.get(fp, context=name)

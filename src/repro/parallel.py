@@ -28,10 +28,16 @@ Fault tolerance (the degradation ladder, outermost rung first):
 
 Without ``on_error`` the first failure re-raises after all futures are
 drained (legacy behaviour, still loss-free for completed siblings).
+
+By default the pool path delegates to the work-stealing scheduler
+(:mod:`repro.sched.scheduler` — longest-job-first over persistent fork
+workers, same degradation ladder); ``REPRO_SCHED=static`` keeps the
+plain ProcessPoolExecutor chunking below as the comparison baseline.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import random
@@ -46,6 +52,7 @@ from repro import faultinject
 from repro.errors import WorkerCrashed
 from repro.obs import merge_worker_delta, worker_begin, worker_delta
 from repro.obs.metrics import metrics
+from repro.sched.scheduler import run_stealing, scheduler_mode
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -67,6 +74,12 @@ PARALLEL_STATS = metrics.register_legacy(
         "cancelled_futures": 0,
         "serial_retries": 0,
         "serial_fallbacks": 0,
+        # Stealing-scheduler counters (REPRO_SCHED=steal, the default):
+        # tasks taken from a sibling's queue, and total seconds tasks
+        # sat queued before dispatch (per-task distribution in the
+        # "parallel.queue_wait" histogram).
+        "steals": 0,
+        "queue_wait_s": 0.0,
     },
 )
 
@@ -76,8 +89,39 @@ def reset_parallel_stats() -> None:
     metrics.reset("parallel")
 
 
+def cgroup_cpu_quota(root: str = "/sys/fs/cgroup") -> Optional[int]:
+    """The container's effective CPU limit from its cgroup quota
+    (ceil(quota / period)), or ``None`` when unlimited or unreadable.
+    Reads v2 ``cpu.max`` first (``"max 100000"`` = unlimited,
+    ``"200000 100000"`` = 2 CPUs), then the v1 pair
+    ``cpu/cpu.cfs_quota_us`` / ``cpu/cpu.cfs_period_us`` (quota ``-1``
+    = unlimited)."""
+    try:
+        with open(os.path.join(root, "cpu.max")) as fh:
+            quota_s, _, period_s = fh.read().strip().partition(" ")
+        if quota_s != "max":
+            quota, period = int(quota_s), int(period_s or 100000)
+            if quota > 0 and period > 0:
+                return max(1, math.ceil(quota / period))
+        return None
+    except (OSError, ValueError):
+        pass
+    try:
+        with open(os.path.join(root, "cpu", "cpu.cfs_quota_us")) as fh:
+            quota = int(fh.read().strip())
+        with open(os.path.join(root, "cpu", "cpu.cfs_period_us")) as fh:
+            period = int(fh.read().strip())
+        if quota > 0 and period > 0:
+            return max(1, math.ceil(quota / period))
+    except (OSError, ValueError):
+        pass
+    return None
+
+
 def default_jobs() -> int:
-    """``REPRO_JOBS`` env var, else the CPU count."""
+    """``REPRO_JOBS`` env var, else the CPU count capped by the cgroup
+    CPU quota — a container granted 2 CPUs on a 64-core host forks 2
+    workers, not 64 (oversubscribed forks thrash instead of scale)."""
     env = os.environ.get("REPRO_JOBS")
     if env:
         try:
@@ -89,7 +133,9 @@ def default_jobs() -> int:
                 RuntimeWarning,
                 stacklevel=2,
             )
-    return os.cpu_count() or 1
+    cpus = os.cpu_count() or 1
+    quota = cgroup_cpu_quota()
+    return min(cpus, quota) if quota else cpus
 
 
 def fork_available() -> bool:
@@ -117,6 +163,7 @@ def fanout(
     on_error: Optional[Callable[[T, BaseException], R]] = None,
     crash_retries: int = 2,
     backoff: float = 0.05,
+    cost_of: Optional[Callable[[T], float]] = None,
 ) -> list:
     """Run ``fn(payload, item)`` for every item; results in item order.
 
@@ -130,6 +177,10 @@ def fanout(
     first retried serially in the parent (``crash_retries`` attempts,
     jittered exponential ``backoff``); only a retry-proof failure reaches
     ``on_error`` (as :class:`WorkerCrashed`).
+
+    ``cost_of(item) -> seconds`` feeds the stealing scheduler's
+    longest-job-first ordering (ignored on the serial and static
+    paths); ``None`` keeps submission order.
     """
     global _PAYLOAD, _ACTIVE
     items = list(items)
@@ -145,6 +196,20 @@ def fanout(
     if serial:
         return [_call_serial(fn, payload, it, on_error) for it in items]
     PARALLEL_STATS["fanouts"] += 1
+    if scheduler_mode() == "steal":
+        # _ACTIVE guards the scheduler's fork-inherited globals the
+        # same way it guards _PAYLOAD on the static path below.
+        _ACTIVE = True
+        try:
+            return run_stealing(
+                fn, payload, items, jobs,
+                on_error=on_error,
+                cost_of=cost_of,
+                crash_retries=crash_retries,
+                backoff=backoff,
+            )
+        finally:
+            _ACTIVE = False
     ctx = multiprocessing.get_context("fork")
     _PAYLOAD = payload
     _ACTIVE = True

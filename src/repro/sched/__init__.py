@@ -1,0 +1,36 @@
+"""Work-stealing task scheduling for the parallel pipeline (DESIGN.md §13).
+
+The package replaces the pool's demand-blind fan-out with a scheduler
+that knows how long each function is likely to take:
+
+* :mod:`repro.sched.costs` — a per-function cost model learned from
+  the observability layer's ``verify`` span timings, persisted next to
+  the proof store (``<cache-root>/costs.json``) and merged across
+  forked workers through the existing obs delta protocol; cold
+  functions are estimated from MIR block count and contract size;
+* :mod:`repro.sched.scheduler` — longest-job-first partitioning over
+  persistent fork workers with work stealing: an idle worker takes the
+  cheapest queued task from the most-loaded sibling, so one slow
+  function never strands the rest of the queue behind it.
+
+``repro.parallel.fanout`` routes through the scheduler by default
+(``REPRO_SCHED=static`` restores the plain process-pool path).
+"""
+
+from repro.sched.costs import (
+    COSTS_FILENAME,
+    CostModel,
+    GLOBAL_COSTS,
+    costs_path,
+    estimate_cost,
+)
+from repro.sched.scheduler import run_stealing
+
+__all__ = [
+    "COSTS_FILENAME",
+    "CostModel",
+    "GLOBAL_COSTS",
+    "costs_path",
+    "estimate_cost",
+    "run_stealing",
+]

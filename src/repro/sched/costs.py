@@ -1,0 +1,223 @@
+"""Per-function verification cost model (the scheduler's prior).
+
+Longest-job-first scheduling needs to know, before dispatch, roughly
+how long each function will take. This module learns that online: the
+pipeline's per-function driver times every ``verify`` and feeds the
+duration into the process-wide :data:`GLOBAL_COSTS` model. Forked pool
+workers inherit the model and ship their observations back through the
+observability worker-delta protocol
+(:func:`repro.obs.trace.register_aux_delta`), so a ``jobs=N`` run
+learns exactly what a serial run would.
+
+With a proof store attached the model persists: the pipeline merges
+``<cache-root>/costs.json`` before a run and saves after, so the very
+first dispatch of a warm session already schedules the historically
+slowest functions first. Saving applies a decay to the effective
+sample counts, so stale history fades as the code (or machine) drifts.
+
+Functions never seen before are estimated from static shape —
+MIR basic-block count and contract size (:func:`estimate_cost`) — the
+same signal the fingerprint layer already walks, so a cold wide
+program still gets a better-than-arbitrary order.
+
+Persistence format (``costs.json``)::
+
+    {"version": 1, "costs": {"<function>": [count, total_seconds]}}
+
+Loading tolerates a missing, torn, or foreign file by starting cold —
+cost state is a scheduling hint, never a correctness input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.obs import trace as obs_trace
+
+#: Persistence schema version.
+COSTS_FORMAT = 1
+
+#: File name inside the proof-store root.
+COSTS_FILENAME = "costs.json"
+
+#: Effective-sample decay applied at :meth:`CostModel.save` time: a
+#: run's history counts half as much to the next run, so a function
+#: that got faster (or a machine that got slower) re-converges in a
+#: few runs instead of being anchored forever.
+SAVE_DECAY = 0.5
+
+
+class CostModel:
+    """``function -> (count, total_seconds)`` with mean lookup, plain-
+    data persistence, and the fork-worker delta protocol. In-process
+    accumulation is exact (monotonic), which is what makes the deltas
+    exact; aging happens only when persisting."""
+
+    def __init__(self) -> None:
+        #: function name -> [count, total_seconds]
+        self._costs: dict[str, list] = {}
+        #: Paths already merged by ``load(..., once=True)``.
+        self._loaded_paths: set[str] = set()
+
+    # -- observations --------------------------------------------------------
+
+    def observe(self, function: str, seconds: float) -> None:
+        rec = self._costs.get(function)
+        if rec is None:
+            self._costs[function] = [1, float(seconds)]
+        else:
+            rec[0] += 1
+            rec[1] += float(seconds)
+
+    def cost(self, function: str) -> Optional[float]:
+        """Mean observed seconds for ``function``, or ``None`` when the
+        model has never seen it (callers fall back to
+        :func:`estimate_cost`)."""
+        rec = self._costs.get(function)
+        if rec is None or rec[0] <= 0:
+            return None
+        return rec[1] / rec[0]
+
+    def known(self) -> int:
+        return len(self._costs)
+
+    def clear(self) -> None:
+        self._costs.clear()
+        self._loaded_paths.clear()
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> bool:
+        """Atomically persist the model (decayed — see
+        :data:`SAVE_DECAY`). Never raises: persistence is best-effort."""
+        doc = {
+            "version": COSTS_FORMAT,
+            "costs": {
+                fn: [rec[0] * SAVE_DECAY, rec[1] * SAVE_DECAY]
+                for fn, rec in self._costs.items()
+                if rec[0] > 0
+            },
+        }
+        path = os.fspath(path)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def load(self, path, once: bool = False) -> bool:
+        """Merge persisted state into this model (counts add). Missing
+        / torn / foreign files are ignored — a cold start, not an
+        error. ``once=True`` makes repeat loads of the same path no-ops
+        (the pipeline loads per run; counts must not double)."""
+        if once:
+            real = os.path.realpath(os.fspath(path))
+            if real in self._loaded_paths:
+                return False
+            self._loaded_paths.add(real)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(doc, dict) or doc.get("version") != COSTS_FORMAT:
+            return False
+        costs = doc.get("costs")
+        if not isinstance(costs, dict):
+            return False
+        for fn, rec in costs.items():
+            if (
+                not isinstance(fn, str)
+                or not isinstance(rec, list)
+                or len(rec) != 2
+                or not isinstance(rec[0], (int, float))
+                or isinstance(rec[0], bool)
+                or rec[0] <= 0
+                or not isinstance(rec[1], (int, float))
+                or rec[1] < 0
+            ):
+                continue
+            cur = self._costs.get(fn)
+            if cur is None:
+                self._costs[fn] = [float(rec[0]), float(rec[1])]
+            else:
+                cur[0] += float(rec[0])
+                cur[1] += float(rec[1])
+        return True
+
+    # -- fork-worker delta protocol -----------------------------------------
+
+    def delta_snapshot(self) -> dict:
+        return {fn: (rec[0], rec[1]) for fn, rec in self._costs.items()}
+
+    def delta_since(self, baseline: dict) -> dict:
+        out: dict[str, list] = {}
+        for fn, rec in self._costs.items():
+            b = baseline.get(fn, (0, 0.0))
+            dc, dt = rec[0] - b[0], rec[1] - b[1]
+            if dc:
+                out[fn] = [dc, dt]
+        return out
+
+    def merge_delta(self, delta: dict) -> None:
+        for fn, (count, total) in delta.items():
+            rec = self._costs.get(fn)
+            if rec is None:
+                self._costs[fn] = [count, total]
+            else:
+                rec[0] += count
+                rec[1] += total
+
+
+#: The process-wide cost model: the pipeline observes into it, the
+#: scheduler orders by it, forked workers ship deltas back into it.
+GLOBAL_COSTS = CostModel()
+
+
+def costs_path(store_root) -> str:
+    """Where the cost model persists, given a proof-store root."""
+    return os.path.join(os.fspath(store_root), COSTS_FILENAME)
+
+
+def estimate_cost(body=None, contract=None) -> float:
+    """A cold function's relative cost from static shape: MIR block
+    count (symbolic execution visits every block), doubled for unsafe
+    bodies (Gillian-Rust symex is far heavier per block than Creusot
+    VC generation), plus contract size (each clause becomes encode +
+    consume/produce work). The scale is arbitrary — only the *order*
+    feeds the scheduler — but it is kept in the same rough magnitude
+    as observed per-function seconds so a model mixing observations
+    and estimates still sorts sensibly."""
+    blocks = len(getattr(body, "blocks", ())) if body is not None else 1
+    unsafe = 0 if body is None or getattr(body, "is_safe", False) else blocks
+    clauses = 0
+    if contract is not None:
+        if isinstance(contract, dict):
+            requires = contract.get("requires") or []
+            ensures = contract.get("ensures") or []
+        else:
+            requires = getattr(contract, "requires", []) or []
+            ensures = getattr(contract, "ensures", []) or []
+        try:
+            clauses = len(requires) + len(ensures)
+        except TypeError:
+            clauses = 0
+    return 1e-3 * (1 + blocks + unsafe + 2 * clauses)
+
+
+obs_trace.register_aux_delta(
+    "sched.costs",
+    GLOBAL_COSTS.delta_snapshot,
+    GLOBAL_COSTS.delta_since,
+    GLOBAL_COSTS.merge_delta,
+)

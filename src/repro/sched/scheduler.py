@@ -1,0 +1,306 @@
+"""Work-stealing, longest-job-first execution of a fan-out batch.
+
+The static pool path (``repro.parallel``'s ProcessPoolExecutor) hands
+every worker an arbitrary slice of the batch up front; one slow
+function strands the rest of its worker's slice while siblings idle.
+This scheduler keeps the queue in the parent instead:
+
+* tasks are ordered **longest-job-first** from the per-function cost
+  model (:mod:`repro.sched.costs`) and pre-partitioned LPT-greedy into
+  per-worker deques — the classic 4/3-approximation for makespan, and
+  with an exact cost model already near-optimal;
+* each persistent fork worker asks for its next task over a pipe; it
+  pops the *front* (most expensive remaining) of its own deque, and an
+  idle worker whose deque drained **steals from the back** (cheapest —
+  the steal least likely to unbalance the victim) of the most-loaded
+  sibling, so mispredicted costs cost a steal, not an idle core;
+* results return in item order regardless of execution order, so a
+  ``jobs=N`` stealing run is bit-identical to ``jobs=1``.
+
+Fault semantics mirror the static path rung for rung (the pinned
+degradation ladder in ``tests/robustness/``): a worker that *raises*
+maps that one item through ``on_error`` (or re-raises the
+lowest-index failure after the batch drains); a worker that *dies*
+increments ``broken_pools``, its in-flight item is retried serially in
+the parent (where ``crash`` fault rules never fire), and its queued
+tasks are stolen by the survivors — or, if no workers remain, counted
+as cancelled and retried in the parent too.
+
+Workers receive the task closure by fork inheritance (module globals
+:data:`_FN` / :data:`_PAYLOAD`, set only while a run is live), exactly
+like the static pool's ``_PAYLOAD``; only task items, results, and obs
+deltas cross the pipes. Entry point: :func:`run_stealing`, reached via
+``repro.parallel.fanout`` (``REPRO_SCHED=static`` opts out).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import warnings
+from collections import deque
+from multiprocessing import connection
+from typing import Callable, Iterable, Optional
+
+from repro import faultinject
+from repro.obs import merge_worker_delta, worker_begin, worker_delta
+from repro.obs.metrics import metrics
+
+#: Task closure inherited by fork (never pickled); live only while a
+#: stealing run is in flight — the re-entrancy guard lives in
+#: ``repro.parallel._ACTIVE``, which ``fanout`` sets around this run.
+_FN: Optional[Callable] = None
+_PAYLOAD = None
+
+
+def scheduler_mode() -> str:
+    """``REPRO_SCHED`` env knob: ``steal`` (default) or ``static``
+    (the pre-scheduler ProcessPoolExecutor chunking, kept as the
+    comparison baseline and an escape hatch)."""
+    mode = os.environ.get("REPRO_SCHED", "steal").strip().lower()
+    if mode not in ("steal", "static"):
+        warnings.warn(
+            f"REPRO_SCHED={mode!r} is not 'steal' or 'static'; "
+            "using 'steal'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "steal"
+    return mode
+
+
+def _worker_main(conn) -> None:
+    """Persistent fork worker: serve tasks until ``stop`` or EOF. Each
+    task ships its observability delta back with the result (the same
+    per-item protocol as the static pool), so the parent's merged view
+    is as complete as a serial run's."""
+    try:
+        conn.send(("ready", None, None, None))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "stop":
+                break
+            _, idx, item = msg
+            try:
+                faultinject.fire("parallel.worker", str(item))
+                mark = worker_begin()
+                result = _FN(_PAYLOAD, item)
+                reply = ("ok", idx, result, worker_delta(mark))
+            except Exception as e:  # raised → degraded entry, not a dead pool
+                reply = ("err", idx, e, None)
+            try:
+                conn.send(reply)
+            except Exception as e:
+                # Unpicklable result/exception: degrade to a described
+                # error rather than dying with the item in flight.
+                from repro.errors import WorkerCrashed
+
+                try:
+                    conn.send(
+                        ("err", idx,
+                         WorkerCrashed(
+                             f"worker reply for {item!r} not picklable: "
+                             f"{e!r}"),
+                         None)
+                    )
+                except Exception:
+                    break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _cost_vector(items: list, cost_of: Optional[Callable]) -> list:
+    if cost_of is None:
+        return [0.0] * len(items)
+    out = []
+    for it in items:
+        try:
+            out.append(float(cost_of(it)))
+        except Exception:
+            # Cost is a hint; a broken estimator must not fail the run.
+            out.append(0.0)
+    return out
+
+
+def run_stealing(
+    fn: Callable,
+    payload,
+    items: Iterable,
+    jobs: int,
+    on_error: Optional[Callable] = None,
+    cost_of: Optional[Callable] = None,
+    crash_retries: int = 2,
+    backoff: float = 0.05,
+) -> list:
+    """Run ``fn(payload, item)`` for every item over stealing workers;
+    results in item order. Same contract as the static pool path of
+    :func:`repro.parallel.fanout` (which is the only intended caller —
+    it handles the serial/re-entrancy rungs and counts the fan-out).
+    ``cost_of(item) -> seconds`` orders the queue; ``None`` or a
+    raising estimator degrades to submission order."""
+    global _FN, _PAYLOAD
+    from repro import parallel  # deferred: parallel imports this module
+
+    stats = parallel.PARALLEL_STATS
+    items = list(items)
+    n = len(items)
+    costs = _cost_vector(items, cost_of)
+
+    # Longest-job-first order, LPT-partitioned: stable and
+    # deterministic (ties keep submission order / lowest worker id).
+    order = sorted(range(n), key=lambda i: (-costs[i], i))
+    nw = min(jobs, n)
+    queues: list[deque] = [deque() for _ in range(nw)]
+    loads = [0.0] * nw
+    for i in order:
+        w = min(range(nw), key=lambda k: (loads[k], len(queues[k]), k))
+        queues[w].append(i)
+        loads[w] += costs[i]
+
+    ctx = multiprocessing.get_context("fork")
+    out: list = [None] * n
+    lost: list[int] = []  # indices to retry serially in the parent
+    first_failure: Optional[BaseException] = None
+    first_failure_idx = n
+    t0 = time.monotonic()
+
+    procs: list = []
+    conns: list = []
+    _FN, _PAYLOAD = fn, payload
+    try:
+        for _ in range(nw):
+            parent_end, child_end = ctx.Pipe()
+            p = ctx.Process(target=_worker_main, args=(child_end,), daemon=True)
+            p.start()
+            child_end.close()
+            procs.append(p)
+            conns.append(parent_end)
+
+        live = set(range(nw))
+        stopped: set = set()
+        inflight: dict = {w: None for w in range(nw)}
+        by_conn = {id(c): w for w, c in enumerate(conns)}
+
+        def die(w: int) -> None:
+            """A worker vanished: count it, queue its in-flight item
+            for the parent's serial retry (its queued tasks stay
+            stealable by the survivors)."""
+            if w not in live:
+                return
+            live.discard(w)
+            stats["broken_pools"] += 1
+            i = inflight.pop(w, None)
+            inflight[w] = None
+            if i is not None:
+                lost.append(i)
+            try:
+                conns[w].close()
+            except OSError:
+                pass
+
+        def next_task(w: int) -> Optional[int]:
+            if queues[w]:
+                i = queues[w].popleft()  # own front: most expensive
+                loads[w] -= costs[i]
+                return i
+            victims = [v for v in range(nw) if queues[v]]
+            if not victims:
+                return None
+            v = max(victims, key=lambda k: (loads[k], len(queues[k]), -k))
+            i = queues[v].pop()  # victim's back: cheapest
+            loads[v] -= costs[i]
+            stats["steals"] += 1
+            return i
+
+        def dispatch(w: int) -> None:
+            i = next_task(w)
+            if i is None:
+                try:
+                    conns[w].send(("stop", None, None))
+                except (OSError, BrokenPipeError):
+                    die(w)
+                    return
+                stopped.add(w)
+                return
+            wait = time.monotonic() - t0
+            stats["queue_wait_s"] += wait
+            metrics.observe("parallel.queue_wait", wait)
+            try:
+                conns[w].send(("task", i, items[i]))
+            except (OSError, BrokenPipeError):
+                # Never reached the worker: requeue, then account the
+                # death — survivors steal it.
+                queues[w].appendleft(i)
+                loads[w] += costs[i]
+                die(w)
+                return
+            inflight[w] = i
+
+        while True:
+            active = [w for w in live if w not in stopped]
+            if not active:
+                break
+            ready = connection.wait([conns[w] for w in active])
+            for conn in ready:
+                w = by_conn[id(conn)]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    die(w)
+                    continue
+                kind, i, value, delta = msg
+                if kind == "ok":
+                    out[i] = value
+                    merge_worker_delta(delta)
+                    inflight[w] = None
+                    dispatch(w)
+                elif kind == "err":
+                    # One worker's exception must not unwind the
+                    # batch: map or record it, keep the queue moving.
+                    stats["worker_failures"] += 1
+                    if on_error is not None:
+                        out[i] = on_error(items[i], value)
+                    elif i < first_failure_idx:
+                        first_failure, first_failure_idx = value, i
+                    inflight[w] = None
+                    dispatch(w)
+                else:  # "ready"
+                    dispatch(w)
+
+        # Every worker died with tasks still queued: the parent drains
+        # them itself (crash fault rules never fire here), mirroring
+        # the static path's cancelled-future accounting.
+        for q in queues:
+            while q:
+                stats["cancelled_futures"] += 1
+                lost.append(q.popleft())
+    finally:
+        _FN = None
+        _PAYLOAD = None
+        for c in conns:
+            try:
+                c.close()
+            except OSError:
+                pass
+        for p in procs:
+            p.join(timeout=10)
+            if p.is_alive():
+                p.terminate()
+                p.join()
+
+    for i in sorted(lost):
+        out[i] = parallel._retry_serial(
+            fn, payload, items[i], on_error, crash_retries, backoff
+        )
+    if first_failure is not None:
+        raise first_failure
+    return out

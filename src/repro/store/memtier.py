@@ -1,0 +1,63 @@
+"""Bounded in-process LRU over the on-disk proof store.
+
+The read-through tier of the store hierarchy (DESIGN.md §13): decoded
+entry lists keyed by fingerprint, so a warm lookup costs a dict probe
+instead of an open/read/checksum/decode round-trip to disk. Strictly a
+cache of *validated* disk state (or of this process's own publishes):
+it holds decoded objects after the envelope checks passed, so nothing
+in it can be torn or stale-formatted, and losing it (process exit,
+eviction) only re-reads disk.
+
+Deliberately not shared across processes — forked pool workers inherit
+a copy-on-write snapshot and their private insertions die with them
+(the parent re-reads from disk, which the write path made durable
+first). Capacity is entry-count-bounded (``REPRO_CACHE_MEM``), evicting
+least-recently-used; proof entries are small decoded dataclasses, so a
+few hundred of them is kilobytes, not a memory concern — the bound
+exists for pathological corpora, not typical ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class MemTier:
+    """LRU map ``fingerprint -> decoded entries`` with a hard entry
+    bound. Hit/miss/eviction accounting lives in the owning store's
+    ``STORE_STATS`` (one place to read), not here; the tier only keeps
+    an eviction count for introspection."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"memtier capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.evictions = 0
+        self._entries: "OrderedDict[str, list]" = OrderedDict()
+
+    def get(self, fp: str):
+        """The cached entries for ``fp`` (refreshing recency), else
+        ``None``."""
+        entries = self._entries.get(fp)
+        if entries is not None:
+            self._entries.move_to_end(fp)
+        return entries
+
+    def put(self, fp: str, entries: list) -> None:
+        self._entries[fp] = entries
+        self._entries.move_to_end(fp)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, fp: str) -> None:
+        self._entries.pop(fp, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self._entries

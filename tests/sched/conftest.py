@@ -1,0 +1,21 @@
+"""Fixtures for the scheduler suite: counter and fault hygiene, plus
+a clean process-wide cost model per test (it is deliberately global —
+the pipeline feeds it — so tests must not see each other's history)."""
+
+import pytest
+
+from repro import faultinject
+from repro import parallel  # noqa: F401  (registers the metrics group)
+from repro.obs.metrics import metrics
+from repro.sched.costs import GLOBAL_COSTS
+
+
+@pytest.fixture(autouse=True)
+def clean_sched_state():
+    metrics.reset("parallel")
+    faultinject.clear()
+    GLOBAL_COSTS.clear()
+    yield
+    faultinject.clear()
+    metrics.reset("parallel")
+    GLOBAL_COSTS.clear()

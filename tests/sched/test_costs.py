@@ -1,0 +1,197 @@
+"""The per-function cost model: exact in-process accumulation, decayed
+persistence, tolerant loading, the fork-worker delta protocol, and the
+static shape estimate used for never-seen functions."""
+
+import json
+
+import pytest
+
+from repro.sched import (
+    COSTS_FILENAME,
+    CostModel,
+    costs_path,
+    estimate_cost,
+)
+from repro.sched.costs import SAVE_DECAY
+
+
+class TestObservations:
+    def test_cost_is_the_mean(self):
+        m = CostModel()
+        m.observe("fn", 1.0)
+        m.observe("fn", 3.0)
+        assert m.cost("fn") == pytest.approx(2.0)
+
+    def test_unseen_function_is_none(self):
+        assert CostModel().cost("never") is None
+
+    def test_known_counts_functions(self):
+        m = CostModel()
+        m.observe("a", 1.0)
+        m.observe("a", 1.0)
+        m.observe("b", 1.0)
+        assert m.known() == 2
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_means(self, tmp_path):
+        m = CostModel()
+        m.observe("fast", 0.1)
+        m.observe("slow", 2.0)
+        m.observe("slow", 4.0)
+        path = tmp_path / COSTS_FILENAME
+        assert m.save(path)
+
+        fresh = CostModel()
+        assert fresh.load(path)
+        # Decay scales count and total alike, so means survive.
+        assert fresh.cost("fast") == pytest.approx(0.1)
+        assert fresh.cost("slow") == pytest.approx(3.0)
+
+    def test_save_decays_effective_samples(self, tmp_path):
+        m = CostModel()
+        m.observe("fn", 2.0)
+        path = tmp_path / COSTS_FILENAME
+        m.save(path)
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert doc["costs"]["fn"] == [1 * SAVE_DECAY, 2.0 * SAVE_DECAY]
+
+    def test_load_merges_counts(self, tmp_path):
+        # History (count 0.5 after decay) + a fresh slow observation:
+        # the merged mean moves toward the new evidence.
+        m = CostModel()
+        m.observe("fn", 1.0)
+        path = tmp_path / COSTS_FILENAME
+        m.save(path)
+
+        fresh = CostModel()
+        fresh.observe("fn", 4.0)
+        fresh.load(path)
+        # [1 + 0.5 samples, 4.0 + 0.5 seconds] -> mean 3.0
+        assert fresh.cost("fn") == pytest.approx(3.0)
+
+    def test_load_once_dedups_by_path(self, tmp_path):
+        m = CostModel()
+        m.observe("fn", 1.0)
+        path = tmp_path / COSTS_FILENAME
+        m.save(path)
+        fresh = CostModel()
+        assert fresh.load(path, once=True)
+        assert not fresh.load(path, once=True)
+        assert fresh.cost("fn") == pytest.approx(1.0)
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        m = CostModel()
+        assert not m.load(tmp_path / "absent.json")
+        assert m.known() == 0
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not json {",
+            '{"version": 99, "costs": {}}',
+            '{"version": 1, "costs": "nope"}',
+            '[1, 2, 3]',
+        ],
+    )
+    def test_foreign_or_torn_file_ignored(self, tmp_path, doc):
+        path = tmp_path / COSTS_FILENAME
+        path.write_text(doc)
+        m = CostModel()
+        assert not m.load(path)
+        assert m.known() == 0
+
+    def test_bad_records_skipped_good_ones_kept(self, tmp_path):
+        path = tmp_path / COSTS_FILENAME
+        path.write_text(json.dumps({
+            "version": 1,
+            "costs": {
+                "good": [2, 4.0],
+                "negative": [-1, 1.0],
+                "bools": [True, 1.0],
+                "short": [1],
+                "text": ["x", "y"],
+            },
+        }))
+        m = CostModel()
+        assert m.load(path)
+        assert m.known() == 1
+        assert m.cost("good") == pytest.approx(2.0)
+
+    def test_save_failure_returns_false(self, tmp_path):
+        m = CostModel()
+        m.observe("fn", 1.0)
+        # The target is a directory: os.replace fails, save degrades.
+        assert not m.save(tmp_path)
+
+    def test_costs_path(self, tmp_path):
+        assert costs_path(tmp_path).endswith(COSTS_FILENAME)
+
+
+class TestDeltaProtocol:
+    def test_delta_roundtrip(self):
+        worker = CostModel()
+        worker.observe("inherited", 1.0)
+        baseline = worker.delta_snapshot()
+        worker.observe("inherited", 3.0)
+        worker.observe("new", 0.5)
+
+        parent = CostModel()
+        parent.observe("inherited", 1.0)  # the fork-shared history
+        parent.merge_delta(worker.delta_since(baseline))
+        assert parent.cost("inherited") == pytest.approx(2.0)
+        assert parent.cost("new") == pytest.approx(0.5)
+
+    def test_no_new_observations_is_empty_delta(self):
+        m = CostModel()
+        m.observe("fn", 1.0)
+        assert m.delta_since(m.delta_snapshot()) == {}
+
+    def test_registered_with_obs_aux_deltas(self):
+        from repro.obs import trace as obs_trace
+
+        assert "sched.costs" in obs_trace._AUX_DELTA
+
+
+class _StubBody:
+    """Just the shape estimate_cost duck-types: blocks + is_safe."""
+
+    def __init__(self, blocks, safe=True):
+        self.blocks = {f"bb{i}": None for i in range(blocks)}
+        self.is_safe = safe
+
+
+class TestEstimate:
+    def body(self, blocks, safe=True):
+        return _StubBody(blocks, safe=safe)
+
+    def test_more_blocks_costs_more(self):
+        small = estimate_cost(self.body(2))
+        big = estimate_cost(self.body(8))
+        assert big > small > 0
+
+    def test_unsafe_doubles_block_weight(self):
+        safe = self.body(4, safe=True)
+        unsafe = self.body(4, safe=False)
+        assert estimate_cost(unsafe) > estimate_cost(safe)
+
+    def test_contract_clauses_add_weight(self):
+        body = self.body(2)
+        bare = estimate_cost(body)
+        heavy = estimate_cost(
+            body, {"requires": ["a", "b"], "ensures": ["c"]}
+        )
+        assert heavy > bare
+
+    def test_attr_style_contract(self):
+        class Spec:
+            requires = ["a"]
+            ensures = ["b", "c"]
+
+        assert estimate_cost(self.body(2), Spec()) > estimate_cost(
+            self.body(2)
+        )
+
+    def test_no_body_is_cheap_but_positive(self):
+        assert estimate_cost(None, None) > 0

@@ -1,0 +1,83 @@
+"""``default_jobs`` must respect the container's cgroup CPU quota: a
+pod granted 2 CPUs on a 64-core node should fork 2 workers, not 64."""
+
+import os
+
+import pytest
+
+from repro import parallel
+from repro.parallel import cgroup_cpu_quota, default_jobs
+
+
+def write(root, rel, text):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+class TestCgroupV2:
+    def test_quota_two_cpus(self, tmp_path):
+        write(tmp_path, "cpu.max", "200000 100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) == 2
+
+    def test_fractional_quota_rounds_up(self, tmp_path):
+        write(tmp_path, "cpu.max", "150000 100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) == 2
+
+    def test_sub_cpu_quota_is_one(self, tmp_path):
+        write(tmp_path, "cpu.max", "50000 100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) == 1
+
+    def test_max_means_unlimited(self, tmp_path):
+        write(tmp_path, "cpu.max", "max 100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) is None
+
+    def test_v2_beats_v1(self, tmp_path):
+        write(tmp_path, "cpu.max", "400000 100000\n")
+        write(tmp_path, "cpu/cpu.cfs_quota_us", "100000\n")
+        write(tmp_path, "cpu/cpu.cfs_period_us", "100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) == 4
+
+
+class TestCgroupV1:
+    def test_quota_pair(self, tmp_path):
+        write(tmp_path, "cpu/cpu.cfs_quota_us", "300000\n")
+        write(tmp_path, "cpu/cpu.cfs_period_us", "100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) == 3
+
+    def test_minus_one_means_unlimited(self, tmp_path):
+        write(tmp_path, "cpu/cpu.cfs_quota_us", "-1\n")
+        write(tmp_path, "cpu/cpu.cfs_period_us", "100000\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) is None
+
+
+class TestRobustness:
+    def test_missing_root_is_unlimited(self, tmp_path):
+        assert cgroup_cpu_quota(root=str(tmp_path / "absent")) is None
+
+    def test_garbage_files_are_unlimited(self, tmp_path):
+        write(tmp_path, "cpu.max", "banana\n")
+        write(tmp_path, "cpu/cpu.cfs_quota_us", "many\n")
+        assert cgroup_cpu_quota(root=str(tmp_path)) is None
+
+
+class TestDefaultJobs:
+    def test_quota_caps_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(parallel, "cgroup_cpu_quota", lambda: 1)
+        assert default_jobs() == 1
+
+    def test_quota_above_cpu_count_is_ignored(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(parallel, "cgroup_cpu_quota", lambda: 4096)
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_env_knob_beats_quota(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        monkeypatch.setattr(parallel, "cgroup_cpu_quota", lambda: 1)
+        assert default_jobs() == 7
+
+    def test_no_quota_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(parallel, "cgroup_cpu_quota", lambda: None)
+        assert default_jobs() == (os.cpu_count() or 1)

@@ -1,0 +1,175 @@
+"""The work-stealing scheduler behind ``fanout``: ordered results,
+stealing under cost mispredictions, the pinned degradation ladder
+(raise → one entry, die → serial retry), and the ``REPRO_SCHED`` knob."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.errors import WorkerCrashed
+from repro.obs.metrics import metrics
+from repro.parallel import PARALLEL_STATS, fanout, fork_available
+from repro.sched.scheduler import scheduler_mode
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="the scheduler forks persistent workers"
+)
+
+
+def _double(payload, item):
+    return item * 2
+
+
+def _sleepy(payload, item):
+    # Items tagged "slow" hold their worker long enough for a sibling
+    # to drain its own queue and come stealing.
+    if item.startswith("slow"):
+        time.sleep(0.3)
+    return item.upper()
+
+
+def _explode_on_b(payload, item):
+    if item == "b":
+        raise ValueError("boom on b")
+    return item
+
+
+def _die_hard(payload, item):
+    # Item 2 is unrecoverable: kills any worker that runs it, and
+    # raises when the parent's serial retry has a go.
+    if item == 2:
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        raise ValueError("fails in the parent too")
+    return item * 2
+
+
+class TestOrderingAndEquivalence:
+    def test_results_in_item_order(self):
+        items = list(range(10))
+        assert fanout(_double, None, items, jobs=3) == [
+            i * 2 for i in items
+        ]
+
+    def test_matches_serial(self):
+        items = list(range(7))
+        serial = fanout(_double, None, items, jobs=1)
+        parallel = fanout(_double, None, items, jobs=4)
+        assert parallel == serial
+
+    def test_cost_order_does_not_change_results(self):
+        items = list(range(6))
+        # Deliberately absurd costs: ordering is pure scheduling.
+        out = fanout(
+            _double, None, items, jobs=2, cost_of=lambda i: 100 - i
+        )
+        assert out == [i * 2 for i in items]
+
+    def test_broken_cost_estimator_degrades_gracefully(self):
+        def bad_cost(item):
+            raise RuntimeError("no idea")
+
+        items = list(range(5))
+        assert fanout(_double, None, items, jobs=2, cost_of=bad_cost) == [
+            i * 2 for i in items
+        ]
+
+
+class TestStealing:
+    def test_idle_worker_steals_from_blocked_sibling(self):
+        # With no cost hints items alternate across the two queues;
+        # "slow" blocks its worker, so the other must steal the
+        # blocked worker's queued items to finish the batch.
+        items = ["a", "slow", "b", "c", "d", "e", "f", "g"]
+        before = PARALLEL_STATS["steals"]
+        out = fanout(_sleepy, None, items, jobs=2)
+        assert out == [i.upper() for i in items]
+        assert PARALLEL_STATS["steals"] > before
+
+    def test_queue_wait_is_accounted(self):
+        before_total = PARALLEL_STATS["queue_wait_s"]
+        h_before = metrics.snapshot()["histograms"].get(
+            "parallel.queue_wait", {"count": 0}
+        )["count"]
+        fanout(_double, None, list(range(6)), jobs=2)
+        assert PARALLEL_STATS["queue_wait_s"] >= before_total
+        h_after = metrics.snapshot()["histograms"]["parallel.queue_wait"]
+        # One dispatch per item, each observed in the histogram.
+        assert h_after["count"] == h_before + 6
+
+
+class TestDegradationLadder:
+    def test_raising_item_maps_through_on_error(self):
+        out = fanout(
+            _explode_on_b,
+            None,
+            ["a", "b", "c"],
+            jobs=2,
+            on_error=lambda item, exc: f"degraded:{item}:{exc}",
+        )
+        assert out[0] == "a" and out[2] == "c"
+        assert out[1].startswith("degraded:b:boom")
+        assert PARALLEL_STATS["worker_failures"] == 1
+
+    def test_without_on_error_first_failure_reraises_after_drain(self):
+        with pytest.raises(ValueError, match="boom on b"):
+            fanout(_explode_on_b, None, ["a", "b", "c"], jobs=2)
+
+    def test_killed_worker_recovers_via_parent_retry(self):
+        # The crash rule fires in workers only; the parent's serial
+        # retry (where it never fires) recovers the lost item.
+        faultinject.install("parallel.worker@3:crash")
+        out = fanout(_double, None, list(range(6)), jobs=2)
+        assert out == [i * 2 for i in range(6)]
+        assert PARALLEL_STATS["broken_pools"] >= 1
+        assert PARALLEL_STATS["serial_retries"] >= 1
+
+    def test_all_workers_dead_drains_queue_in_parent(self):
+        # Every item crashes its worker; everything lands in the
+        # parent's serial path and the batch still completes.
+        faultinject.install("parallel.worker:crash::100")
+        out = fanout(_double, None, list(range(4)), jobs=2)
+        assert out == [i * 2 for i in range(4)]
+        assert PARALLEL_STATS["broken_pools"] >= 2
+
+    def test_crashed_item_recovers_in_parent(self):
+        # The crash rule is worker-only, so the serial retry (parent)
+        # recomputes the lost item successfully.
+        faultinject.install("parallel.worker@2:crash::100")
+        out = fanout(_double, None, list(range(4)), jobs=2)
+        assert out == [i * 2 for i in range(4)]
+        assert PARALLEL_STATS["serial_retries"] >= 1
+
+    def test_unrecoverable_item_reaches_on_error_as_worker_crashed(self):
+        seen = {}
+
+        def on_error(item, exc):
+            seen[item] = exc
+            return "gone"
+
+        out = fanout(
+            _die_hard, None, list(range(4)), jobs=2, on_error=on_error
+        )
+        assert out == [0, 2, "gone", 6]
+        assert isinstance(seen[2], WorkerCrashed)
+
+
+class TestModeKnob:
+    def test_default_is_steal(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHED", raising=False)
+        assert scheduler_mode() == "steal"
+
+    def test_static_opt_out_still_correct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "static")
+        before = PARALLEL_STATS["steals"]
+        out = fanout(_double, None, list(range(8)), jobs=3)
+        assert out == [i * 2 for i in range(8)]
+        assert PARALLEL_STATS["steals"] == before  # the old pool path
+
+    def test_bad_mode_warns_and_steals(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "turbo")
+        with pytest.warns(RuntimeWarning, match="'turbo'"):
+            assert scheduler_mode() == "steal"

@@ -1,0 +1,172 @@
+"""The sharded on-disk layout: prefix widths, the ``layout.json``
+stamp (which beats the knob — processes sharing a root must agree),
+transparent migration of pre-stamp stores, the legacy-path fallback,
+and the ``REPRO_CACHE_*`` tier knobs."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    DEFAULT_SHARDS,
+    LAYOUT_FILENAME,
+    ProofStore,
+    STORE_STATS,
+    tier_kwargs_from_env,
+)
+
+from tests.store.test_store import FP, FP2, entries_for
+
+
+def layout(root):
+    return json.loads((root / LAYOUT_FILENAME).read_text())
+
+
+class TestLayouts:
+    def test_default_is_256_shards_width_2(self, tmp_path):
+        store = ProofStore(tmp_path)
+        assert store.shards == DEFAULT_SHARDS == 256
+        store.put(FP, "fn0", entries_for("fn0"))
+        assert (store.entries_dir / FP[:2] / f"{FP}.json").exists()
+        assert layout(tmp_path) == {"version": 1, "shards": 256}
+
+    @pytest.mark.parametrize(
+        "shards,width", [(1, 0), (16, 1), (256, 2), (4096, 3)]
+    )
+    def test_prefix_width_per_shard_count(self, tmp_path, shards, width):
+        store = ProofStore(tmp_path, shards=shards)
+        store.put(FP, "fn0", entries_for("fn0"))
+        rel = store._entry_path(FP).relative_to(store.entries_dir)
+        parts = rel.parts
+        if width == 0:
+            assert parts == (f"{FP}.json",)
+        else:
+            assert parts == (FP[:width], f"{FP}.json")
+        assert store.get(FP) is not None
+
+    def test_invalid_shard_count_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            ProofStore(tmp_path, shards=17)
+
+    def test_stamp_beats_the_knob(self, tmp_path):
+        first = ProofStore(tmp_path, shards=16)
+        first.put(FP, "fn0", entries_for("fn0"))
+        # A second opener asking for a different count gets the
+        # stamped layout — and therefore finds the entry.
+        second = ProofStore(tmp_path, shards=4096)
+        assert second.shards == 16
+        assert second.get(FP) is not None
+
+    def test_corrupt_stamp_is_rewritten(self, tmp_path):
+        ProofStore(tmp_path)
+        (tmp_path / LAYOUT_FILENAME).write_text("not json {")
+        store = ProofStore(tmp_path, shards=16)
+        assert store.shards == 16
+        assert layout(tmp_path)["shards"] == 16
+
+
+class TestMigration:
+    def seed_legacy(self, tmp_path, pairs):
+        """A pre-stamp store: fixed ``fp[:2]`` layout, no layout.json
+        (what every store looked like before sharding was tunable)."""
+        store = ProofStore(tmp_path)  # width 2 = the legacy layout
+        for fp, fn in pairs:
+            store.put(fp, fn, entries_for(fn))
+        (tmp_path / LAYOUT_FILENAME).unlink()
+
+    def test_flat_open_migrates_legacy_entries(self, tmp_path):
+        self.seed_legacy(tmp_path, [(FP, "fn0"), (FP2, "fn1")])
+        store = ProofStore(tmp_path, shards=1)
+        assert STORE_STATS["migrated"] == 2
+        assert (store.entries_dir / f"{FP}.json").exists()
+        assert not (store.entries_dir / FP[:2]).exists()  # dirs pruned
+        assert store.get(FP) is not None
+        assert store.get(FP2) is not None
+
+    def test_wider_open_migrates_too(self, tmp_path):
+        self.seed_legacy(tmp_path, [(FP, "fn0")])
+        store = ProofStore(tmp_path, shards=4096)
+        assert STORE_STATS["migrated"] == 1
+        assert (store.entries_dir / FP[:3] / f"{FP}.json").exists()
+        assert store.get(FP) is not None
+
+    def test_default_open_is_migration_free(self, tmp_path):
+        # 256 shards IS the legacy width: adopting the default layout
+        # must not touch a single file.
+        self.seed_legacy(tmp_path, [(FP, "fn0")])
+        path = tmp_path / "entries" / FP[:2] / f"{FP}.json"
+        mtime = path.stat().st_mtime_ns
+        store = ProofStore(tmp_path)
+        assert STORE_STATS["migrated"] == 0
+        assert path.stat().st_mtime_ns == mtime
+        assert store.get(FP) is not None
+
+    def test_legacy_fallback_relocates_stragglers(self, tmp_path):
+        # An old writer publishes into fp[:2] *after* this root was
+        # stamped flat: the miss path probes the legacy location and
+        # relocates what it finds.
+        store = ProofStore(tmp_path, shards=1)
+        donor_root = tmp_path / "donor"
+        donor = ProofStore(donor_root, shards=1)
+        donor.put(FP, "fn0", entries_for("fn0"))
+        legacy = store.entries_dir / FP[:2] / f"{FP}.json"
+        legacy.parent.mkdir(parents=True)
+        (donor.entries_dir / f"{FP}.json").rename(legacy)
+
+        migrated_before = STORE_STATS["migrated"]
+        assert store.get(FP) is not None
+        assert STORE_STATS["migrated"] == migrated_before + 1
+        assert not legacy.exists()
+        assert (store.entries_dir / f"{FP}.json").exists()
+        assert store.has(FP)
+
+    def test_has_sees_legacy_entries_without_moving_them(self, tmp_path):
+        store = ProofStore(tmp_path, shards=1)
+        donor = ProofStore(tmp_path / "donor", shards=1)
+        donor.put(FP, "fn0", entries_for("fn0"))
+        legacy = store.entries_dir / FP[:2] / f"{FP}.json"
+        legacy.parent.mkdir(parents=True)
+        (donor.entries_dir / f"{FP}.json").rename(legacy)
+        assert store.has(FP)
+        assert legacy.exists()  # has() is a probe, not a migration
+
+
+class TestEnvKnobs:
+    def test_defaults(self):
+        kw = tier_kwargs_from_env({})
+        assert kw == {"shards": None, "mem": 256, "write_behind": True}
+
+    def test_explicit_values(self):
+        kw = tier_kwargs_from_env(
+            {
+                "REPRO_CACHE_SHARDS": "16",
+                "REPRO_CACHE_MEM": "8",
+                "REPRO_CACHE_WB": "0",
+            }
+        )
+        assert kw == {"shards": 16, "mem": 8, "write_behind": False}
+
+    def test_invalid_shards_warns_and_defaults(self):
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_SHARDS"):
+            kw = tier_kwargs_from_env({"REPRO_CACHE_SHARDS": "17"})
+        assert kw["shards"] is None
+
+    def test_mem_zero_disables_tier(self, tmp_path):
+        store = ProofStore(tmp_path, **tier_kwargs_from_env(
+            {"REPRO_CACHE_MEM": "0"}
+        ))
+        assert store.memtier is None
+
+    def test_from_env_builds_the_hierarchy(self, tmp_path):
+        store = ProofStore.from_env(
+            {
+                "REPRO_CACHE": "1",
+                "REPRO_CACHE_DIR": str(tmp_path / "cache"),
+                "REPRO_CACHE_SHARDS": "16",
+                "REPRO_CACHE_MEM": "32",
+            }
+        )
+        assert store is not None
+        assert store.shards == 16
+        assert store.memtier is not None and store.memtier.capacity == 32
+        assert store.write_behind
